@@ -1,0 +1,330 @@
+// Benchmarks regenerating the paper's evaluation artifacts (§7). Each
+// figure and table of the paper maps to one Benchmark* function below (see
+// DESIGN.md §3 for the index); EXPERIMENTS.md records paper-vs-measured.
+//
+// Sizes are BSBM product counts: 200 ≈ 12k triples, 1000 ≈ 58k, 5000 ≈
+// 290k. The paper sweeps 10M–100M on a Postgres-backed Java prototype;
+// shapes (who wins, growth trends), not absolute numbers, are the target.
+package rdfsum_test
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"rdfsum"
+	"rdfsum/internal/cliques"
+	"rdfsum/internal/core"
+	"rdfsum/internal/ntriples"
+	"rdfsum/internal/samples"
+	"rdfsum/internal/store"
+)
+
+var benchSizes = []int{200, 1000, 5000}
+
+var benchKinds = []rdfsum.Kind{rdfsum.Weak, rdfsum.Strong, rdfsum.TypedWeak, rdfsum.TypedStrong}
+
+var (
+	bsbmMu    sync.Mutex
+	bsbmCache = map[int]*rdfsum.Graph{}
+)
+
+func bsbmGraph(b *testing.B, products int) *rdfsum.Graph {
+	b.Helper()
+	bsbmMu.Lock()
+	defer bsbmMu.Unlock()
+	if g, ok := bsbmCache[products]; ok {
+		return g
+	}
+	g := rdfsum.GenerateBSBM(products)
+	bsbmCache[products] = g
+	return g
+}
+
+// BenchmarkFig11Nodes regenerates Figure 11: the number of data nodes
+// (top panel) and all nodes (bottom panel) of each summary across the
+// BSBM sweep, reported as custom metrics alongside the build time.
+func BenchmarkFig11Nodes(b *testing.B) {
+	for _, products := range benchSizes {
+		g := bsbmGraph(b, products)
+		for _, kind := range benchKinds {
+			b.Run(fmt.Sprintf("%s/products=%d", kind, products), func(b *testing.B) {
+				var stats rdfsum.Stats
+				for i := 0; i < b.N; i++ {
+					s, err := rdfsum.Summarize(g, kind)
+					if err != nil {
+						b.Fatal(err)
+					}
+					stats = s.Stats
+				}
+				b.ReportMetric(float64(stats.DataNodes), "datanodes")
+				b.ReportMetric(float64(stats.AllNodes), "allnodes")
+			})
+		}
+	}
+}
+
+// BenchmarkFig12Edges regenerates Figure 12: the number of data edges
+// (top panel) and all edges (bottom panel) of each summary.
+func BenchmarkFig12Edges(b *testing.B) {
+	for _, products := range benchSizes {
+		g := bsbmGraph(b, products)
+		for _, kind := range benchKinds {
+			b.Run(fmt.Sprintf("%s/products=%d", kind, products), func(b *testing.B) {
+				var stats rdfsum.Stats
+				for i := 0; i < b.N; i++ {
+					s, err := rdfsum.Summarize(g, kind)
+					if err != nil {
+						b.Fatal(err)
+					}
+					stats = s.Stats
+				}
+				b.ReportMetric(float64(stats.DataEdges), "dataedges")
+				b.ReportMetric(float64(stats.AllEdges), "alledges")
+				b.ReportMetric(stats.CompressionRatio(), "compression")
+			})
+		}
+	}
+}
+
+// BenchmarkFig13SummarizationTime regenerates Figure 13: summarization
+// wall-clock time per kind and size (ns/op is the figure's series; the
+// paper reports seconds at 10–100M triples on Postgres).
+func BenchmarkFig13SummarizationTime(b *testing.B) {
+	for _, products := range benchSizes {
+		g := bsbmGraph(b, products)
+		for _, kind := range benchKinds {
+			b.Run(fmt.Sprintf("%s/products=%d", kind, products), func(b *testing.B) {
+				b.ReportMetric(float64(g.NumEdges()), "triples")
+				for i := 0; i < b.N; i++ {
+					if _, err := rdfsum.Summarize(g, kind); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkTable1Cliques regenerates Table 1's computation: the source and
+// target property cliques, on the paper's sample graph and on BSBM data.
+func BenchmarkTable1Cliques(b *testing.B) {
+	b.Run("fig2", func(b *testing.B) {
+		g := samples.Fig2()
+		for i := 0; i < b.N; i++ {
+			cliques.Compute(g.Data)
+		}
+	})
+	for _, products := range benchSizes {
+		g := bsbmGraph(b, products)
+		b.Run(fmt.Sprintf("bsbm/products=%d", products), func(b *testing.B) {
+			var asg *cliques.Assignment
+			for i := 0; i < b.N; i++ {
+				asg = cliques.Compute(g.Data)
+			}
+			b.ReportMetric(float64(len(asg.SrcMembers)), "srccliques")
+			b.ReportMetric(float64(len(asg.TgtMembers)), "tgtcliques")
+		})
+	}
+}
+
+// BenchmarkAblationWeakIncrementalVsGlobal compares the paper's one-pass
+// weak algorithm (no clique materialization, §6) against the clique-based
+// construction — the design choice behind the paper's observation that
+// weak summaries build faster than strong ones.
+func BenchmarkAblationWeakIncrementalVsGlobal(b *testing.B) {
+	for _, products := range benchSizes {
+		g := bsbmGraph(b, products)
+		b.Run(fmt.Sprintf("incremental/products=%d", products), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := rdfsum.SummarizeWithOptions(g, rdfsum.Weak,
+					&rdfsum.Options{WeakAlgorithm: core.Incremental}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("global/products=%d", products), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := rdfsum.SummarizeWithOptions(g, rdfsum.Weak,
+					&rdfsum.Options{WeakAlgorithm: core.Global}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSaturationShortcut compares computing W_{G∞} the
+// expensive way (saturate G, summarize) against the Prop. 5 shortcut
+// (summarize, saturate the small summary, resummarize).
+func BenchmarkAblationSaturationShortcut(b *testing.B) {
+	g := bsbmGraph(b, 1000)
+	b.Run("saturate-then-summarize", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			inf := rdfsum.Saturate(g)
+			if _, err := rdfsum.Summarize(inf, rdfsum.Weak); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("shortcut", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s, err := rdfsum.Summarize(g, rdfsum.Weak)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := rdfsum.Summarize(rdfsum.Saturate(s.Graph), rdfsum.Weak); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationParallelWeak measures the shared-memory parallel weak
+// construction (the paper's future-work scalability direction) against
+// worker counts; workers=1 is the sequential baseline.
+func BenchmarkAblationParallelWeak(b *testing.B) {
+	g := bsbmGraph(b, 5000)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := rdfsum.SummarizeWithOptions(g, rdfsum.Weak,
+					&rdfsum.Options{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStreamingBuilder measures the amortized per-triple cost of the
+// incremental weak builder (maintenance mode) against batch rebuilds.
+func BenchmarkStreamingBuilder(b *testing.B) {
+	g := bsbmGraph(b, 1000)
+	decoded := g.Decode()
+	b.Run("stream-all", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			builder := rdfsum.NewWeakBuilder()
+			for _, t := range decoded {
+				builder.Add(t)
+			}
+			builder.Summary()
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := rdfsum.Summarize(rdfsum.NewGraph(decoded), rdfsum.Weak); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkLUBMSummaries runs the four summaries on the LUBM workload
+// (deep hierarchy, subproperty families) — the cross-dataset check of the
+// extended report.
+func BenchmarkLUBMSummaries(b *testing.B) {
+	g := rdfsum.GenerateLUBM(8) // ≈26k triples
+	for _, kind := range benchKinds {
+		b.Run(kind.String(), func(b *testing.B) {
+			var stats rdfsum.Stats
+			for i := 0; i < b.N; i++ {
+				s, err := rdfsum.Summarize(g, kind)
+				if err != nil {
+					b.Fatal(err)
+				}
+				stats = s.Stats
+			}
+			b.ReportMetric(float64(stats.DataNodes), "datanodes")
+			b.ReportMetric(float64(stats.AllEdges), "alledges")
+		})
+	}
+}
+
+// --- substrate micro-benchmarks -------------------------------------------
+
+func BenchmarkNTriplesParse(b *testing.B) {
+	g := bsbmGraph(b, 200)
+	var buf bytes.Buffer
+	if err := ntriples.Write(&buf, g.Decode()); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ntriples.Parse(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSaturate(b *testing.B) {
+	for _, products := range benchSizes {
+		g := bsbmGraph(b, products)
+		b.Run(fmt.Sprintf("products=%d", products), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rdfsum.Saturate(g)
+			}
+		})
+	}
+}
+
+func BenchmarkIndexBuild(b *testing.B) {
+	g := bsbmGraph(b, 1000)
+	for i := 0; i < b.N; i++ {
+		store.NewIndex(g)
+	}
+}
+
+func BenchmarkQueryEval(b *testing.B) {
+	g := bsbmGraph(b, 1000)
+	ix := rdfsum.NewIndex(g)
+	q, err := rdfsum.ParseQuery(`
+		PREFIX bsbm: <http://bsbm.example.org/vocabulary/>
+		SELECT ?p ?v WHERE {
+			?o bsbm:product ?p .
+			?o bsbm:vendor ?v .
+			?r bsbm:reviewFor ?p .
+			?r bsbm:rating1 ?score
+		}`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := rdfsum.EvalQueryIndexed(g, ix, q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) == 0 {
+			b.Fatal("expected answers")
+		}
+	}
+}
+
+func BenchmarkSnapshotRoundTrip(b *testing.B) {
+	g := bsbmGraph(b, 200)
+	b.Run("write", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var buf bytes.Buffer
+			if err := store.WriteSnapshot(&buf, g); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	var buf bytes.Buffer
+	if err := store.WriteSnapshot(&buf, g); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.Run("read", func(b *testing.B) {
+		b.SetBytes(int64(len(data)))
+		for i := 0; i < b.N; i++ {
+			if _, err := store.ReadSnapshot(bytes.NewReader(data)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,82 @@
+// Command bsbmgen generates Berlin-SPARQL-Benchmark-shaped RDF datasets
+// (the workload of the paper's evaluation) as N-Triples or snapshots.
+//
+// Usage:
+//
+//	bsbmgen -products 2000 -o bsbm.nt
+//	bsbmgen -triples 1000000 -seed 7 -o bsbm.snapshot
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"rdfsum"
+	"rdfsum/internal/bsbm"
+)
+
+func main() {
+	products := flag.Int("products", 0, "number of products (the BSBM scale factor)")
+	triples := flag.Int("triples", 0, "approximate triple count (alternative to -products)")
+	seed := flag.Uint64("seed", 42, "generation seed")
+	offers := flag.Int("offers", 3, "offers per product")
+	reviews := flag.Int("reviews", 2, "reviews per product")
+	noSchema := flag.Bool("no-schema", false, "omit the RDFS schema triples")
+	out := flag.String("o", "", "output file (.nt or snapshot; default stdout as N-Triples)")
+	flag.Parse()
+
+	n := *products
+	if n == 0 && *triples > 0 {
+		n = bsbm.EstimateProducts(*triples)
+	}
+	if n == 0 {
+		n = 100
+	}
+	cfg := bsbm.DefaultConfig(n)
+	cfg.Seed = *seed
+	cfg.OffersPerProduct = *offers
+	cfg.ReviewsPerProduct = *reviews
+	cfg.WithSchema = !*noSchema
+
+	if *out == "" || strings.HasSuffix(*out, ".nt") {
+		w := bufio.NewWriter(os.Stdout)
+		var f *os.File
+		if *out != "" {
+			var err error
+			f, err = os.Create(*out)
+			if err != nil {
+				fatal(err)
+			}
+			w = bufio.NewWriter(f)
+		}
+		count := 0
+		bsbm.Generate(cfg, func(t rdfsum.Triple) {
+			fmt.Fprintln(w, t.String())
+			count++
+		})
+		if err := w.Flush(); err != nil {
+			fatal(err)
+		}
+		if f != nil {
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "bsbmgen: %d products, %d triples\n", n, count)
+		return
+	}
+
+	g := bsbm.GenerateGraph(cfg)
+	if err := rdfsum.SaveSnapshot(*out, g); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "bsbmgen: %d products, %d triples -> %s\n", n, g.NumEdges(), *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bsbmgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,148 @@
+package main
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"rdfsum"
+	"rdfsum/internal/dict"
+	"rdfsum/internal/query"
+	"rdfsum/internal/rdf"
+	"rdfsum/internal/store"
+)
+
+// printPruning measures the summaries as static emptiness oracles — the
+// query-pruning use case the paper motivates ("querying a summary of a
+// graph should reflect whether the query has some answers against this
+// graph"):
+//
+//   - Soundness (must be 100%, Prop. 1): queries non-empty on G∞ are never
+//     pruned by a summary.
+//   - Pruning power: among queries that are empty on G∞ (obtained by
+//     corrupting extracted queries), the fraction each summary proves
+//     empty. Summaries over-approximate connectivity, so some empty
+//     queries slip through — this measures the accuracy trade-off in
+//     practice.
+func printPruning(targets []int, dataset string, seed uint64) {
+	const perGraph = 60
+
+	title := "Pruning power: % of G∞-empty RBGP queries proven empty by each summary (soundness must stay 100%)"
+	fmt.Printf("\n%s\n%s\n", title, strings.Repeat("-", len(title)))
+	tw := tabwriter.NewWriter(os.Stdout, 4, 4, 3, ' ', tabwriter.AlignRight)
+	fmt.Fprint(tw, "triples\tsound\t")
+	for _, k := range kinds {
+		fmt.Fprintf(tw, "%s\t", k)
+	}
+	fmt.Fprintln(tw)
+
+	for _, target := range targets {
+		g, _, _ := generate(dataset, target, seed)
+		inf := rdfsum.Saturate(g)
+		infIx := store.NewIndex(inf)
+		props := g.DistinctDataProperties()
+
+		type sat struct {
+			g  *rdfsum.Graph
+			ix *store.Index
+		}
+		sums := map[rdfsum.Kind]sat{}
+		for _, k := range kinds {
+			s, err := rdfsum.Summarize(g, k)
+			if err != nil {
+				fatal(err)
+			}
+			hInf := rdfsum.Saturate(s.Graph)
+			sums[k] = sat{hInf, store.NewIndex(hInf)}
+		}
+
+		rng := query.NewRNG(seed + uint64(target))
+		sound := true
+		pruned := map[rdfsum.Kind]int{}
+		emptyQueries := 0
+		for i := 0; i < perGraph; i++ {
+			q, ok := query.ExtractRBGP(inf, rng, 3)
+			if !ok {
+				break
+			}
+			// Soundness check on the original (non-empty) query.
+			for _, k := range kinds {
+				found, err := query.Ask(sums[k].g, sums[k].ix, q)
+				if err != nil {
+					fatal(err)
+				}
+				if !found {
+					sound = false
+				}
+			}
+			// Corrupt one pattern's property; keep only queries that
+			// become empty on G∞.
+			corrupted := corrupt(q, props, g, rng)
+			if corrupted == nil {
+				continue
+			}
+			found, err := query.Ask(inf, infIx, corrupted)
+			if err != nil {
+				fatal(err)
+			}
+			if found {
+				continue
+			}
+			emptyQueries++
+			for _, k := range kinds {
+				found, err := query.Ask(sums[k].g, sums[k].ix, corrupted)
+				if err != nil {
+					fatal(err)
+				}
+				if !found {
+					pruned[k]++
+				}
+			}
+		}
+
+		fmt.Fprintf(tw, "%d\t%v\t", g.NumEdges(), sound)
+		for _, k := range kinds {
+			if emptyQueries == 0 {
+				fmt.Fprint(tw, "n/a\t")
+				continue
+			}
+			fmt.Fprintf(tw, "%.0f%%\t", 100*float64(pruned[k])/float64(emptyQueries))
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush() //nolint:errcheck
+}
+
+// corrupt replaces one non-τ pattern's property with a different property
+// from the graph, yielding a structurally plausible but likely-empty
+// query. Returns nil when the query has no corruptible pattern.
+func corrupt(q *query.Query, props []dict.ID, g *rdfsum.Graph, rng *rand.Rand) *query.Query {
+	if len(props) < 2 {
+		return nil
+	}
+	var candidates []int
+	for i, p := range q.Patterns {
+		if !p.P.IsVar && p.P.Value.Value != rdf.RDFType {
+			candidates = append(candidates, i)
+		}
+	}
+	if len(candidates) == 0 {
+		return nil
+	}
+	idx := candidates[rng.IntN(len(candidates))]
+	out := &query.Query{
+		Distinguished: q.Distinguished,
+		Patterns:      append([]query.Pattern(nil), q.Patterns...),
+	}
+	current := out.Patterns[idx].P.Value
+	for tries := 0; tries < 8; tries++ {
+		replacement := g.Dict().Term(props[rng.IntN(len(props))])
+		if replacement != current {
+			out.Patterns[idx].P = query.Const(replacement)
+			return out
+		}
+	}
+	return nil
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"rdfsum"
+	"rdfsum/internal/query"
+	"rdfsum/internal/rdf"
+)
+
+func TestGenerateWorkloads(t *testing.T) {
+	for _, ds := range []string{"bsbm", "lubm"} {
+		g, scale, unit := generate(ds, 20000, 7)
+		if g == nil || scale <= 0 || unit == "" {
+			t.Fatalf("generate(%s) = %v/%d/%q", ds, g, scale, unit)
+		}
+		if g.NumEdges() < 10000 || g.NumEdges() > 40000 {
+			t.Errorf("generate(%s, 20000) produced %d triples", ds, g.NumEdges())
+		}
+	}
+}
+
+func TestCorrupt(t *testing.T) {
+	g := rdfsum.GenerateBSBM(20)
+	props := g.DistinctDataProperties()
+	rng := rand.New(rand.NewPCG(1, 2))
+	q := query.MustParse(`PREFIX bsbm: <http://bsbm.example.org/vocabulary/>
+		SELECT ?o WHERE { ?o bsbm:price ?p . ?o a bsbm:Offer }`)
+
+	c := corrupt(q, props, g, rng)
+	if c == nil {
+		t.Fatal("corrupt returned nil for a corruptible query")
+	}
+	// The original is untouched.
+	if q.Patterns[0].P.Value.Value != "http://bsbm.example.org/vocabulary/price" {
+		t.Error("corrupt mutated the original query")
+	}
+	// Exactly the non-τ pattern changed, to a different property.
+	if c.Patterns[0].P.Value == q.Patterns[0].P.Value {
+		t.Error("corrupt did not change the property")
+	}
+	if c.Patterns[1].P.Value.Value != rdf.RDFType {
+		t.Error("corrupt must not touch τ patterns")
+	}
+
+	// Queries with no corruptible pattern return nil.
+	tOnly := query.MustParse(`PREFIX bsbm: <http://bsbm.example.org/vocabulary/>
+		SELECT ?x WHERE { ?x a bsbm:Offer }`)
+	if corrupt(tOnly, props, g, rng) != nil {
+		t.Error("corrupt of a τ-only query should be nil")
+	}
+}

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rdfsum"
+)
+
+func TestLoadSaveRoundTrips(t *testing.T) {
+	dir := t.TempDir()
+	g := rdfsum.GenerateBSBM(10)
+
+	// N-Triples path.
+	nt := filepath.Join(dir, "g.nt")
+	if err := save(nt, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := load(nt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumEdges() != g.NumEdges() {
+		t.Errorf("nt round trip: %d != %d", back.NumEdges(), g.NumEdges())
+	}
+
+	// Snapshot path.
+	snap := filepath.Join(dir, "g.snapshot")
+	if err := save(snap, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err = load(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumEdges() != g.NumEdges() {
+		t.Errorf("snapshot round trip: %d != %d", back.NumEdges(), g.NumEdges())
+	}
+
+	// Turtle path.
+	ttl := filepath.Join(dir, "g.ttl")
+	doc := "@prefix ex: <http://ex.org/> .\nex:s ex:p ex:o ; a ex:C .\n"
+	if err := os.WriteFile(ttl, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tg, err := load(ttl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tg.NumEdges() != 2 {
+		t.Errorf("ttl load: %d edges, want 2", tg.NumEdges())
+	}
+
+	// Missing -in.
+	if _, err := load(""); err == nil {
+		t.Error("load(\"\") must fail")
+	}
+}
+
+func TestShortName(t *testing.T) {
+	cases := map[string]string{
+		"http://x/a#frag": "frag",
+		"http://x/last":   "last",
+		"urn:x:y":         "y",
+		"plain":           "plain",
+		"http://x/":       "http://x/",
+	}
+	for in, want := range cases {
+		if got := shortName(in); got != want {
+			t.Errorf("shortName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

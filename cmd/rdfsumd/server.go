@@ -1,0 +1,211 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+
+	"rdfsum"
+	"rdfsum/internal/profile"
+	"rdfsum/internal/query"
+	"rdfsum/internal/store"
+)
+
+// server holds the loaded graph and caches derived artifacts.
+type server struct {
+	graph *rdfsum.Graph
+
+	mu        sync.Mutex
+	summaries map[rdfsum.Kind]*rdfsum.Summary
+	satOnce   sync.Once
+	saturated *rdfsum.Graph
+	satIx     *store.Index
+	plainIx   *store.Index
+	plainOnce sync.Once
+}
+
+func newServer(path string) (*server, error) {
+	var g *rdfsum.Graph
+	var err error
+	switch {
+	case strings.HasSuffix(path, ".nt"):
+		g, err = rdfsum.LoadNTriplesFile(path)
+	case strings.HasSuffix(path, ".ttl"):
+		g, err = rdfsum.LoadTurtleFile(path)
+	default:
+		g, err = rdfsum.LoadSnapshot(path)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return newServerFromGraph(g), nil
+}
+
+func newServerFromGraph(g *rdfsum.Graph) *server {
+	return &server{graph: g, summaries: map[rdfsum.Kind]*rdfsum.Summary{}}
+}
+
+func (s *server) mux() *http.ServeMux {
+	m := http.NewServeMux()
+	m.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, "ok\n") //nolint:errcheck
+	})
+	m.HandleFunc("GET /stats", s.handleStats)
+	m.HandleFunc("GET /summary", s.handleSummary)
+	m.HandleFunc("GET /profile", s.handleProfile)
+	m.HandleFunc("POST /query", s.handleQuery)
+	return m
+}
+
+// summary builds (or returns the cached) summary of one kind.
+func (s *server) summary(kind rdfsum.Kind) (*rdfsum.Summary, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sum, ok := s.summaries[kind]; ok {
+		return sum, nil
+	}
+	sum, err := rdfsum.Summarize(s.graph, kind)
+	if err != nil {
+		return nil, err
+	}
+	s.summaries[kind] = sum
+	return sum, nil
+}
+
+func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, map[string]any{
+		"triples":        s.graph.NumEdges(),
+		"data_triples":   len(s.graph.Data),
+		"type_triples":   len(s.graph.Types),
+		"schema_triples": len(s.graph.Schema),
+		"data_nodes":     len(s.graph.DataNodes()),
+		"class_nodes":    len(s.graph.ClassNodes()),
+		"properties":     len(s.graph.DistinctDataProperties()),
+	})
+}
+
+func (s *server) handleSummary(w http.ResponseWriter, r *http.Request) {
+	kindName := r.URL.Query().Get("kind")
+	if kindName == "" {
+		kindName = "weak"
+	}
+	kind, err := rdfsum.ParseKind(kindName)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	sum, err := s.summary(kind)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	switch r.URL.Query().Get("format") {
+	case "", "json":
+		writeJSON(w, map[string]any{
+			"kind":        kind.String(),
+			"data_nodes":  sum.Stats.DataNodes,
+			"all_nodes":   sum.Stats.AllNodes,
+			"data_edges":  sum.Stats.DataEdges,
+			"all_edges":   sum.Stats.AllEdges,
+			"compression": sum.Stats.CompressionRatio(),
+		})
+	case "ntriples":
+		w.Header().Set("Content-Type", "application/n-triples")
+		if err := rdfsum.WriteNTriples(w, sum.Graph.Decode()); err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+		}
+	case "dot":
+		w.Header().Set("Content-Type", "text/vnd.graphviz")
+		if err := rdfsum.ExportDOT(w, sum.Graph, kind.String()+" summary"); err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+		}
+	default:
+		httpError(w, http.StatusBadRequest,
+			fmt.Errorf("unknown format %q (want json, ntriples or dot)", r.URL.Query().Get("format")))
+	}
+}
+
+func (s *server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	sum, err := s.summary(rdfsum.TypedWeak)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	p := profile.Build(sum)
+	type kindJSON struct {
+		Label         string   `json:"label"`
+		Instances     int      `json:"instances"`
+		Attributes    []string `json:"attributes,omitempty"`
+		Relationships []string `json:"relationships,omitempty"`
+	}
+	out := make([]kindJSON, 0, len(p.Kinds))
+	for _, k := range p.Kinds {
+		out = append(out, kindJSON{k.Label(), k.Instances, k.Attributes, k.Relationships})
+	}
+	writeJSON(w, map[string]any{
+		"triples": p.InputTriples,
+		"nodes":   p.InputNodes,
+		"kinds":   out,
+	})
+}
+
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	q, err := rdfsum.ParseQuery(string(body))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	g, ix := s.graph, s.plainIndex()
+	if r.URL.Query().Get("saturate") == "true" {
+		g, ix = s.saturatedIndex()
+	}
+	res, err := query.Eval(g, ix, q, &query.EvalOptions{Limit: 10_000})
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	rows := make([][]string, 0, len(res.Rows))
+	for _, row := range res.Rows {
+		cells := make([]string, len(row))
+		for i, term := range row {
+			cells[i] = term.String()
+		}
+		rows = append(rows, cells)
+	}
+	writeJSON(w, map[string]any{"vars": res.Vars, "rows": rows, "count": len(rows)})
+}
+
+func (s *server) plainIndex() *store.Index {
+	s.plainOnce.Do(func() { s.plainIx = rdfsum.NewIndex(s.graph) })
+	return s.plainIx
+}
+
+func (s *server) saturatedIndex() (*rdfsum.Graph, *store.Index) {
+	s.satOnce.Do(func() {
+		s.saturated = rdfsum.Saturate(s.graph)
+		s.satIx = rdfsum.NewIndex(s.saturated)
+	})
+	return s.saturated, s.satIx
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // headers already sent
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()}) //nolint:errcheck
+}

@@ -1,0 +1,179 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"rdfsum"
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := newServerFromGraph(rdfsum.GenerateBSBM(40))
+	ts := httptest.NewServer(srv.mux())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func getJSON(t *testing.T, url string, out any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp
+}
+
+func TestHealthz(t *testing.T) {
+	ts := testServer(t)
+	resp := getJSON(t, ts.URL+"/healthz", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz status = %d", resp.StatusCode)
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	ts := testServer(t)
+	var body map[string]any
+	getJSON(t, ts.URL+"/stats", &body)
+	if body["triples"].(float64) <= 0 {
+		t.Errorf("stats triples = %v", body["triples"])
+	}
+	if body["properties"].(float64) != 34 {
+		t.Errorf("stats properties = %v, want 34", body["properties"])
+	}
+}
+
+func TestSummaryEndpoint(t *testing.T) {
+	ts := testServer(t)
+	var body map[string]any
+	resp := getJSON(t, ts.URL+"/summary?kind=weak", &body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if body["kind"] != "weak" || body["data_edges"].(float64) != 34 {
+		t.Errorf("summary body = %v", body)
+	}
+
+	// N-Triples body.
+	resp, err := http.Get(ts.URL + "/summary?kind=strong&format=ntriples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf := new(strings.Builder)
+	if _, err := readAll(buf, resp); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "rdfsum:s?") {
+		t.Error("ntriples format missing summary nodes")
+	}
+
+	// DOT body.
+	resp, err = http.Get(ts.URL + "/summary?format=dot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf.Reset()
+	if _, err := readAll(buf, resp); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "digraph") {
+		t.Error("dot format missing digraph")
+	}
+
+	// Errors.
+	if resp := getJSON(t, ts.URL+"/summary?kind=nope", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad kind status = %d", resp.StatusCode)
+	}
+	if resp := getJSON(t, ts.URL+"/summary?format=xml", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad format status = %d", resp.StatusCode)
+	}
+}
+
+func TestProfileEndpoint(t *testing.T) {
+	ts := testServer(t)
+	var body struct {
+		Kinds []struct {
+			Label     string `json:"label"`
+			Instances int    `json:"instances"`
+		} `json:"kinds"`
+	}
+	getJSON(t, ts.URL+"/profile", &body)
+	found := false
+	for _, k := range body.Kinds {
+		if k.Label == "{Offer}" && k.Instances == 40*3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("profile missing {Offer} with 120 instances: %+v", body.Kinds)
+	}
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	ts := testServer(t)
+	q := `PREFIX bsbm: <http://bsbm.example.org/vocabulary/>
+		SELECT ?o WHERE { ?o bsbm:price ?p }`
+	resp, err := http.Post(ts.URL+"/query", "application/sparql-query", strings.NewReader(q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Count int        `json:"count"`
+		Rows  [][]string `json:"rows"`
+		Vars  []string   `json:"vars"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Count != 40*3 {
+		t.Errorf("query count = %d, want 120", body.Count)
+	}
+
+	// Saturated evaluation sees implicit types.
+	q2 := `PREFIX bsbm: <http://bsbm.example.org/vocabulary/>
+		PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+		SELECT ?x WHERE { ?x rdf:type bsbm:Product }`
+	resp2, err := http.Post(ts.URL+"/query?saturate=true", "application/sparql-query", strings.NewReader(q2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var body2 struct {
+		Count int `json:"count"`
+	}
+	if err := json.NewDecoder(resp2.Body).Decode(&body2); err != nil {
+		t.Fatal(err)
+	}
+	if body2.Count != 40 {
+		t.Errorf("saturated type query count = %d, want 40", body2.Count)
+	}
+
+	// Malformed query.
+	resp3, err := http.Post(ts.URL+"/query", "text/plain", strings.NewReader("not sparql"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed query status = %d", resp3.StatusCode)
+	}
+}
+
+func readAll(dst *strings.Builder, resp *http.Response) (int64, error) {
+	n, err := io.Copy(dst, resp.Body)
+	return n, err
+}

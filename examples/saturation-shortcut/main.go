@@ -1,0 +1,59 @@
+// Saturation shortcut: Propositions 5 and 8 — the weak/strong summary of
+// the saturated graph equals the summary of the saturated summary:
+//
+//	W_{G∞} = W_{(W_G)∞}      S_{G∞} = S_{(S_G)∞}
+//
+// So to reason over a huge graph one can summarize first and saturate the
+// tiny summary, instead of saturating the full graph. This example runs
+// both paths, verifies they produce the identical summary, and reports how
+// much work the shortcut saves.
+package main
+
+import (
+	"fmt"
+	"log"
+	"reflect"
+	"time"
+
+	"rdfsum"
+)
+
+func main() {
+	g := rdfsum.GenerateBSBM(4000) // ~240k triples with an RDFS schema
+	fmt.Printf("dataset: %d triples (schema: %d constraints)\n\n", g.NumEdges(), len(g.Schema))
+
+	for _, kind := range []rdfsum.Kind{rdfsum.Weak, rdfsum.Strong} {
+		// Expensive path: saturate G (large), then summarize.
+		t0 := time.Now()
+		inf := rdfsum.Saturate(g)
+		direct, err := rdfsum.Summarize(inf, kind)
+		if err != nil {
+			log.Fatal(err)
+		}
+		directTime := time.Since(t0)
+
+		// Shortcut: summarize G, saturate the summary (tiny), resummarize.
+		t1 := time.Now()
+		s, err := rdfsum.Summarize(g, kind)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sInf := rdfsum.Saturate(s.Graph)
+		cheap, err := rdfsum.Summarize(sInf, kind)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cheapTime := time.Since(t1)
+
+		same := reflect.DeepEqual(direct.Graph.CanonicalStrings(), cheap.Graph.CanonicalStrings())
+		fmt.Printf("%s summary of G∞:\n", kind)
+		fmt.Printf("  saturate-then-summarize: saturated %d triples, took %v\n",
+			inf.NumEdges(), directTime.Round(time.Millisecond))
+		fmt.Printf("  shortcut (Prop. 5/8):    saturated %d triples, took %v\n",
+			sInf.NumEdges(), cheapTime.Round(time.Millisecond))
+		fmt.Printf("  identical summaries: %v (%d edges)\n\n", same, direct.Stats.AllEdges)
+		if !same {
+			log.Fatal("completeness violated — this is a bug")
+		}
+	}
+}

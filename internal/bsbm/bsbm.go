@@ -1,0 +1,337 @@
+// Package bsbm generates RDF datasets shaped like the Berlin SPARQL
+// Benchmark (BSBM), the dataset of the paper's evaluation (§7).
+//
+// The generator reproduces the structural features that drive summary
+// sizes rather than BSBM's exact vocabulary cardinalities:
+//
+//   - an e-commerce entity mix: products, producers, product features,
+//     product types, vendors, offers, reviewers (persons) and reviews;
+//   - an RDFS schema: a product-type subclass tree rooted at bsbm:Product
+//     plus domain/range declarations and a rating subproperty family;
+//   - multi-typing: each product is typed with bsbm:Product and one leaf
+//     product type, so the number of distinct class sets grows with the
+//     type tree (this is what multiplies TW/TS data nodes, §7);
+//   - heterogeneity: optional numeric/textual product properties and
+//     optional review ratings, so same-kind resources have different
+//     property sets (weak/strong summaries must tolerate this);
+//   - plenty of literals (labels, comments, dates, prices).
+//
+// Generation is deterministic for a given Config.
+package bsbm
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"rdfsum/internal/rdf"
+	"rdfsum/internal/store"
+)
+
+// NS is the vocabulary namespace.
+const NS = "http://bsbm.example.org/vocabulary/"
+
+// InstNS is the instance namespace.
+const InstNS = "http://bsbm.example.org/instances/"
+
+// Config sizes the dataset. Products is the scale factor; everything else
+// derives from it unless overridden.
+type Config struct {
+	// Products is the number of product resources (the BSBM scale factor).
+	Products int
+	// Seed makes generation deterministic.
+	Seed uint64
+	// OffersPerProduct (default 3) and ReviewsPerProduct (default 2).
+	OffersPerProduct  int
+	ReviewsPerProduct int
+	// ProductTypes is the size of the product-type class tree; 0 derives
+	// it from Products (growing sub-linearly, like BSBM's type tree).
+	ProductTypes int
+	// WithSchema controls whether the RDFS schema triples are emitted
+	// (subclass tree, domains/ranges, rating subproperties). Default true
+	// via DefaultConfig.
+	WithSchema bool
+}
+
+// DefaultConfig returns the standard configuration at a given product
+// count.
+func DefaultConfig(products int) Config {
+	return Config{
+		Products:          products,
+		Seed:              42,
+		OffersPerProduct:  3,
+		ReviewsPerProduct: 2,
+		WithSchema:        true,
+	}
+}
+
+// TriplesPerProduct is the approximate number of triples generated per
+// product under DefaultConfig; used to size datasets by triple count.
+const TriplesPerProduct = 58
+
+// EstimateProducts returns the product count whose dataset holds roughly
+// targetTriples triples.
+func EstimateProducts(targetTriples int) int {
+	n := targetTriples / TriplesPerProduct
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// typeTreeSize derives the product-type count from the scale factor,
+// growing with the square root of the product count (BSBM's tree deepens
+// slowly with scale); it stays within the paper's observed 100–1300 class
+// nodes over its sweep.
+func typeTreeSize(products int) int {
+	n := 1
+	for n*n < products {
+		n++
+	}
+	n *= 2
+	if n < 24 {
+		n = 24
+	}
+	return n
+}
+
+// Vocabulary properties.
+var (
+	Label   = rdf.NewIRI(rdf.RDFSLabel)
+	Comment = rdf.NewIRI(rdf.RDFSComment)
+
+	ProductClass  = rdf.NewIRI(NS + "Product")
+	ProducerClass = rdf.NewIRI(NS + "Producer")
+	FeatureClass  = rdf.NewIRI(NS + "ProductFeature")
+	VendorClass   = rdf.NewIRI(NS + "Vendor")
+	OfferClass    = rdf.NewIRI(NS + "Offer")
+	PersonClass   = rdf.NewIRI(NS + "Person")
+	ReviewClass   = rdf.NewIRI(NS + "Review")
+
+	Producer       = rdf.NewIRI(NS + "producer")
+	ProductFeature = rdf.NewIRI(NS + "productFeature")
+	ProductProp    = func(kind string, i int) rdf.Term {
+		return rdf.NewIRI(fmt.Sprintf("%sproductProperty%s%d", NS, kind, i))
+	}
+	OfferProduct = rdf.NewIRI(NS + "product")
+	OfferVendor  = rdf.NewIRI(NS + "vendor")
+	Price        = rdf.NewIRI(NS + "price")
+	ValidFrom    = rdf.NewIRI(NS + "validFrom")
+	ValidTo      = rdf.NewIRI(NS + "validTo")
+	DeliveryDays = rdf.NewIRI(NS + "deliveryDays")
+	ReviewFor    = rdf.NewIRI(NS + "reviewFor")
+	Reviewer     = rdf.NewIRI(NS + "reviewer")
+	ReviewDate   = rdf.NewIRI(NS + "reviewDate")
+	ReviewTitle  = rdf.NewIRI(NS + "title")
+	ReviewText   = rdf.NewIRI(NS + "text")
+	Rating       = rdf.NewIRI(NS + "rating")
+	RatingN      = func(i int) rdf.Term { return rdf.NewIRI(fmt.Sprintf("%srating%d", NS, i)) }
+	Homepage     = rdf.NewIRI(NS + "homepage")
+	Country      = rdf.NewIRI(NS + "country")
+	Name         = rdf.NewIRI(NS + "name")
+	Mbox         = rdf.NewIRI(NS + "mbox_sha1sum")
+)
+
+func inst(kind string, i int) rdf.Term {
+	return rdf.NewIRI(fmt.Sprintf("%s%s%d", InstNS, kind, i))
+}
+
+func productType(i int) rdf.Term { return inst("ProductType", i) }
+
+// Generate streams every triple of the dataset to emit, in a fixed order.
+func Generate(cfg Config, emit func(rdf.Triple)) {
+	if cfg.Products < 1 {
+		cfg.Products = 1
+	}
+	if cfg.OffersPerProduct == 0 {
+		cfg.OffersPerProduct = 3
+	}
+	if cfg.ReviewsPerProduct == 0 {
+		cfg.ReviewsPerProduct = 2
+	}
+	nTypes := cfg.ProductTypes
+	if nTypes == 0 {
+		nTypes = typeTreeSize(cfg.Products)
+	}
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0xb5b))
+
+	nProducers := cfg.Products/40 + 1
+	nVendors := cfg.Products/50 + 1
+	nPersons := cfg.Products/20 + 1
+	nFeatures := nTypes * 4
+
+	t := func(s, p, o rdf.Term) { emit(rdf.Triple{S: s, P: p, O: o}) }
+	lit := func(s string) rdf.Term { return rdf.NewLiteral(s) }
+	intLit := func(v int) rdf.Term {
+		return rdf.NewTypedLiteral(fmt.Sprint(v), rdf.XSDInteger)
+	}
+	dateLit := func(day int) rdf.Term {
+		return rdf.NewTypedLiteral(fmt.Sprintf("2008-%02d-%02d", day%12+1, day%28+1), rdf.XSDDate)
+	}
+
+	// Schema: product-type tree (node i's parent is (i-1)/4, root subclass
+	// of bsbm:Product), domains/ranges, rating subproperty family.
+	if cfg.WithSchema {
+		t(productType(0), rdf.SubClassOf(), ProductClass)
+		for i := 1; i < nTypes; i++ {
+			t(productType(i), rdf.SubClassOf(), productType((i-1)/4))
+		}
+		t(Producer, rdf.Domain(), ProductClass)
+		t(Producer, rdf.Range(), ProducerClass)
+		t(ProductFeature, rdf.Domain(), ProductClass)
+		t(ProductFeature, rdf.Range(), FeatureClass)
+		t(OfferProduct, rdf.Domain(), OfferClass)
+		t(OfferProduct, rdf.Range(), ProductClass)
+		t(OfferVendor, rdf.Domain(), OfferClass)
+		t(OfferVendor, rdf.Range(), VendorClass)
+		t(ReviewFor, rdf.Domain(), ReviewClass)
+		t(ReviewFor, rdf.Range(), ProductClass)
+		t(Reviewer, rdf.Domain(), ReviewClass)
+		t(Reviewer, rdf.Range(), PersonClass)
+		for i := 1; i <= 4; i++ {
+			t(RatingN(i), rdf.SubPropertyOf(), Rating)
+		}
+	}
+
+	countries := []string{"US", "GB", "DE", "FR", "JP", "CN", "ES", "RU", "KR", "AT"}
+
+	// Producers.
+	for i := 0; i < nProducers; i++ {
+		pr := inst("Producer", i)
+		t(pr, rdf.Type(), ProducerClass)
+		t(pr, Label, lit(fmt.Sprintf("producer-%d", i)))
+		t(pr, Comment, lit(words(rng, 9)))
+		t(pr, Homepage, inst("producerPage", i))
+		t(pr, Country, lit(countries[rng.IntN(len(countries))]))
+	}
+	// Features.
+	for i := 0; i < nFeatures; i++ {
+		f := inst("ProductFeature", i)
+		t(f, rdf.Type(), FeatureClass)
+		t(f, Label, lit(fmt.Sprintf("feature-%d", i)))
+	}
+	// Vendors.
+	for i := 0; i < nVendors; i++ {
+		v := inst("Vendor", i)
+		t(v, rdf.Type(), VendorClass)
+		t(v, Label, lit(fmt.Sprintf("vendor-%d", i)))
+		t(v, Comment, lit(words(rng, 7)))
+		t(v, Homepage, inst("vendorPage", i))
+		t(v, Country, lit(countries[rng.IntN(len(countries))]))
+	}
+	// Persons (reviewers).
+	for i := 0; i < nPersons; i++ {
+		p := inst("Person", i)
+		t(p, rdf.Type(), PersonClass)
+		t(p, Name, lit(fmt.Sprintf("person-%d", i)))
+		t(p, Mbox, lit(fmt.Sprintf("%040x", i)))
+		t(p, Country, lit(countries[rng.IntN(len(countries))]))
+	}
+
+	// Products, offers, reviews.
+	leafStart := nTypes / 2 // types in the lower half of the tree act as leaves
+	if leafStart < 1 {
+		leafStart = 1
+	}
+	offerID, reviewID := 0, 0
+	for i := 0; i < cfg.Products; i++ {
+		p := inst("Product", i)
+		leaf := leafStart + rng.IntN(nTypes-leafStart)
+		t(p, rdf.Type(), ProductClass)
+		t(p, rdf.Type(), productType(leaf))
+		t(p, Label, lit(fmt.Sprintf("product-%d", i)))
+		t(p, Comment, lit(words(rng, 12)))
+		t(p, Producer, inst("Producer", rng.IntN(nProducers)))
+		for f := 0; f < 4; f++ {
+			t(p, ProductFeature, inst("ProductFeature", rng.IntN(nFeatures)))
+		}
+		for n := 1; n <= 3; n++ {
+			t(p, ProductProp("Numeric", n), intLit(rng.IntN(2000)))
+		}
+		for n := 4; n <= 6; n++ { // heterogeneity: optional numerics
+			if rng.Float64() < 0.5 {
+				t(p, ProductProp("Numeric", n), intLit(rng.IntN(2000)))
+			}
+		}
+		for n := 1; n <= 3; n++ {
+			t(p, ProductProp("Textual", n), lit(words(rng, 5)))
+		}
+		for n := 4; n <= 5; n++ { // heterogeneity: optional textuals
+			if rng.Float64() < 0.3 {
+				t(p, ProductProp("Textual", n), lit(words(rng, 5)))
+			}
+		}
+
+		for o := 0; o < cfg.OffersPerProduct; o++ {
+			of := inst("Offer", offerID)
+			offerID++
+			t(of, rdf.Type(), OfferClass)
+			t(of, OfferProduct, p)
+			t(of, OfferVendor, inst("Vendor", rng.IntN(nVendors)))
+			t(of, Price, rdf.NewTypedLiteral(fmt.Sprintf("%d.%02d", rng.IntN(3000), rng.IntN(100)), rdf.XSDDecimal))
+			t(of, ValidFrom, dateLit(rng.IntN(360)))
+			t(of, ValidTo, dateLit(rng.IntN(360)))
+			t(of, DeliveryDays, intLit(rng.IntN(14)+1))
+		}
+
+		for r := 0; r < cfg.ReviewsPerProduct; r++ {
+			rv := inst("Review", reviewID)
+			reviewID++
+			t(rv, rdf.Type(), ReviewClass)
+			t(rv, ReviewFor, p)
+			t(rv, Reviewer, inst("Person", rng.IntN(nPersons)))
+			t(rv, ReviewTitle, lit(words(rng, 4)))
+			t(rv, ReviewText, lit(words(rng, 20)))
+			t(rv, ReviewDate, dateLit(rng.IntN(360)))
+			for n := 1; n <= 4; n++ { // heterogeneity: optional ratings
+				if rng.Float64() < 0.7 {
+					t(rv, RatingN(n), intLit(rng.IntN(10)+1))
+				}
+			}
+		}
+	}
+}
+
+// GenerateGraph builds the dataset directly into an encoded graph,
+// interning terms as they stream (no intermediate triple slice).
+func GenerateGraph(cfg Config) *store.Graph {
+	g := store.NewGraph()
+	Generate(cfg, g.Add)
+	return g
+}
+
+// GenerateTriples materializes the dataset at string level (tests, export).
+func GenerateTriples(cfg Config) []rdf.Triple {
+	var out []rdf.Triple
+	Generate(cfg, func(t rdf.Triple) { out = append(out, t) })
+	return out
+}
+
+// words produces a deterministic pseudo-sentence.
+func words(rng *rand.Rand, n int) string {
+	const vocab = "lorem ipsum dolor sit amet consectetur adipiscing elit sed do eiusmod tempor incididunt ut labore"
+	parts := make([]byte, 0, n*6)
+	dict := splitWords(vocab)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			parts = append(parts, ' ')
+		}
+		parts = append(parts, dict[rng.IntN(len(dict))]...)
+	}
+	return string(parts)
+}
+
+func splitWords(s string) []string {
+	var out []string
+	start := -1
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ' ' {
+			if start >= 0 {
+				out = append(out, s[start:i])
+				start = -1
+			}
+		} else if start < 0 {
+			start = i
+		}
+	}
+	return out
+}

@@ -1,0 +1,122 @@
+package bsbm
+
+import (
+	"reflect"
+	"testing"
+
+	"rdfsum/internal/rdf"
+	"rdfsum/internal/store"
+)
+
+func TestGenerateIsDeterministic(t *testing.T) {
+	cfg := DefaultConfig(50)
+	a := GenerateTriples(cfg)
+	b := GenerateTriples(cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same config generated different datasets")
+	}
+	cfg2 := cfg
+	cfg2.Seed = 43
+	c := GenerateTriples(cfg2)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds generated identical datasets")
+	}
+}
+
+func TestGenerateScaleIsRoughlyLinear(t *testing.T) {
+	small := len(GenerateTriples(DefaultConfig(50)))
+	big := len(GenerateTriples(DefaultConfig(500)))
+	ratio := float64(big) / float64(small)
+	if ratio < 7 || ratio > 13 {
+		t.Errorf("10x products changed triples by %.1fx, want ≈10x", ratio)
+	}
+	perProduct := float64(big) / 500
+	if perProduct < 0.6*TriplesPerProduct || perProduct > 1.4*TriplesPerProduct {
+		t.Errorf("triples per product = %.1f, want ≈%d", perProduct, TriplesPerProduct)
+	}
+}
+
+func TestEstimateProducts(t *testing.T) {
+	for _, target := range []int{1000, 50_000, 250_000} {
+		n := EstimateProducts(target)
+		got := len(GenerateTriples(DefaultConfig(n)))
+		if got < target/2 || got > target*2 {
+			t.Errorf("EstimateProducts(%d) = %d products -> %d triples", target, n, got)
+		}
+	}
+	if EstimateProducts(1) != 1 {
+		t.Error("EstimateProducts must return at least 1")
+	}
+}
+
+func TestGeneratedGraphIsWellBehaved(t *testing.T) {
+	ts := GenerateTriples(DefaultConfig(40))
+	if v := rdf.CheckWellBehaved(ts); len(v) != 0 {
+		t.Fatalf("BSBM dataset not well-behaved: first violation %v", v[0])
+	}
+	for _, tr := range ts {
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("invalid triple: %v", err)
+		}
+	}
+}
+
+func TestGeneratedGraphShape(t *testing.T) {
+	g := GenerateGraph(DefaultConfig(120))
+	if len(g.Schema) == 0 {
+		t.Error("dataset should carry an RDFS schema")
+	}
+	if len(g.Types) == 0 || len(g.Data) == 0 {
+		t.Error("dataset should have both type and data triples")
+	}
+	// Every product is multi-typed: Product + a leaf product type.
+	productClass, _ := g.Dict().Lookup(ProductClass)
+	typeCounts := map[uint32]int{}
+	isProduct := map[uint32]bool{}
+	for _, tr := range g.Types {
+		typeCounts[uint32(tr.S)]++
+		if tr.O == productClass {
+			isProduct[uint32(tr.S)] = true
+		}
+	}
+	products := 0
+	for s := range isProduct {
+		products++
+		if typeCounts[s] != 2 {
+			t.Fatalf("product %d has %d types, want 2", s, typeCounts[s])
+		}
+	}
+	if products != 120 {
+		t.Errorf("found %d products, want 120", products)
+	}
+	// Heterogeneity: optional numeric property 6 present on some but not
+	// all products.
+	p6, ok := g.Dict().Lookup(ProductProp("Numeric", 6))
+	if !ok {
+		t.Fatal("productPropertyNumeric6 absent — heterogeneity not exercised")
+	}
+	n6 := 0
+	for _, tr := range g.Data {
+		if tr.P == p6 {
+			n6++
+		}
+	}
+	if n6 == 0 || n6 == products {
+		t.Errorf("numeric6 on %d/%d products, want strictly between", n6, products)
+	}
+	// No schema when disabled.
+	cfg := DefaultConfig(10)
+	cfg.WithSchema = false
+	if g2 := GenerateGraph(cfg); len(g2.Schema) != 0 {
+		t.Error("WithSchema=false still emitted schema triples")
+	}
+}
+
+func TestGenerateGraphMatchesGenerateTriples(t *testing.T) {
+	cfg := DefaultConfig(30)
+	g1 := GenerateGraph(cfg)
+	g2 := store.FromTriples(GenerateTriples(cfg))
+	if !reflect.DeepEqual(g1.CanonicalStrings(), g2.CanonicalStrings()) {
+		t.Error("streamed and materialized generation disagree")
+	}
+}

@@ -1,0 +1,162 @@
+// Package cliques computes the source and target property cliques of an
+// RDF graph (Definition 5), the clique assignment of each data node, the
+// property distance inside a clique (Definition 6), and the saturated
+// cliques C⁺ of Lemma 1.
+//
+// Two data properties are source-related iff some resource has both,
+// transitively; target-related iff some resource is the value of both,
+// transitively. The maximal sets of pairwise related properties — the
+// cliques — are exactly the connected components of the co-occurrence
+// relation, computed here with a union-find in O(|D_G| α).
+package cliques
+
+import (
+	"sort"
+
+	"rdfsum/internal/dict"
+	"rdfsum/internal/store"
+	"rdfsum/internal/unionfind"
+)
+
+// NoClique marks a node with no source (resp. target) clique, i.e. a node
+// that is not the subject (resp. object) of any data triple: its clique is
+// ∅ in the paper's terms.
+const NoClique = -1
+
+// Assignment is the clique structure of a graph's data component.
+type Assignment struct {
+	// Props lists the distinct data properties, sorted; it indexes the
+	// union-find used during construction.
+	Props []dict.ID
+	// SrcOf / TgtOf map each data property to the index of its source /
+	// target clique. Every property belongs to exactly one clique on each
+	// side (the cliques partition the data properties).
+	SrcOf map[dict.ID]int
+	TgtOf map[dict.ID]int
+	// SrcMembers / TgtMembers list each clique's properties, sorted.
+	// Clique indexes are dense, ordered by smallest member property ID.
+	SrcMembers [][]dict.ID
+	TgtMembers [][]dict.ID
+	// NodeSrc / NodeTgt give each data node's source / target clique
+	// index, or NoClique. Nodes skipped by a restricted computation are
+	// absent.
+	NodeSrc map[dict.ID]int
+	NodeTgt map[dict.ID]int
+}
+
+// Compute builds the clique assignment over the given data triples.
+func Compute(data []store.Triple) *Assignment {
+	return ComputeRestricted(data, nil)
+}
+
+// ComputeRestricted builds a clique assignment in which only adjacencies
+// through nodes NOT skipped contribute to relating properties, and only
+// those nodes receive clique assignments. Passing a skip function that
+// rejects typed nodes yields the untyped-restricted cliques the paper
+// prescribes for the typed-strong summary ("cliques are computed only for
+// untyped data nodes", §6.1); skip == nil computes Definition 5 verbatim.
+func ComputeRestricted(data []store.Triple, skip func(dict.ID) bool) *Assignment {
+	a := &Assignment{
+		SrcOf:   make(map[dict.ID]int),
+		TgtOf:   make(map[dict.ID]int),
+		NodeSrc: make(map[dict.ID]int),
+		NodeTgt: make(map[dict.ID]int),
+	}
+
+	// Dense property indexing.
+	propIdx := make(map[dict.ID]int32)
+	for _, t := range data {
+		if _, ok := propIdx[t.P]; !ok {
+			propIdx[t.P] = int32(len(a.Props))
+			a.Props = append(a.Props, t.P)
+		}
+	}
+
+	srcUF := unionfind.New(len(a.Props))
+	tgtUF := unionfind.New(len(a.Props))
+
+	// Union properties sharing a subject (source side) or an object
+	// (target side), chaining through the last property seen per node.
+	lastSrc := make(map[dict.ID]int32)
+	lastTgt := make(map[dict.ID]int32)
+	for _, t := range data {
+		pi := propIdx[t.P]
+		if skip == nil || !skip(t.S) {
+			if prev, ok := lastSrc[t.S]; ok {
+				srcUF.Union(prev, pi)
+			} else {
+				lastSrc[t.S] = pi
+			}
+		}
+		if skip == nil || !skip(t.O) {
+			if prev, ok := lastTgt[t.O]; ok {
+				tgtUF.Union(prev, pi)
+			} else {
+				lastTgt[t.O] = pi
+			}
+		}
+	}
+
+	// Normalize roots to dense clique indexes ordered by smallest member.
+	a.SrcMembers, a.SrcOf = normalize(a.Props, srcUF)
+	a.TgtMembers, a.TgtOf = normalize(a.Props, tgtUF)
+
+	// Assign nodes to cliques.
+	for _, t := range data {
+		if skip == nil || !skip(t.S) {
+			a.NodeSrc[t.S] = a.SrcOf[t.P]
+			if _, ok := a.NodeTgt[t.S]; !ok {
+				a.NodeTgt[t.S] = NoClique
+			}
+		}
+		if skip == nil || !skip(t.O) {
+			a.NodeTgt[t.O] = a.TgtOf[t.P]
+			if _, ok := a.NodeSrc[t.O]; !ok {
+				a.NodeSrc[t.O] = NoClique
+			}
+		}
+	}
+	return a
+}
+
+// normalize maps union-find roots over props to dense clique indexes and
+// sorted member lists. Cliques are numbered in order of their smallest
+// property ID, making the assignment deterministic.
+func normalize(props []dict.ID, uf *unionfind.UF) ([][]dict.ID, map[dict.ID]int) {
+	byRoot := make(map[int32][]dict.ID)
+	for i, p := range props {
+		root := uf.Find(int32(i))
+		byRoot[root] = append(byRoot[root], p)
+	}
+	members := make([][]dict.ID, 0, len(byRoot))
+	for _, ps := range byRoot {
+		sort.Slice(ps, func(i, j int) bool { return ps[i] < ps[j] })
+		members = append(members, ps)
+	}
+	sort.Slice(members, func(i, j int) bool { return members[i][0] < members[j][0] })
+	of := make(map[dict.ID]int, len(props))
+	for idx, ps := range members {
+		for _, p := range ps {
+			of[p] = idx
+		}
+	}
+	return members, of
+}
+
+// SourceCliqueOf returns the properties of node n's source clique (nil for
+// the empty clique ∅).
+func (a *Assignment) SourceCliqueOf(n dict.ID) []dict.ID {
+	if c, ok := a.NodeSrc[n]; ok && c != NoClique {
+		return a.SrcMembers[c]
+	}
+	return nil
+}
+
+// TargetCliqueOf returns the properties of node n's target clique (nil for
+// the empty clique ∅).
+func (a *Assignment) TargetCliqueOf(n dict.ID) []dict.ID {
+	if c, ok := a.NodeTgt[n]; ok && c != NoClique {
+		return a.TgtMembers[c]
+	}
+	return nil
+}

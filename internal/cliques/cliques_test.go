@@ -1,0 +1,235 @@
+package cliques
+
+import (
+	"reflect"
+	"testing"
+
+	"rdfsum/internal/dict"
+	"rdfsum/internal/rdf"
+	"rdfsum/internal/samples"
+	"rdfsum/internal/store"
+)
+
+// names resolves sample-graph locals to dictionary IDs.
+func names(t *testing.T, g *store.Graph, locals ...string) map[string]dict.ID {
+	t.Helper()
+	out := make(map[string]dict.ID)
+	for _, l := range locals {
+		id, ok := g.Dict().LookupIRI(samples.NS + l)
+		if !ok {
+			t.Fatalf("sample term %q not in dictionary", l)
+		}
+		out[l] = id
+	}
+	return out
+}
+
+// cliqueSet converts a member list to local-name strings for readable
+// assertions.
+func cliqueSet(g *store.Graph, ids []dict.ID) map[string]bool {
+	out := make(map[string]bool)
+	for _, id := range ids {
+		term := g.Dict().Term(id)
+		out[term.Value[len(samples.NS):]] = true
+	}
+	return out
+}
+
+// TestTable1SourceAndTargetCliques asserts the exact clique structure the
+// paper tabulates for the Figure 2 graph:
+//
+//	SC1 = {a,t,e,c}; SC2 = {r}; SC3 = {p}
+//	TC1 = {a}; TC2 = {t}; TC3 = {e}; TC4 = {c}; TC5 = {r,p}
+func TestTable1SourceAndTargetCliques(t *testing.T) {
+	g := samples.Fig2()
+	a := Compute(g.Data)
+
+	if len(a.SrcMembers) != 3 {
+		t.Fatalf("source cliques = %d, want 3", len(a.SrcMembers))
+	}
+	if len(a.TgtMembers) != 5 {
+		t.Fatalf("target cliques = %d, want 5", len(a.TgtMembers))
+	}
+
+	wantSrc := []map[string]bool{
+		{"author": true, "title": true, "editor": true, "comment": true},
+		{"reviewed": true},
+		{"published": true},
+	}
+	for _, want := range wantSrc {
+		found := false
+		for _, members := range a.SrcMembers {
+			if reflect.DeepEqual(cliqueSet(g, members), want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("source clique %v not found", want)
+		}
+	}
+	wantTgt := []map[string]bool{
+		{"author": true}, {"title": true}, {"editor": true}, {"comment": true},
+		{"reviewed": true, "published": true},
+	}
+	for _, want := range wantTgt {
+		found := false
+		for _, members := range a.TgtMembers {
+			if reflect.DeepEqual(cliqueSet(g, members), want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("target clique %v not found", want)
+		}
+	}
+}
+
+// TestTable1NodeAssignments asserts the per-resource rows of Table 1.
+func TestTable1NodeAssignments(t *testing.T) {
+	g := samples.Fig2()
+	a := Compute(g.Data)
+	n := names(t, g, "r1", "r2", "r3", "r4", "r5", "a1", "a2", "t1", "t2", "t3", "t4",
+		"e1", "e2", "c1")
+
+	srcOf := func(local string) map[string]bool { return cliqueSet(g, a.SourceCliqueOf(n[local])) }
+	tgtOf := func(local string) map[string]bool { return cliqueSet(g, a.TargetCliqueOf(n[local])) }
+
+	sc1 := map[string]bool{"author": true, "title": true, "editor": true, "comment": true}
+	tc5 := map[string]bool{"reviewed": true, "published": true}
+
+	for _, r := range []string{"r1", "r2", "r3", "r4", "r5"} {
+		if got := srcOf(r); !reflect.DeepEqual(got, sc1) {
+			t.Errorf("SC(%s) = %v, want SC1", r, got)
+		}
+	}
+	for _, r := range []string{"r1", "r2", "r3", "r5"} {
+		if got := a.TargetCliqueOf(n[r]); got != nil {
+			t.Errorf("TC(%s) = %v, want ∅", r, cliqueSet(g, got))
+		}
+	}
+	if got := tgtOf("r4"); !reflect.DeepEqual(got, tc5) {
+		t.Errorf("TC(r4) = %v, want TC5={r,p}", got)
+	}
+	if got := srcOf("a1"); !reflect.DeepEqual(got, map[string]bool{"reviewed": true}) {
+		t.Errorf("SC(a1) = %v, want SC2={reviewed}", got)
+	}
+	if got := srcOf("e1"); !reflect.DeepEqual(got, map[string]bool{"published": true}) {
+		t.Errorf("SC(e1) = %v, want SC3={published}", got)
+	}
+	for _, pair := range [][2]string{{"a1", "author"}, {"a2", "author"}, {"t1", "title"},
+		{"t2", "title"}, {"t3", "title"}, {"t4", "title"}, {"e1", "editor"},
+		{"e2", "editor"}, {"c1", "comment"}} {
+		if got := tgtOf(pair[0]); !reflect.DeepEqual(got, map[string]bool{pair[1]: true}) {
+			t.Errorf("TC(%s) = %v, want {%s}", pair[0], got, pair[1])
+		}
+	}
+	for _, untargeted := range []string{"a2", "t1", "t2", "t3", "t4", "e2", "c1"} {
+		if got := a.SourceCliqueOf(n[untargeted]); got != nil {
+			t.Errorf("SC(%s) = %v, want ∅", untargeted, cliqueSet(g, got))
+		}
+	}
+	// r6 is typed-only: no clique assignment at all.
+	r6, _ := g.Dict().LookupIRI(samples.NS + "r6")
+	if _, ok := a.NodeSrc[r6]; ok {
+		t.Error("typed-only r6 must have no source clique entry")
+	}
+}
+
+// TestCliquesPartitionProperties: the source (and target) cliques must
+// partition the data properties (§3.1).
+func TestCliquesPartitionProperties(t *testing.T) {
+	g := samples.Fig2()
+	a := Compute(g.Data)
+	for _, members := range [][][]dict.ID{a.SrcMembers, a.TgtMembers} {
+		seen := make(map[dict.ID]bool)
+		total := 0
+		for _, clique := range members {
+			total += len(clique)
+			for _, p := range clique {
+				if seen[p] {
+					t.Errorf("property %d appears in two cliques", p)
+				}
+				seen[p] = true
+			}
+		}
+		if total != len(a.Props) {
+			t.Errorf("cliques cover %d properties, want %d", total, len(a.Props))
+		}
+	}
+}
+
+// TestPropertyDistances asserts §3.1's worked distances: d(a,t)=0 via r1,
+// d(a,e)=1, d(a,c)=2.
+func TestPropertyDistances(t *testing.T) {
+	g := samples.Fig2()
+	id := func(term rdf.Term) dict.ID {
+		v, _ := g.Dict().Lookup(term)
+		return v
+	}
+	cases := []struct {
+		p, q rdf.Term
+		want int
+	}{
+		{samples.Author, samples.Title, 0},
+		{samples.Author, samples.Editor, 1},
+		{samples.Author, samples.Comment, 2},
+		{samples.Title, samples.Editor, 0},
+		{samples.Editor, samples.Comment, 0},
+		{samples.Author, samples.Author, 0},
+		{samples.Author, samples.Reviewed, -1}, // different cliques
+	}
+	for _, c := range cases {
+		if got := Distance(g.Data, SourceSide, id(c.p), id(c.q)); got != c.want {
+			t.Errorf("Distance(%v,%v) = %d, want %d", c.p, c.q, got, c.want)
+		}
+		// Distance is symmetric.
+		if got := Distance(g.Data, SourceSide, id(c.q), id(c.p)); got != c.want {
+			t.Errorf("Distance(%v,%v) = %d, want %d (symmetry)", c.q, c.p, got, c.want)
+		}
+	}
+	// Target-side distance: reviewed and published co-occur on r4.
+	if got := Distance(g.Data, TargetSide, id(samples.Reviewed), id(samples.Published)); got != 0 {
+		t.Errorf("target Distance(r,p) = %d, want 0", got)
+	}
+}
+
+func TestComputeRestrictedSkipsTypedNodes(t *testing.T) {
+	g := samples.Fig2()
+	typed := g.TypedNodes()
+	a := ComputeRestricted(g.Data, func(n dict.ID) bool { return typed[n] })
+	// r1 (typed) no longer bridges author and title; but r4 (untyped)
+	// still has both, so author–title remain source-related. r2 and r5
+	// (typed) bridged title–editor and editor with e2; r3 (untyped) has
+	// editor+comment. With only r3, r4 as subjects: cliques {author,title},
+	// {editor, comment}, {reviewed}, {published}.
+	if len(a.SrcMembers) != 4 {
+		t.Fatalf("restricted source cliques = %d, want 4", len(a.SrcMembers))
+	}
+	wantSrc := []map[string]bool{
+		{"author": true, "title": true},
+		{"editor": true, "comment": true},
+		{"reviewed": true},
+		{"published": true},
+	}
+	for _, want := range wantSrc {
+		found := false
+		for _, members := range a.SrcMembers {
+			if reflect.DeepEqual(cliqueSet(g, members), want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("restricted source clique %v not found", want)
+		}
+	}
+	// Typed nodes receive no assignment.
+	for _, r := range []string{"r1", "r2", "r5"} {
+		id, _ := g.Dict().LookupIRI(samples.NS + r)
+		if _, ok := a.NodeSrc[id]; ok {
+			t.Errorf("typed node %s must have no clique entry in restricted mode", r)
+		}
+	}
+}

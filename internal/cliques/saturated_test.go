@@ -1,0 +1,115 @@
+package cliques
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"rdfsum/internal/dict"
+	"rdfsum/internal/samples"
+	"rdfsum/internal/saturate"
+	"rdfsum/internal/schema"
+	"rdfsum/internal/store"
+)
+
+// TestLemma1PredictsSaturatedCliques checks item 3 of Lemma 1 on the
+// Figure 10 graph: a1 and a2 are in different source cliques of G, but
+// both saturate to a, so their cliques fuse in G∞. SaturatedPartition must
+// predict exactly the grouping observed by computing cliques on G∞.
+func TestLemma1PredictsSaturatedCliques(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		g    *store.Graph
+	}{
+		{"fig10", samples.Fig10()},
+		{"fig5", samples.Fig5()},
+		{"book", samples.BookGraph()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			g := tc.g
+			base := Compute(g.Data)
+			sch := schema.FromGraph(g).Saturate()
+			_, predicted := SaturatedPartition(base.SrcMembers, sch)
+
+			inf := saturate.Graph(g)
+			satCliques := Compute(inf.Data)
+
+			// Project G∞'s source cliques onto G's data properties and
+			// compare as partitions.
+			gProps := map[dict.ID]bool{}
+			for _, p := range base.Props {
+				gProps[p] = true
+			}
+			var projected [][]dict.ID
+			for _, clique := range satCliques.SrcMembers {
+				var kept []dict.ID
+				for _, p := range clique {
+					if gProps[p] {
+						kept = append(kept, p)
+					}
+				}
+				if len(kept) > 0 {
+					projected = append(projected, kept)
+				}
+			}
+			if !samePartition(predicted, projected) {
+				t.Errorf("Lemma 1 prediction %v != observed G∞ cliques %v",
+					renderPartition(g, predicted), renderPartition(g, projected))
+			}
+		})
+	}
+}
+
+// TestLemma1Item1EveryCliqueHasUniqueSaturatedHome: each clique of G maps
+// into exactly one clique of G∞ (item 1 of Lemma 1).
+func TestLemma1Item1(t *testing.T) {
+	g := samples.Fig10()
+	base := Compute(g.Data)
+	inf := saturate.Graph(g)
+	satCliques := Compute(inf.Data)
+	for _, clique := range base.SrcMembers {
+		homes := map[int]bool{}
+		for _, p := range clique {
+			homes[satCliques.SrcOf[p]] = true
+		}
+		if len(homes) != 1 {
+			t.Errorf("clique %v maps into %d G∞ cliques, want exactly 1",
+				renderClique(g, clique), len(homes))
+		}
+	}
+}
+
+func samePartition(a, b [][]dict.ID) bool {
+	canon := func(part [][]dict.ID) []string {
+		var keys []string
+		for _, set := range part {
+			ids := append([]dict.ID(nil), set...)
+			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+			key := ""
+			for _, id := range ids {
+				key += string(rune(id)) + ","
+			}
+			keys = append(keys, key)
+		}
+		sort.Strings(keys)
+		return keys
+	}
+	return reflect.DeepEqual(canon(a), canon(b))
+}
+
+func renderPartition(g *store.Graph, part [][]dict.ID) [][]string {
+	var out [][]string
+	for _, set := range part {
+		out = append(out, renderClique(g, set))
+	}
+	return out
+}
+
+func renderClique(g *store.Graph, set []dict.ID) []string {
+	var out []string
+	for _, id := range set {
+		out = append(out, g.Dict().Term(id).Value)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"rdfsum/internal/dict"
+	"rdfsum/internal/rdf"
+	"rdfsum/internal/store"
+	"rdfsum/internal/unionfind"
+)
+
+// WeakBuilder maintains a weak summary incrementally under triple
+// insertions. The paper's Algorithms 1–3 are one-pass — each data triple
+// only unifies its subject with the property's source representative and
+// its object with the target representative — so the construction extends
+// to a streaming/maintenance API at the same O(α) amortized cost per
+// triple, without ever rebuilding.
+//
+// Usage:
+//
+//	b := core.NewWeakBuilder()
+//	for _, t := range stream { b.Add(t) }
+//	s := b.Summary()          // snapshot; the builder stays usable
+//
+// Snapshots are identical to batch summaries of the same triple set (see
+// builder_test.go), so deletions are the only operation requiring a
+// rebuild — merges are not invertible, as the paper's merge-based design
+// implies.
+type WeakBuilder struct {
+	g       *store.Graph // accumulated input
+	uf      *unionfind.UF
+	elemOf  map[dict.ID]int32
+	srcElem map[dict.ID]int32
+	tgtElem map[dict.ID]int32
+}
+
+// NewWeakBuilder returns an empty builder with a fresh dictionary.
+func NewWeakBuilder() *WeakBuilder {
+	return NewWeakBuilderWithGraph(store.NewGraph())
+}
+
+// NewWeakBuilderWithGraph returns a builder seeded with g's triples. The
+// graph is not copied: later Add calls append to it.
+func NewWeakBuilderWithGraph(g *store.Graph) *WeakBuilder {
+	b := &WeakBuilder{
+		g:       g,
+		uf:      &unionfind.UF{},
+		elemOf:  make(map[dict.ID]int32),
+		srcElem: make(map[dict.ID]int32),
+		tgtElem: make(map[dict.ID]int32),
+	}
+	for _, t := range g.Data {
+		b.addData(t)
+	}
+	return b
+}
+
+// Add routes one string-level triple into the builder.
+func (b *WeakBuilder) Add(t rdf.Triple) {
+	before := len(b.g.Data)
+	b.g.Add(t)
+	if len(b.g.Data) > before {
+		b.addData(b.g.Data[len(b.g.Data)-1])
+	}
+}
+
+// AddEncoded routes one encoded triple into the builder. The IDs must
+// come from Graph().Dict().
+func (b *WeakBuilder) AddEncoded(s, p, o dict.ID) {
+	before := len(b.g.Data)
+	b.g.AddEncoded(s, p, o)
+	if len(b.g.Data) > before {
+		b.addData(b.g.Data[len(b.g.Data)-1])
+	}
+}
+
+func (b *WeakBuilder) elem(m map[dict.ID]int32, key dict.ID) int32 {
+	if e, ok := m[key]; ok {
+		return e
+	}
+	e := b.uf.Add()
+	m[key] = e
+	return e
+}
+
+// addData is the incremental heart: GETSOURCE/GETTARGET + MERGEDATANODES
+// of Algorithm 1/2, expressed as two unions.
+func (b *WeakBuilder) addData(t store.Triple) {
+	b.uf.Union(b.elem(b.elemOf, t.S), b.elem(b.srcElem, t.P))
+	b.uf.Union(b.elem(b.elemOf, t.O), b.elem(b.tgtElem, t.P))
+}
+
+// Graph exposes the accumulated input graph.
+func (b *WeakBuilder) Graph() *store.Graph { return b.g }
+
+// Classes reports the current number of weak equivalence classes among
+// nodes with data properties (cheap: no summary materialization).
+func (b *WeakBuilder) Classes() int {
+	roots := map[int32]bool{}
+	for _, e := range b.elemOf {
+		roots[b.uf.Find(e)] = true
+	}
+	return len(roots)
+}
+
+// Summary materializes the current weak summary. The builder remains
+// valid and can keep absorbing triples; snapshots are independent.
+func (b *WeakBuilder) Summary() *Summary {
+	inProps := make(map[int32][]dict.ID)
+	outProps := make(map[int32][]dict.ID)
+	for p, e := range b.srcElem {
+		root := b.uf.Find(e)
+		outProps[root] = append(outProps[root], p)
+	}
+	for p, e := range b.tgtElem {
+		root := b.uf.Find(e)
+		inProps[root] = append(inProps[root], p)
+	}
+	rep := newRepresenter(b.g, Weak)
+	nameOf := make(map[int32]dict.ID)
+	name := func(root int32) dict.ID {
+		if id, ok := nameOf[root]; ok {
+			return id
+		}
+		id := rep.node(inProps[root], outProps[root])
+		nameOf[root] = id
+		return id
+	}
+
+	out := store.NewGraphWithDict(b.g.Dict())
+	copySchema(b.g, out)
+	props := make([]dict.ID, 0, len(b.srcElem))
+	for p := range b.srcElem {
+		props = append(props, p)
+	}
+	sortIDs(props)
+	for _, p := range props {
+		out.Data = append(out.Data, store.Triple{
+			S: name(b.uf.Find(b.srcElem[p])),
+			P: p,
+			O: name(b.uf.Find(b.tgtElem[p])),
+		})
+	}
+	nodeOf := make(map[dict.ID]dict.ID, len(b.elemOf))
+	for n, e := range b.elemOf {
+		nodeOf[n] = name(b.uf.Find(e))
+	}
+	summarizeTypesWeak(b.g, out, rep, nodeOf)
+
+	s := &Summary{Kind: Weak, Input: b.g, Graph: out, NodeOf: nodeOf}
+	s.Graph.SortDedup()
+	s.Stats = computeStats(b.g, s.Graph)
+	return s
+}

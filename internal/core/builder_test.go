@@ -1,0 +1,118 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"rdfsum/internal/datagen"
+	"rdfsum/internal/samples"
+	"rdfsum/internal/store"
+)
+
+// TestBuilderMatchesBatch: streaming every triple through the builder
+// yields the exact summary of the batch construction, regardless of
+// insertion order.
+func TestBuilderMatchesBatch(t *testing.T) {
+	for name, g := range sampleGraphs() {
+		batch := summarize(t, g, Weak)
+		b := NewWeakBuilder()
+		decoded := g.Decode()
+		// Insert in reverse to exercise order independence.
+		for i := len(decoded) - 1; i >= 0; i-- {
+			b.Add(decoded[i])
+		}
+		inc := b.Summary()
+		if !reflect.DeepEqual(batch.Graph.CanonicalStrings(), inc.Graph.CanonicalStrings()) {
+			t.Errorf("%s: incremental summary differs from batch", name)
+		}
+		if batch.Stats.DataNodes != inc.Stats.DataNodes ||
+			batch.Stats.AllEdges != inc.Stats.AllEdges {
+			t.Errorf("%s: stats differ: batch %+v inc %+v", name, batch.Stats, inc.Stats)
+		}
+	}
+}
+
+func TestBuilderMatchesBatchRandom(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := datagen.RandomGraph(datagen.FromQuickSeed(seed))
+		batch := MustSummarize(g, Weak, nil)
+		b := NewWeakBuilderWithGraph(g.CloneStructure())
+		inc := b.Summary()
+		return reflect.DeepEqual(batch.Graph.CanonicalStrings(), inc.Graph.CanonicalStrings())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBuilderSnapshotsAreMonotone: adding triples can only merge classes,
+// never split them — class counts are non-increasing once all nodes are
+// present, and every snapshot remains a valid fixpoint.
+func TestBuilderSnapshotsEvolve(t *testing.T) {
+	b := NewWeakBuilder()
+	triples := samples.Fig2Triples()
+	var lastSummary *Summary
+	for _, tr := range triples {
+		b.Add(tr)
+		lastSummary = b.Summary()
+		// Each snapshot is a valid weak summary of the prefix: re-summarize
+		// its input and compare.
+		again := MustSummarize(b.Graph(), Weak, nil)
+		if !reflect.DeepEqual(lastSummary.Graph.CanonicalStrings(), again.Graph.CanonicalStrings()) {
+			t.Fatalf("snapshot after %v is not the batch summary of the prefix", tr)
+		}
+	}
+	if lastSummary.Stats.DataNodes != 6 {
+		t.Errorf("final snapshot has %d data nodes, want 6 (Figure 4)", lastSummary.Stats.DataNodes)
+	}
+}
+
+// TestBuilderClassesCheapCounter: the Classes counter matches the summary
+// node count over nodes with data properties.
+func TestBuilderClassesCheapCounter(t *testing.T) {
+	b := NewWeakBuilderWithGraph(samples.Fig2())
+	s := b.Summary()
+	// Classes counts weak classes of property-bearing nodes; Nτ (typed
+	// only) is excluded.
+	want := s.Stats.DataNodes - 1 // minus Nτ
+	if got := b.Classes(); got != want {
+		t.Errorf("Classes() = %d, want %d", got, want)
+	}
+}
+
+// TestBuilderAddEncoded: encoded and string-level insertion agree.
+func TestBuilderAddEncoded(t *testing.T) {
+	b1 := NewWeakBuilder()
+	for _, tr := range samples.Fig2Triples() {
+		b1.Add(tr)
+	}
+	b2 := NewWeakBuilder()
+	d := b2.Graph().Dict()
+	for _, tr := range samples.Fig2Triples() {
+		b2.AddEncoded(d.Encode(tr.S), d.Encode(tr.P), d.Encode(tr.O))
+	}
+	if !reflect.DeepEqual(b1.Summary().Graph.CanonicalStrings(), b2.Summary().Graph.CanonicalStrings()) {
+		t.Error("Add and AddEncoded disagree")
+	}
+}
+
+// TestBuilderContinuesAfterSnapshot: a snapshot must not freeze the
+// builder.
+func TestBuilderContinuesAfterSnapshot(t *testing.T) {
+	b := NewWeakBuilder()
+	triples := samples.Fig2Triples()
+	half := len(triples) / 2
+	for _, tr := range triples[:half] {
+		b.Add(tr)
+	}
+	_ = b.Summary() // snapshot mid-stream
+	for _, tr := range triples[half:] {
+		b.Add(tr)
+	}
+	final := b.Summary()
+	batch := MustSummarize(store.FromTriples(triples), Weak, nil)
+	if !reflect.DeepEqual(final.Graph.CanonicalStrings(), batch.Graph.CanonicalStrings()) {
+		t.Error("builder diverged after a mid-stream snapshot")
+	}
+}

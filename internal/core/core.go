@@ -1,0 +1,198 @@
+// Package core implements the paper's primary contribution: RDF graph
+// summarization by graph quotients (Definition 9).
+//
+// Five equivalence relations are supported, yielding five summary kinds:
+//
+//   - Weak (W_G, Definition 11): quotient by weak equivalence ≡W — nodes
+//     sharing a source or target property clique, transitively.
+//   - Strong (S_G, Definition 15): quotient by strong equivalence ≡S —
+//     nodes with the same source clique and the same target clique.
+//   - TypeBased (T_G, Definition 12): typed nodes grouped by their exact
+//     class set; untyped nodes copied.
+//   - TypedWeak (TW_G, Definition 14): untyped-weak summary of T_G — types
+//     take precedence, untyped nodes are summarized weakly.
+//   - TypedStrong (TS_G, Definition 17): untyped-strong summary of T_G.
+//
+// Every summary is itself an RDF graph (a *store.Graph sharing the input's
+// dictionary): the schema component is copied verbatim (rule SCH of
+// Definition 9) and the data+type components are the quotient of
+// D_G ∪ T_G (rule TYP+DAT). Summary node URIs are produced by
+// content-addressed representation functions (see names.go), which makes
+// the paper's equalities — fixpoint (Prop. 2/6/9) and completeness
+// (Prop. 5/8) — literal triple-set equalities.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"rdfsum/internal/dict"
+	"rdfsum/internal/store"
+)
+
+// Kind selects a summary construction.
+type Kind int
+
+const (
+	// Weak is the weak summary W_G (Definition 11).
+	Weak Kind = iota
+	// Strong is the strong summary S_G (Definition 15).
+	Strong
+	// TypeBased is the type-based helper summary T_G (Definition 12).
+	TypeBased
+	// TypedWeak is the typed weak summary TW_G (Definition 14).
+	TypedWeak
+	// TypedStrong is the typed strong summary TS_G (Definition 17).
+	TypedStrong
+)
+
+// Kinds lists all summary kinds in presentation order (the paper's W, S,
+// TW, TS plus the helper T).
+var Kinds = []Kind{Weak, Strong, TypedWeak, TypedStrong, TypeBased}
+
+// String returns the paper's name for the kind.
+func (k Kind) String() string {
+	switch k {
+	case Weak:
+		return "weak"
+	case Strong:
+		return "strong"
+	case TypeBased:
+		return "type-based"
+	case TypedWeak:
+		return "typed-weak"
+	case TypedStrong:
+		return "typed-strong"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// ParseKind resolves the textual names accepted by the CLI tools.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "weak", "w":
+		return Weak, nil
+	case "strong", "s":
+		return Strong, nil
+	case "type-based", "typebased", "t", "tb":
+		return TypeBased, nil
+	case "typed-weak", "typedweak", "tw":
+		return TypedWeak, nil
+	case "typed-strong", "typedstrong", "ts":
+		return TypedStrong, nil
+	}
+	return 0, fmt.Errorf("core: unknown summary kind %q (want weak|strong|typed-weak|typed-strong|type-based)", s)
+}
+
+// WeakAlgorithm selects between the two weak-summary constructions, which
+// produce identical summaries (cross-checked by tests) at different costs.
+type WeakAlgorithm int
+
+const (
+	// Incremental is the paper's one-pass merge algorithm (Algorithms
+	// 1–3): data triples are read one by one and source/target
+	// representatives are unified on the fly. Cliques are never
+	// materialized ("for the weak ones, this is not needed", §7).
+	Incremental WeakAlgorithm = iota
+	// Global first computes the property cliques (Definition 5) and then
+	// derives the weak equivalence classes as connected components of
+	// cliques linked through shared nodes. Used as an independent oracle
+	// and an ablation point.
+	Global
+)
+
+// Options tune summarization. The zero value is ready to use.
+type Options struct {
+	// WeakAlgorithm applies to Weak summaries only.
+	WeakAlgorithm WeakAlgorithm
+	// Workers > 1 builds Weak summaries with the shared-memory parallel
+	// construction (see parallel.go); it takes precedence over
+	// WeakAlgorithm. Other kinds ignore it. The result is identical to
+	// the sequential algorithms.
+	Workers int
+}
+
+// Summary is the result of summarizing a graph.
+type Summary struct {
+	// Kind records the construction used.
+	Kind Kind
+	// Input is the summarized graph (not modified, not owned).
+	Input *store.Graph
+	// Graph is the summary H_G, an RDF graph sharing Input's dictionary.
+	Graph *store.Graph
+	// NodeOf maps every data node of the input to the summary node
+	// representing it (the paper's rd map).
+	NodeOf map[dict.ID]dict.ID
+	// Stats holds input/output size measures.
+	Stats Stats
+}
+
+// Summarize builds the summary of g of the requested kind.
+func Summarize(g *store.Graph, kind Kind, opts *Options) (*Summary, error) {
+	var o Options
+	if opts != nil {
+		o = *opts
+	}
+	var s *Summary
+	switch kind {
+	case Weak:
+		switch {
+		case o.Workers > 1:
+			s = weakParallel(g, o.Workers)
+		case o.WeakAlgorithm == Global:
+			s = weakGlobal(g)
+		default:
+			s = weakIncremental(g)
+		}
+	case Strong:
+		s = strong(g)
+	case TypeBased:
+		s = typeBased(g)
+	case TypedWeak:
+		s = typedWeak(g)
+	case TypedStrong:
+		s = typedStrong(g)
+	default:
+		return nil, fmt.Errorf("core: unknown summary kind %d", int(kind))
+	}
+	s.Kind = kind
+	s.Input = g
+	s.Graph.SortDedup()
+	s.Stats = computeStats(g, s.Graph)
+	return s, nil
+}
+
+// MustSummarize is Summarize for known-valid kinds; it panics on error.
+func MustSummarize(g *store.Graph, kind Kind, opts *Options) *Summary {
+	s, err := Summarize(g, kind, opts)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Members returns the inverse of NodeOf: for each summary node, the sorted
+// input data nodes it represents (the paper's dr multi-map).
+func (s *Summary) Members() map[dict.ID][]dict.ID {
+	out := make(map[dict.ID][]dict.ID)
+	for n, rep := range s.NodeOf {
+		out[rep] = append(out[rep], n)
+	}
+	for rep := range out {
+		ids := out[rep]
+		sortIDs(ids)
+		out[rep] = ids
+	}
+	return out
+}
+
+// copySchema applies rule SCH of Definition 9: the summary keeps the
+// schema triples of the input unchanged.
+func copySchema(in, out *store.Graph) {
+	out.Schema = append(out.Schema, in.Schema...)
+}
+
+func sortIDs(ids []dict.ID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}

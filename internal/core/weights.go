@@ -1,0 +1,82 @@
+package core
+
+import (
+	"rdfsum/internal/dict"
+	"rdfsum/internal/store"
+)
+
+// Weights annotate a summary with the cardinalities of the quotient map —
+// the statistics a query optimizer reads off a structural index (the
+// paper's "support for query optimization" use case):
+//
+//   - NodeCard[n]:  how many input data nodes summary node n represents;
+//   - EdgeCard[e]:  how many input data triples map onto summary edge e;
+//   - TypeCard[e]:  how many input τ triples map onto summary type edge e.
+//
+// Every input data triple maps onto exactly one summary edge, so EdgeCard
+// sums to |D_G| and per-property sums equal the property's frequency in G.
+type Weights struct {
+	NodeCard map[dict.ID]int
+	EdgeCard map[store.Triple]int
+	TypeCard map[store.Triple]int
+}
+
+// ComputeWeights derives the cardinalities of s's quotient map by one pass
+// over the input graph.
+func (s *Summary) ComputeWeights() *Weights {
+	w := &Weights{
+		NodeCard: make(map[dict.ID]int, len(s.NodeOf)),
+		EdgeCard: make(map[store.Triple]int, len(s.Graph.Data)),
+		TypeCard: make(map[store.Triple]int, len(s.Graph.Types)),
+	}
+	for _, rep := range s.NodeOf {
+		w.NodeCard[rep]++
+	}
+	v := s.Input.Vocab()
+	for _, t := range s.Input.Data {
+		e := store.Triple{S: s.NodeOf[t.S], P: t.P, O: s.NodeOf[t.O]}
+		w.EdgeCard[e]++
+	}
+	for _, t := range s.Input.Types {
+		e := store.Triple{S: s.NodeOf[t.S], P: v.Type, O: t.O}
+		w.TypeCard[e]++
+	}
+	return w
+}
+
+// PropertyCount returns the number of input data triples with property p,
+// summed from the edge cardinalities (an exact statistic).
+func (w *Weights) PropertyCount(p dict.ID) int {
+	n := 0
+	for e, c := range w.EdgeCard {
+		if e.P == p {
+			n += c
+		}
+	}
+	return n
+}
+
+// MaxMatches upper-bounds the number of embeddings of an RBGP-style
+// pattern list into the input graph using only summary-level statistics:
+// for each (property, class-constraint-free) pattern it takes the total
+// count of triples with that property, and multiplies across patterns —
+// the coarse "product of relation sizes" bound a planner starts from.
+// A zero bound proves the query empty on the input (the summary has no
+// edge for some property).
+func (w *Weights) MaxMatches(properties []dict.ID) int {
+	bound := 1
+	for _, p := range properties {
+		c := w.PropertyCount(p)
+		if c == 0 {
+			return 0
+		}
+		// Saturating multiply: cardinalities can overflow int on large
+		// pattern lists; saturate at the maximum int.
+		const maxInt = int(^uint(0) >> 1)
+		if bound > maxInt/c {
+			return maxInt
+		}
+		bound *= c
+	}
+	return bound
+}

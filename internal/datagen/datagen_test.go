@@ -1,0 +1,85 @@
+package datagen
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"rdfsum/internal/rdf"
+)
+
+func TestRandomIsDeterministic(t *testing.T) {
+	cfg := Default(7)
+	a := Random(cfg)
+	b := Random(cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same config generated different graphs")
+	}
+	cfg.Seed = 8
+	if reflect.DeepEqual(a, Random(cfg)) {
+		t.Fatal("different seeds generated identical graphs")
+	}
+}
+
+func TestRandomTriplesAreValid(t *testing.T) {
+	for _, seed := range []uint64{1, 99, 12345} {
+		for _, tr := range Random(Default(seed)) {
+			if err := tr.Validate(); err != nil {
+				t.Fatalf("seed %d: invalid triple: %v", seed, err)
+			}
+		}
+	}
+}
+
+func TestRandomRespectsConfigKnobs(t *testing.T) {
+	// No typing requested -> no type triples.
+	cfg := Default(3)
+	cfg.TypedFraction = 0
+	for _, tr := range Random(cfg) {
+		if tr.P.Value == rdf.RDFType {
+			t.Fatal("TypedFraction=0 still produced type triples")
+		}
+	}
+	// No schema -> no schema triples.
+	cfg = Default(3)
+	cfg.SchemaDensity = 0
+	for _, tr := range Random(cfg) {
+		if rdf.IsSchemaProperty(tr.P.Value) {
+			t.Fatal("SchemaDensity=0 still produced schema triples")
+		}
+	}
+	// No literals -> IRI objects only.
+	cfg = Default(3)
+	cfg.LiteralFraction = 0
+	for _, tr := range Random(cfg) {
+		if tr.O.IsLiteral() {
+			t.Fatal("LiteralFraction=0 still produced literals")
+		}
+	}
+	// Full typing: every node with edges is typed.
+	cfg = Default(3)
+	cfg.TypedFraction = 1
+	g := RandomGraph(cfg)
+	typed := g.TypedNodes()
+	for _, tr := range g.Data {
+		if _, ok := typed[tr.S]; !ok {
+			t.Fatal("TypedFraction=1 left a subject untyped")
+		}
+	}
+}
+
+// Property: FromQuickSeed always yields a generatable, well-formed config.
+func TestFromQuickSeedAlwaysGenerates(t *testing.T) {
+	f := func(seed uint64) bool {
+		cfg := FromQuickSeed(seed)
+		if cfg.Nodes <= 0 || cfg.Props <= 0 || cfg.MaxTypesPerNode <= 0 {
+			return false
+		}
+		g := RandomGraph(cfg)
+		// The encoded partition must be consistent.
+		return g.NumEdges() == len(g.Data)+len(g.Types)+len(g.Schema)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,80 @@
+// Package dict implements the term dictionary: a bijection between RDF
+// terms and dense uint32 identifiers.
+//
+// The paper's implementation (§6) stores a dictionary table in PostgreSQL
+// and "subsequently works only with the integer representation of the input
+// RDF graph"; this package is the in-process equivalent. IDs start at 1 so
+// that the zero ID can mean "absent".
+package dict
+
+import (
+	"fmt"
+
+	"rdfsum/internal/rdf"
+)
+
+// ID identifies an interned term. The zero ID is never assigned.
+type ID uint32
+
+// None is the reserved "no term" identifier.
+const None ID = 0
+
+// Dict interns rdf.Terms, assigning each distinct term a dense ID.
+// The zero value is not usable; call New.
+type Dict struct {
+	terms []rdf.Term // terms[i] is the term with ID i+1
+	index map[rdf.Term]ID
+}
+
+// New returns an empty dictionary.
+func New() *Dict {
+	return &Dict{index: make(map[rdf.Term]ID)}
+}
+
+// WithCapacity returns an empty dictionary pre-sized for n terms.
+func WithCapacity(n int) *Dict {
+	return &Dict{
+		terms: make([]rdf.Term, 0, n),
+		index: make(map[rdf.Term]ID, n),
+	}
+}
+
+// Encode interns t and returns its ID, assigning a fresh one on first
+// sight.
+func (d *Dict) Encode(t rdf.Term) ID {
+	if id, ok := d.index[t]; ok {
+		return id
+	}
+	d.terms = append(d.terms, t)
+	id := ID(len(d.terms))
+	d.index[t] = id
+	return id
+}
+
+// EncodeIRI interns an IRI given as a string.
+func (d *Dict) EncodeIRI(iri string) ID { return d.Encode(rdf.NewIRI(iri)) }
+
+// Lookup returns the ID of t without interning it.
+func (d *Dict) Lookup(t rdf.Term) (ID, bool) {
+	id, ok := d.index[t]
+	return id, ok
+}
+
+// LookupIRI returns the ID of an IRI without interning it.
+func (d *Dict) LookupIRI(iri string) (ID, bool) { return d.Lookup(rdf.NewIRI(iri)) }
+
+// Term returns the term interned under id. It panics on an unknown or zero
+// id — callers only hold IDs this dictionary issued.
+func (d *Dict) Term(id ID) rdf.Term {
+	if id == None || int(id) > len(d.terms) {
+		panic(fmt.Sprintf("dict: unknown id %d (dictionary holds %d terms)", id, len(d.terms)))
+	}
+	return d.terms[id-1]
+}
+
+// Len reports the number of interned terms.
+func (d *Dict) Len() int { return len(d.terms) }
+
+// MaxID returns the highest assigned ID (equal to Len, since IDs are
+// dense starting at 1).
+func (d *Dict) MaxID() ID { return ID(len(d.terms)) }

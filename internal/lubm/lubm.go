@@ -1,0 +1,249 @@
+// Package lubm generates RDF datasets shaped like the Lehigh University
+// Benchmark (LUBM), the classic university-domain workload. The paper's
+// extended report evaluates its summaries on several RDF datasets beyond
+// BSBM; LUBM is the standard complement because its profile is opposite
+// to BSBM's:
+//
+//   - a deep class hierarchy (Person ⊃ Employee ⊃ Faculty ⊃ the professor
+//     ranks; Student ranks; course kinds), so saturation multiplies type
+//     triples;
+//   - subproperty families (headOf ≺sp worksFor; the degreeFrom family),
+//     so saturation also adds data triples and fuses property cliques
+//     (Lemma 1 territory);
+//   - fewer literals and attributes, more object-to-object links.
+//
+// Generation is deterministic for a given Config.
+package lubm
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"rdfsum/internal/rdf"
+	"rdfsum/internal/store"
+)
+
+// NS is the vocabulary namespace (univ-bench style).
+const NS = "http://lubm.example.org/univ-bench.owl#"
+
+// InstNS is the instance namespace.
+const InstNS = "http://lubm.example.org/instances/"
+
+// Config sizes the dataset. Universities is the LUBM scale factor.
+type Config struct {
+	Universities int
+	Seed         uint64
+	// DeptsPerUniversity defaults to 6 (LUBM uses 15–25; reduced default
+	// keeps the default sweeps laptop-sized).
+	DeptsPerUniversity int
+	// WithSchema emits the class hierarchy and property constraints.
+	WithSchema bool
+}
+
+// DefaultConfig returns the standard configuration.
+func DefaultConfig(universities int) Config {
+	return Config{
+		Universities:       universities,
+		Seed:               42,
+		DeptsPerUniversity: 6,
+		WithSchema:         true,
+	}
+}
+
+// TriplesPerUniversity approximates the default yield, for sizing sweeps.
+const TriplesPerUniversity = 3300
+
+// EstimateUniversities returns the scale whose dataset holds roughly
+// targetTriples triples.
+func EstimateUniversities(targetTriples int) int {
+	n := targetTriples / TriplesPerUniversity
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+func class(name string) rdf.Term { return rdf.NewIRI(NS + name) }
+func prop(name string) rdf.Term  { return rdf.NewIRI(NS + name) }
+
+func inst(kind string, ids ...int) rdf.Term {
+	s := InstNS + kind
+	for _, id := range ids {
+		s += fmt.Sprintf("-%d", id)
+	}
+	return rdf.NewIRI(s)
+}
+
+// Generate streams the dataset to emit in a fixed order.
+func Generate(cfg Config, emit func(rdf.Triple)) {
+	if cfg.Universities < 1 {
+		cfg.Universities = 1
+	}
+	if cfg.DeptsPerUniversity == 0 {
+		cfg.DeptsPerUniversity = 6
+	}
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0x10b3))
+	t := func(s, p, o rdf.Term) { emit(rdf.Triple{S: s, P: p, O: o}) }
+
+	if cfg.WithSchema {
+		sc := func(sub, super string) { t(class(sub), rdf.SubClassOf(), class(super)) }
+		sc("Employee", "Person")
+		sc("Faculty", "Employee")
+		sc("Professor", "Faculty")
+		sc("FullProfessor", "Professor")
+		sc("AssociateProfessor", "Professor")
+		sc("AssistantProfessor", "Professor")
+		sc("Lecturer", "Faculty")
+		sc("Student", "Person")
+		sc("GraduateStudent", "Student")
+		sc("UndergraduateStudent", "Student")
+		sc("GraduateCourse", "Course")
+		sc("Department", "Organization")
+		sc("University", "Organization")
+		sc("ResearchGroup", "Organization")
+
+		sp := func(sub, super string) { t(prop(sub), rdf.SubPropertyOf(), prop(super)) }
+		sp("headOf", "worksFor")
+		sp("doctoralDegreeFrom", "degreeFrom")
+		sp("mastersDegreeFrom", "degreeFrom")
+		sp("undergraduateDegreeFrom", "degreeFrom")
+
+		dom := func(p, c string) { t(prop(p), rdf.Domain(), class(c)) }
+		rng2 := func(p, c string) { t(prop(p), rdf.Range(), class(c)) }
+		dom("worksFor", "Employee")
+		rng2("worksFor", "Organization")
+		dom("memberOf", "Person")
+		rng2("memberOf", "Organization")
+		dom("teacherOf", "Faculty")
+		rng2("teacherOf", "Course")
+		dom("takesCourse", "Student")
+		rng2("takesCourse", "Course")
+		dom("advisor", "Student")
+		rng2("advisor", "Professor")
+		rng2("degreeFrom", "University")
+		dom("subOrganizationOf", "Organization")
+		rng2("subOrganizationOf", "Organization")
+		rng2("publicationAuthor", "Person")
+	}
+
+	profRanks := []string{"FullProfessor", "AssociateProfessor", "AssistantProfessor"}
+
+	for u := 0; u < cfg.Universities; u++ {
+		univ := inst("University", u)
+		t(univ, rdf.Type(), class("University"))
+		t(univ, prop("name"), rdf.NewLiteral(fmt.Sprintf("University%d", u)))
+
+		for d := 0; d < cfg.DeptsPerUniversity; d++ {
+			dept := inst("Department", u, d)
+			t(dept, rdf.Type(), class("Department"))
+			t(dept, prop("name"), rdf.NewLiteral(fmt.Sprintf("Department%d-%d", u, d)))
+			t(dept, prop("subOrganizationOf"), univ)
+
+			// Research groups.
+			nGroups := 2 + rng.IntN(3)
+			for gID := 0; gID < nGroups; gID++ {
+				grp := inst("ResearchGroup", u, d, gID)
+				t(grp, rdf.Type(), class("ResearchGroup"))
+				t(grp, prop("subOrganizationOf"), dept)
+			}
+
+			// Faculty: professors in three ranks + lecturers.
+			nProf := 7 + rng.IntN(6)
+			var professors []rdf.Term
+			var courses []rdf.Term
+			courseID := 0
+			newCourse := func(grad bool) rdf.Term {
+				c := inst("Course", u, d, courseID)
+				courseID++
+				if grad {
+					t(c, rdf.Type(), class("GraduateCourse"))
+				} else {
+					t(c, rdf.Type(), class("Course"))
+				}
+				courses = append(courses, c)
+				return c
+			}
+			for pID := 0; pID < nProf; pID++ {
+				pr := inst("Professor", u, d, pID)
+				professors = append(professors, pr)
+				t(pr, rdf.Type(), class(profRanks[rng.IntN(len(profRanks))]))
+				t(pr, prop("name"), rdf.NewLiteral(fmt.Sprintf("Prof%d-%d-%d", u, d, pID)))
+				t(pr, prop("emailAddress"), rdf.NewLiteral(fmt.Sprintf("prof%d@u%d.edu", pID, u)))
+				t(pr, prop("worksFor"), dept)
+				t(pr, prop("doctoralDegreeFrom"), inst("University", rng.IntN(cfg.Universities)))
+				if rng.Float64() < 0.3 { // heterogeneity: optional attribute
+					t(pr, prop("researchInterest"), rdf.NewLiteral(fmt.Sprintf("topic%d", rng.IntN(40))))
+				}
+				// Teaches 1–2 courses.
+				for c := 0; c < 1+rng.IntN(2); c++ {
+					t(pr, prop("teacherOf"), newCourse(rng.Float64() < 0.4))
+				}
+				if pID == 0 { // the head: headOf ≺sp worksFor at work
+					t(pr, prop("headOf"), dept)
+				}
+			}
+			nLect := 2 + rng.IntN(3)
+			for l := 0; l < nLect; l++ {
+				lec := inst("Lecturer", u, d, l)
+				t(lec, rdf.Type(), class("Lecturer"))
+				t(lec, prop("name"), rdf.NewLiteral(fmt.Sprintf("Lect%d-%d-%d", u, d, l)))
+				t(lec, prop("worksFor"), dept)
+				t(lec, prop("teacherOf"), newCourse(false))
+			}
+
+			// Students.
+			nGrad := 12 + rng.IntN(8)
+			for s := 0; s < nGrad; s++ {
+				st := inst("GraduateStudent", u, d, s)
+				t(st, rdf.Type(), class("GraduateStudent"))
+				t(st, prop("name"), rdf.NewLiteral(fmt.Sprintf("Grad%d-%d-%d", u, d, s)))
+				t(st, prop("memberOf"), dept)
+				t(st, prop("undergraduateDegreeFrom"), inst("University", rng.IntN(cfg.Universities)))
+				t(st, prop("advisor"), professors[rng.IntN(len(professors))])
+				for c := 0; c < 2+rng.IntN(2); c++ {
+					t(st, prop("takesCourse"), courses[rng.IntN(len(courses))])
+				}
+			}
+			nUnder := 30 + rng.IntN(20)
+			for s := 0; s < nUnder; s++ {
+				st := inst("UndergraduateStudent", u, d, s)
+				t(st, rdf.Type(), class("UndergraduateStudent"))
+				t(st, prop("name"), rdf.NewLiteral(fmt.Sprintf("Under%d-%d-%d", u, d, s)))
+				t(st, prop("memberOf"), dept)
+				if rng.Float64() < 0.2 {
+					t(st, prop("advisor"), professors[rng.IntN(len(professors))])
+				}
+				for c := 0; c < 2+rng.IntN(3); c++ {
+					t(st, prop("takesCourse"), courses[rng.IntN(len(courses))])
+				}
+			}
+
+			// Publications: authored by professors and grad students.
+			nPubs := nProf * (2 + rng.IntN(3))
+			for pID := 0; pID < nPubs; pID++ {
+				pub := inst("Publication", u, d, pID)
+				t(pub, rdf.Type(), class("Publication"))
+				t(pub, prop("name"), rdf.NewLiteral(fmt.Sprintf("Pub%d-%d-%d", u, d, pID)))
+				t(pub, prop("publicationAuthor"), professors[rng.IntN(len(professors))])
+				if rng.Float64() < 0.6 {
+					t(pub, prop("publicationAuthor"),
+						inst("GraduateStudent", u, d, rng.IntN(nGrad)))
+				}
+			}
+		}
+	}
+}
+
+// GenerateGraph builds the dataset directly into an encoded graph.
+func GenerateGraph(cfg Config) *store.Graph {
+	g := store.NewGraph()
+	Generate(cfg, g.Add)
+	return g
+}
+
+// GenerateTriples materializes the dataset at string level.
+func GenerateTriples(cfg Config) []rdf.Triple {
+	var out []rdf.Triple
+	Generate(cfg, func(t rdf.Triple) { out = append(out, t) })
+	return out
+}

@@ -1,0 +1,23 @@
+package ntriples
+
+import (
+	"bufio"
+	"io"
+
+	"rdfsum/internal/rdf"
+)
+
+// Write serializes triples to w in N-Triples format, one statement per
+// line. Terms are rendered in canonical form (see rdf.Term.String).
+func Write(w io.Writer, triples []rdf.Triple) error {
+	bw := bufio.NewWriter(w)
+	for _, t := range triples {
+		if _, err := bw.WriteString(t.String()); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

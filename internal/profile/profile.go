@@ -1,0 +1,164 @@
+// Package profile turns a summary into a human-readable dataset profile —
+// the paper's "first-level user interface" use case: entity kinds, their
+// attributes (literal/leaf-valued properties), their relationships to
+// other kinds, and their instance counts, reconstructed purely from a
+// summary graph and its quotient weights.
+package profile
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"rdfsum/internal/core"
+	"rdfsum/internal/dict"
+)
+
+// EntityKind describes one summary node.
+type EntityKind struct {
+	// Node is the summary node's dictionary ID.
+	Node dict.ID
+	// Classes holds the kind's class local names (empty for untyped
+	// kinds).
+	Classes []string
+	// Attributes lists outgoing properties leading to unclassed nodes.
+	Attributes []string
+	// Relationships lists "property -> kind" edges to classed kinds.
+	Relationships []string
+	// Instances is the number of input data nodes the kind represents.
+	Instances int
+}
+
+// Label renders the kind's display name.
+func (k EntityKind) Label() string {
+	if len(k.Classes) > 0 {
+		return "{" + strings.Join(k.Classes, ", ") + "}"
+	}
+	return "(untyped kind)"
+}
+
+// Profile is the ordered list of entity kinds of a summary.
+type Profile struct {
+	Kinds []EntityKind
+	// InputTriples and InputNodes size the profiled dataset.
+	InputTriples int
+	InputNodes   int
+}
+
+// Build derives the profile of s. Typically s is a TypedWeak summary (one
+// node per class set), but any kind works.
+func Build(s *core.Summary) *Profile {
+	d := s.Graph.Dict()
+	w := s.ComputeWeights()
+
+	classes := map[dict.ID][]string{}
+	for _, t := range s.Graph.Types {
+		classes[t.S] = append(classes[t.S], localName(d.Term(t.O).Value))
+	}
+	for n := range classes {
+		sort.Strings(classes[n])
+	}
+
+	attrs := map[dict.ID]map[string]bool{}
+	rels := map[dict.ID]map[string]bool{}
+	nodes := map[dict.ID]bool{}
+	for _, t := range s.Graph.Data {
+		nodes[t.S] = true
+		nodes[t.O] = true // value kinds (pure objects) are kinds too
+		p := localName(d.Term(t.P).Value)
+		if _, typed := classes[t.O]; typed {
+			addTo(rels, t.S, p+" -> {"+strings.Join(classes[t.O], ", ")+"}")
+		} else {
+			addTo(attrs, t.S, p)
+		}
+	}
+	for n := range classes {
+		nodes[n] = true
+	}
+
+	prof := &Profile{
+		InputTriples: s.Stats.InputTriples,
+		InputNodes:   s.Stats.InputDataNodes,
+	}
+	for n := range nodes {
+		prof.Kinds = append(prof.Kinds, EntityKind{
+			Node:          n,
+			Classes:       classes[n],
+			Attributes:    sortedKeys(attrs[n]),
+			Relationships: sortedKeys(rels[n]),
+			Instances:     w.NodeCard[n],
+		})
+	}
+	sort.Slice(prof.Kinds, func(i, j int) bool {
+		a, b := prof.Kinds[i], prof.Kinds[j]
+		if (len(a.Classes) > 0) != (len(b.Classes) > 0) {
+			return len(a.Classes) > 0 // typed kinds first
+		}
+		if a.Instances != b.Instances {
+			return a.Instances > b.Instances
+		}
+		return a.Label() < b.Label()
+	})
+	return prof
+}
+
+// Write renders the profile as an indented text report.
+func (p *Profile) Write(out io.Writer, maxKinds int) error {
+	if _, err := fmt.Fprintf(out, "dataset: %d triples, %d data nodes, %d entity kinds\n",
+		p.InputTriples, p.InputNodes, len(p.Kinds)); err != nil {
+		return err
+	}
+	for i, k := range p.Kinds {
+		if maxKinds > 0 && i >= maxKinds {
+			_, err := fmt.Fprintf(out, "... %d more kinds\n", len(p.Kinds)-maxKinds)
+			return err
+		}
+		if _, err := fmt.Fprintf(out, "%s  (%d instances)\n", k.Label(), k.Instances); err != nil {
+			return err
+		}
+		if len(k.Attributes) > 0 {
+			fmt.Fprintf(out, "  attributes:    %s\n", strings.Join(truncate(k.Attributes, 8), ", ")) //nolint:errcheck
+		}
+		if len(k.Relationships) > 0 {
+			fmt.Fprintf(out, "  relationships: %s\n", strings.Join(truncate(k.Relationships, 8), ", ")) //nolint:errcheck
+		}
+	}
+	return nil
+}
+
+func addTo(m map[dict.ID]map[string]bool, k dict.ID, v string) {
+	if m[k] == nil {
+		m[k] = map[string]bool{}
+	}
+	m[k][v] = true
+}
+
+func sortedKeys(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func truncate(items []string, n int) []string {
+	if len(items) <= n {
+		return items
+	}
+	return append(append([]string(nil), items[:n]...),
+		fmt.Sprintf("... (%d more)", len(items)-n))
+}
+
+func localName(iri string) string {
+	for i := len(iri) - 1; i >= 0; i-- {
+		if iri[i] == '/' || iri[i] == '#' || iri[i] == ':' {
+			if i+1 < len(iri) {
+				return iri[i+1:]
+			}
+			break
+		}
+	}
+	return iri
+}

@@ -1,0 +1,205 @@
+package query
+
+import (
+	"fmt"
+
+	"rdfsum/internal/dict"
+	"rdfsum/internal/rdf"
+	"rdfsum/internal/store"
+)
+
+// Result holds the answer table of a SELECT evaluation.
+type Result struct {
+	Vars []string
+	Rows [][]rdf.Term
+}
+
+// EvalOptions tune evaluation.
+type EvalOptions struct {
+	// Limit caps the number of rows (0 = unlimited).
+	Limit int
+}
+
+// Eval evaluates q against the indexed graph and returns the bindings of
+// the distinguished variables (all body variables when none are
+// distinguished). Evaluation accesses explicit triples only — evaluate
+// against a saturated graph to obtain complete answers (§2.1).
+func Eval(g *store.Graph, ix *store.Index, q *Query, opts *EvalOptions) (*Result, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	limit := 0
+	if opts != nil {
+		limit = opts.Limit
+	}
+	head := q.Distinguished
+	if len(head) == 0 {
+		head = q.Vars()
+	}
+	res := &Result{Vars: head}
+
+	enc, ok := encodePatterns(g, q)
+	if !ok {
+		return res, nil // a constant is absent from the graph: no answers
+	}
+
+	binding := make(map[string]dict.ID)
+	seen := make(map[string]bool)
+	var emit func() bool
+	emit = func() bool {
+		row := make([]rdf.Term, len(head))
+		key := ""
+		for i, v := range head {
+			id := binding[v]
+			row[i] = g.Dict().Term(id)
+			key += fmt.Sprint(id) + "|"
+		}
+		if seen[key] {
+			return true
+		}
+		seen[key] = true
+		res.Rows = append(res.Rows, row)
+		return limit == 0 || len(res.Rows) < limit
+	}
+	matchAll(ix, enc, binding, emit)
+	return res, nil
+}
+
+// Ask reports whether q has at least one answer on the indexed graph.
+func Ask(g *store.Graph, ix *store.Index, q *Query) (bool, error) {
+	if err := q.Validate(); err != nil {
+		return false, err
+	}
+	enc, ok := encodePatterns(g, q)
+	if !ok {
+		return false, nil
+	}
+	found := false
+	matchAll(ix, enc, make(map[string]dict.ID), func() bool {
+		found = true
+		return false
+	})
+	return found, nil
+}
+
+// encPattern is a pattern with constants resolved to dictionary IDs.
+type encPattern struct {
+	s, p, o    dict.ID // dict.None when the position is a variable
+	vs, vp, vo string  // variable names ("" when constant)
+}
+
+// encodePatterns resolves every constant; ok is false when some constant
+// does not occur in the graph (hence the query has no answers).
+func encodePatterns(g *store.Graph, q *Query) ([]encPattern, bool) {
+	enc := make([]encPattern, len(q.Patterns))
+	for i, p := range q.Patterns {
+		e := encPattern{}
+		if p.S.IsVar {
+			e.vs = p.S.Var
+		} else if id, ok := g.Dict().Lookup(p.S.Value); ok {
+			e.s = id
+		} else {
+			return nil, false
+		}
+		if p.P.IsVar {
+			e.vp = p.P.Var
+		} else if id, ok := g.Dict().Lookup(p.P.Value); ok {
+			e.p = id
+		} else {
+			return nil, false
+		}
+		if p.O.IsVar {
+			e.vo = p.O.Var
+		} else if id, ok := g.Dict().Lookup(p.O.Value); ok {
+			e.o = id
+		} else {
+			return nil, false
+		}
+		enc[i] = e
+	}
+	return enc, true
+}
+
+// matchAll backtracks over the patterns, choosing at each step the
+// remaining pattern with the smallest index range under the current
+// binding (greedy selectivity ordering). emit returns false to stop the
+// enumeration.
+func matchAll(ix *store.Index, patterns []encPattern, binding map[string]dict.ID, emit func() bool) {
+	done := make([]bool, len(patterns))
+	var rec func(remaining int) bool
+	rec = func(remaining int) bool {
+		if remaining == 0 {
+			return emit()
+		}
+		// Pick the most selective pending pattern.
+		best, bestCount := -1, -1
+		for i, p := range patterns {
+			if done[i] {
+				continue
+			}
+			s, pr, o := p.resolve(binding)
+			c := ix.Count(s, pr, o)
+			if best == -1 || c < bestCount {
+				best, bestCount = i, c
+			}
+		}
+		p := patterns[best]
+		done[best] = true
+		defer func() { done[best] = false }()
+
+		s, pr, o := p.resolve(binding)
+		keepGoing := true
+		ix.ForEach(s, pr, o, func(t store.Triple) bool {
+			newly, ok := bindPattern(p, t, binding)
+			if ok {
+				keepGoing = rec(remaining - 1)
+				for _, v := range newly {
+					delete(binding, v)
+				}
+			}
+			return keepGoing
+		})
+		return keepGoing
+	}
+	rec(len(patterns))
+}
+
+// resolve substitutes the current binding into the pattern, returning the
+// concrete IDs (dict.None = wildcard).
+func (p encPattern) resolve(binding map[string]dict.ID) (s, pr, o dict.ID) {
+	s, pr, o = p.s, p.p, p.o
+	if p.vs != "" {
+		s = binding[p.vs]
+	}
+	if p.vp != "" {
+		pr = binding[p.vp]
+	}
+	if p.vo != "" {
+		o = binding[p.vo]
+	}
+	return s, pr, o
+}
+
+// bindPattern extends binding with the pattern's unbound variables against
+// triple t. ok is false when the triple conflicts with a variable repeated
+// inside the pattern; newly lists the variables bound by this call.
+func bindPattern(p encPattern, t store.Triple, binding map[string]dict.ID) (newly []string, ok bool) {
+	tryBind := func(v string, id dict.ID) bool {
+		if v == "" {
+			return true
+		}
+		if cur, bound := binding[v]; bound {
+			return cur == id
+		}
+		binding[v] = id
+		newly = append(newly, v)
+		return true
+	}
+	if tryBind(p.vs, t.S) && tryBind(p.vp, t.P) && tryBind(p.vo, t.O) {
+		return newly, true
+	}
+	for _, v := range newly {
+		delete(binding, v)
+	}
+	return nil, false
+}

@@ -1,0 +1,384 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+
+	"rdfsum/internal/rdf"
+)
+
+// Parse reads a query in a SPARQL subset sufficient for BGP queries:
+//
+//	PREFIX ex: <http://example.org/>
+//	SELECT ?x ?y WHERE { ?x ex:p ?y . ?y a ex:Class . ?y ex:q "lit" }
+//	ASK { ?x ex:p ?y }
+//
+// Supported: PREFIX declarations, SELECT with a variable list or *, ASK,
+// 'a' as rdf:type, IRI refs, prefixed names, variables, and literals with
+// optional language tag or datatype. WHERE is optional before the group.
+func Parse(input string) (*Query, error) {
+	p := &qparser{in: input}
+	q, err := p.parse()
+	if err != nil {
+		return nil, err
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// MustParse panics on a syntax error; for tests and fixed query constants.
+func MustParse(input string) *Query {
+	q, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type qparser struct {
+	in       string
+	pos      int
+	prefixes map[string]string
+}
+
+func (p *qparser) parse() (*Query, error) {
+	p.prefixes = map[string]string{}
+	for {
+		p.skipSpace()
+		if !p.keyword("PREFIX") {
+			break
+		}
+		if err := p.prefixDecl(); err != nil {
+			return nil, err
+		}
+	}
+	p.skipSpace()
+	q := &Query{}
+	selectStar := false
+	switch {
+	case p.keyword("SELECT"):
+		for {
+			p.skipSpace()
+			if p.peekByte() == '?' || p.peekByte() == '$' {
+				v, err := p.variable()
+				if err != nil {
+					return nil, err
+				}
+				q.Distinguished = append(q.Distinguished, v)
+				continue
+			}
+			if p.peekByte() == '*' {
+				p.pos++
+				selectStar = true
+			}
+			break
+		}
+		if len(q.Distinguished) == 0 && !selectStar {
+			return nil, p.errorf("SELECT needs at least one variable or *")
+		}
+	case p.keyword("ASK"):
+		// boolean query: empty head
+	default:
+		return nil, p.errorf("expected SELECT or ASK")
+	}
+	p.skipSpace()
+	p.keyword("WHERE") // optional
+	p.skipSpace()
+	if p.peekByte() != '{' {
+		return nil, p.errorf("expected '{' starting the graph pattern")
+	}
+	p.pos++
+	for {
+		p.skipSpace()
+		if p.peekByte() == '}' {
+			p.pos++
+			break
+		}
+		if p.eof() {
+			return nil, p.errorf("unterminated graph pattern")
+		}
+		pat, err := p.triplePattern()
+		if err != nil {
+			return nil, err
+		}
+		q.Patterns = append(q.Patterns, pat)
+		p.skipSpace()
+		if p.peekByte() == '.' {
+			p.pos++
+		}
+	}
+	p.skipSpace()
+	if !p.eof() {
+		return nil, p.errorf("unexpected trailing content %q", p.in[p.pos:])
+	}
+	if selectStar {
+		q.Distinguished = q.Vars()
+	}
+	return q, nil
+}
+
+func (p *qparser) prefixDecl() error {
+	p.skipSpace()
+	start := p.pos
+	for !p.eof() && p.peekByte() != ':' {
+		p.pos++
+	}
+	if p.eof() {
+		return p.errorf("PREFIX: expected ':'")
+	}
+	name := strings.TrimSpace(p.in[start:p.pos])
+	p.pos++ // ':'
+	p.skipSpace()
+	if p.peekByte() != '<' {
+		return p.errorf("PREFIX: expected <IRI>")
+	}
+	iri, err := p.iriRef()
+	if err != nil {
+		return err
+	}
+	p.prefixes[name] = iri
+	return nil
+}
+
+func (p *qparser) triplePattern() (Pattern, error) {
+	s, err := p.term(false)
+	if err != nil {
+		return Pattern{}, err
+	}
+	p.skipSpace()
+	pr, err := p.term(true)
+	if err != nil {
+		return Pattern{}, err
+	}
+	p.skipSpace()
+	o, err := p.term(false)
+	if err != nil {
+		return Pattern{}, err
+	}
+	return Pattern{S: s, P: pr, O: o}, nil
+}
+
+// term parses one pattern position. In the property position, the bare
+// keyword 'a' abbreviates rdf:type.
+func (p *qparser) term(propertyPos bool) (Term, error) {
+	p.skipSpace()
+	if p.eof() {
+		return Term{}, p.errorf("expected a term")
+	}
+	switch c := p.peekByte(); {
+	case c == '?' || c == '$':
+		v, err := p.variable()
+		if err != nil {
+			return Term{}, err
+		}
+		return Var(v), nil
+	case c == '<':
+		iri, err := p.iriRef()
+		if err != nil {
+			return Term{}, err
+		}
+		return IRI(iri), nil
+	case c == '"':
+		return p.literal()
+	case c == '_':
+		if p.pos+1 < len(p.in) && p.in[p.pos+1] == ':' {
+			p.pos += 2
+			label := p.name()
+			if label == "" {
+				return Term{}, p.errorf("empty blank node label")
+			}
+			return Const(rdf.NewBlank(label)), nil
+		}
+		return Term{}, p.errorf("expected \"_:\" blank node")
+	case propertyPos && c == 'a' && p.isKeywordBoundary(p.pos+1):
+		p.pos++
+		return IRI(rdf.RDFType), nil
+	default:
+		return p.prefixedName()
+	}
+}
+
+func (p *qparser) prefixedName() (Term, error) {
+	start := p.pos
+	for !p.eof() && p.peekByte() != ':' && !isSpaceByte(p.peekByte()) &&
+		p.peekByte() != '{' && p.peekByte() != '}' && p.peekByte() != '.' {
+		p.pos++
+	}
+	if p.eof() || p.peekByte() != ':' {
+		return Term{}, p.errorf("expected a prefixed name near %q", p.in[start:p.pos])
+	}
+	prefix := p.in[start:p.pos]
+	p.pos++
+	local := p.name()
+	ns, ok := p.prefixes[prefix]
+	if !ok {
+		return Term{}, p.errorf("undeclared prefix %q", prefix)
+	}
+	return IRI(ns + local), nil
+}
+
+func (p *qparser) variable() (string, error) {
+	p.pos++ // '?' or '$'
+	v := p.name()
+	if v == "" {
+		return "", p.errorf("empty variable name")
+	}
+	return v, nil
+}
+
+func (p *qparser) iriRef() (string, error) {
+	p.pos++ // '<'
+	start := p.pos
+	for !p.eof() && p.peekByte() != '>' {
+		p.pos++
+	}
+	if p.eof() {
+		return "", p.errorf("unterminated IRI")
+	}
+	iri := p.in[start:p.pos]
+	p.pos++
+	if iri == "" {
+		return "", p.errorf("empty IRI")
+	}
+	return iri, nil
+}
+
+func (p *qparser) literal() (Term, error) {
+	p.pos++ // '"'
+	var b strings.Builder
+	for {
+		if p.eof() {
+			return Term{}, p.errorf("unterminated literal")
+		}
+		c := p.peekByte()
+		if c == '"' {
+			p.pos++
+			break
+		}
+		if c == '\\' && p.pos+1 < len(p.in) {
+			p.pos++
+			switch p.peekByte() {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case 'r':
+				b.WriteByte('\r')
+			case '"':
+				b.WriteByte('"')
+			case '\\':
+				b.WriteByte('\\')
+			default:
+				return Term{}, p.errorf("invalid escape \\%c", p.peekByte())
+			}
+			p.pos++
+			continue
+		}
+		r, size := utf8.DecodeRuneInString(p.in[p.pos:])
+		b.WriteRune(r)
+		p.pos += size
+	}
+	lex := b.String()
+	if !p.eof() && p.peekByte() == '@' {
+		p.pos++
+		lang := p.name()
+		if lang == "" {
+			return Term{}, p.errorf("empty language tag")
+		}
+		return Const(rdf.NewLangLiteral(lex, lang)), nil
+	}
+	if p.pos+1 < len(p.in) && p.in[p.pos] == '^' && p.in[p.pos+1] == '^' {
+		p.pos += 2
+		p.skipSpace()
+		if p.peekByte() == '<' {
+			dt, err := p.iriRef()
+			if err != nil {
+				return Term{}, err
+			}
+			return Const(rdf.NewTypedLiteral(lex, dt)), nil
+		}
+		t, err := p.prefixedName()
+		if err != nil {
+			return Term{}, err
+		}
+		return Const(rdf.NewTypedLiteral(lex, t.Value.Value)), nil
+	}
+	return Const(rdf.NewLiteral(lex)), nil
+}
+
+// name consumes a run of name characters (letters, digits, _, -).
+func (p *qparser) name() string {
+	start := p.pos
+	for !p.eof() {
+		r, size := utf8.DecodeRuneInString(p.in[p.pos:])
+		if unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '-' {
+			p.pos += size
+			continue
+		}
+		break
+	}
+	return p.in[start:p.pos]
+}
+
+// keyword consumes kw case-insensitively when it appears at the cursor as
+// a whole word.
+func (p *qparser) keyword(kw string) bool {
+	if len(p.in)-p.pos < len(kw) {
+		return false
+	}
+	if !strings.EqualFold(p.in[p.pos:p.pos+len(kw)], kw) {
+		return false
+	}
+	if !p.isKeywordBoundary(p.pos + len(kw)) {
+		return false
+	}
+	p.pos += len(kw)
+	return true
+}
+
+// isKeywordBoundary reports whether position i ends a word.
+func (p *qparser) isKeywordBoundary(i int) bool {
+	if i >= len(p.in) {
+		return true
+	}
+	c := p.in[i]
+	return isSpaceByte(c) || c == '{' || c == '}' || c == '?' || c == '$' || c == '<' || c == '*'
+}
+
+func (p *qparser) skipSpace() {
+	for !p.eof() {
+		c := p.peekByte()
+		if isSpaceByte(c) {
+			p.pos++
+			continue
+		}
+		if c == '#' {
+			for !p.eof() && p.peekByte() != '\n' {
+				p.pos++
+			}
+			continue
+		}
+		break
+	}
+}
+
+func (p *qparser) eof() bool { return p.pos >= len(p.in) }
+
+func (p *qparser) peekByte() byte {
+	if p.eof() {
+		return 0
+	}
+	return p.in[p.pos]
+}
+
+func (p *qparser) errorf(format string, args ...any) error {
+	return fmt.Errorf("query: at offset %d: %s", p.pos, fmt.Sprintf(format, args...))
+}
+
+func isSpaceByte(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r'
+}

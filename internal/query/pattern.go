@@ -1,0 +1,151 @@
+// Package query implements the SPARQL dialect of the paper: basic graph
+// pattern (BGP) queries, their relational restriction (RBGP, Definition 3)
+// used to state representativeness and accuracy, a small SPARQL-subset
+// parser, and an index-driven evaluator.
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"rdfsum/internal/rdf"
+)
+
+// Term is a triple-pattern position: either a variable or a constant RDF
+// term.
+type Term struct {
+	IsVar bool
+	Var   string   // variable name without '?', when IsVar
+	Value rdf.Term // constant, when !IsVar
+}
+
+// Var returns a variable pattern term.
+func Var(name string) Term { return Term{IsVar: true, Var: name} }
+
+// Const returns a constant pattern term.
+func Const(t rdf.Term) Term { return Term{Value: t} }
+
+// IRI returns a constant IRI pattern term.
+func IRI(iri string) Term { return Const(rdf.NewIRI(iri)) }
+
+// String renders the term in SPARQL syntax.
+func (t Term) String() string {
+	if t.IsVar {
+		return "?" + t.Var
+	}
+	return t.Value.String()
+}
+
+// Pattern is one triple pattern of a BGP.
+type Pattern struct {
+	S, P, O Term
+}
+
+// String renders the pattern in SPARQL syntax.
+func (p Pattern) String() string {
+	return p.S.String() + " " + p.P.String() + " " + p.O.String() + " ."
+}
+
+// Query is a BGP (conjunctive) query q(x̄) :- t1, ..., tα. An empty
+// Distinguished list makes it a boolean (ASK) query.
+type Query struct {
+	Distinguished []string
+	Patterns      []Pattern
+}
+
+// String renders the query in SPARQL syntax.
+func (q *Query) String() string {
+	var b strings.Builder
+	if len(q.Distinguished) == 0 {
+		b.WriteString("ASK WHERE {")
+	} else {
+		b.WriteString("SELECT")
+		for _, v := range q.Distinguished {
+			b.WriteString(" ?")
+			b.WriteString(v)
+		}
+		b.WriteString(" WHERE {")
+	}
+	for _, p := range q.Patterns {
+		b.WriteString(" ")
+		b.WriteString(p.String())
+	}
+	b.WriteString(" }")
+	return b.String()
+}
+
+// Vars returns the sorted set of variables appearing in the body.
+func (q *Query) Vars() []string {
+	set := map[string]bool{}
+	for _, p := range q.Patterns {
+		for _, t := range []Term{p.S, p.P, p.O} {
+			if t.IsVar {
+				set[t.Var] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Validate checks BGP well-formedness: a non-empty body, distinguished
+// variables drawn from the body, subjects that are variables/IRIs/blank
+// nodes, and properties that are variables or IRIs.
+func (q *Query) Validate() error {
+	if len(q.Patterns) == 0 {
+		return fmt.Errorf("query: empty body")
+	}
+	bodyVars := map[string]bool{}
+	for _, v := range q.Vars() {
+		bodyVars[v] = true
+	}
+	for _, v := range q.Distinguished {
+		if !bodyVars[v] {
+			return fmt.Errorf("query: distinguished variable ?%s not in body", v)
+		}
+	}
+	for _, p := range q.Patterns {
+		if !p.S.IsVar && p.S.Value.Kind != rdf.IRI && p.S.Value.Kind != rdf.Blank {
+			return fmt.Errorf("query: subject of %s must be a variable, IRI or blank node", p)
+		}
+		if !p.P.IsVar && p.P.Value.Kind != rdf.IRI {
+			return fmt.Errorf("query: property of %s must be a variable or IRI", p)
+		}
+		if !p.O.IsVar && p.O.Value.Kind == rdf.Invalid {
+			return fmt.Errorf("query: object of %s is invalid", p)
+		}
+	}
+	return nil
+}
+
+// IsRBGP checks Definition 3: (i) URIs in all property positions, (ii) a
+// URI in the object position of every τ triple, and (iii) variables in
+// every other position. RBGP queries are the dialect for which summaries
+// are representative (Prop. 1) and accurate (Prop. 3).
+func (q *Query) IsRBGP() error {
+	if err := q.Validate(); err != nil {
+		return err
+	}
+	for _, p := range q.Patterns {
+		if p.P.IsVar {
+			return fmt.Errorf("rbgp: property position of %s must be a URI", p)
+		}
+		isType := p.P.Value.Value == rdf.RDFType
+		if isType {
+			if p.O.IsVar || p.O.Value.Kind != rdf.IRI {
+				return fmt.Errorf("rbgp: object of τ triple %s must be a URI", p)
+			}
+		} else if !p.O.IsVar {
+			return fmt.Errorf("rbgp: object of non-τ triple %s must be a variable", p)
+		}
+		if !p.S.IsVar {
+			return fmt.Errorf("rbgp: subject of %s must be a variable", p)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,58 @@
+package rdf
+
+// Namespace prefixes of the built-in vocabularies.
+const (
+	RDFNS  = "http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+	RDFSNS = "http://www.w3.org/2000/01/rdf-schema#"
+	XSDNS  = "http://www.w3.org/2001/XMLSchema#"
+)
+
+// The RDF/RDFS vocabulary terms used by the summarization framework.
+// Following the paper's Figure 1, exactly four constraint properties are
+// interpreted: rdfs:subClassOf (≺sc), rdfs:subPropertyOf (≺sp),
+// rdfs:domain (←↩d) and rdfs:range (↪→r); rdf:type (τ) triples form the
+// type component T_G.
+const (
+	RDFType         = RDFNS + "type"
+	RDFSSubClassOf  = RDFSNS + "subClassOf"
+	RDFSSubProperty = RDFSNS + "subPropertyOf"
+	RDFSDomain      = RDFSNS + "domain"
+	RDFSRange       = RDFSNS + "range"
+	RDFSLabel       = RDFSNS + "label"
+	RDFSComment     = RDFSNS + "comment"
+	RDFSClass       = RDFSNS + "Class"
+	RDFProperty     = RDFNS + "Property"
+
+	XSDString   = XSDNS + "string"
+	XSDInteger  = XSDNS + "integer"
+	XSDDecimal  = XSDNS + "decimal"
+	XSDDouble   = XSDNS + "double"
+	XSDBoolean  = XSDNS + "boolean"
+	XSDDate     = XSDNS + "date"
+	XSDDateTime = XSDNS + "dateTime"
+)
+
+// Type is the rdf:type IRI term (τ in the paper).
+func Type() Term { return NewIRI(RDFType) }
+
+// SubClassOf is the rdfs:subClassOf IRI term (≺sc).
+func SubClassOf() Term { return NewIRI(RDFSSubClassOf) }
+
+// SubPropertyOf is the rdfs:subPropertyOf IRI term (≺sp).
+func SubPropertyOf() Term { return NewIRI(RDFSSubProperty) }
+
+// Domain is the rdfs:domain IRI term (←↩d).
+func Domain() Term { return NewIRI(RDFSDomain) }
+
+// Range is the rdfs:range IRI term (↪→r).
+func Range() Term { return NewIRI(RDFSRange) }
+
+// IsSchemaProperty reports whether iri is one of the four RDFS constraint
+// properties forming the schema component S_G.
+func IsSchemaProperty(iri string) bool {
+	switch iri {
+	case RDFSSubClassOf, RDFSSubProperty, RDFSDomain, RDFSRange:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,50 @@
+package rdf
+
+import "fmt"
+
+// WellBehavedViolation describes one violation of the paper's
+// well-behavedness assumptions (§2.1): (i) no class appears in the property
+// position; (ii) no class has properties other than rdf:type and the RDFS
+// constraint properties.
+type WellBehavedViolation struct {
+	Triple Triple
+	Reason string
+}
+
+func (v WellBehavedViolation) Error() string {
+	return fmt.Sprintf("rdf: graph not well-behaved: %s (triple %s)", v.Reason, v.Triple)
+}
+
+// CheckWellBehaved scans the triples and returns every violation of the
+// well-behavedness assumptions, or nil when the graph is well-behaved.
+// Classes are the objects of rdf:type triples together with the subjects
+// and objects of rdfs:subClassOf triples and the objects of rdfs:domain /
+// rdfs:range triples.
+func CheckWellBehaved(triples []Triple) []WellBehavedViolation {
+	classes := make(map[Term]bool)
+	for _, t := range triples {
+		switch {
+		case t.P.Kind == IRI && t.P.Value == RDFType:
+			classes[t.O] = true
+		case t.P.Kind == IRI && t.P.Value == RDFSSubClassOf:
+			classes[t.S] = true
+			classes[t.O] = true
+		case t.P.Kind == IRI && (t.P.Value == RDFSDomain || t.P.Value == RDFSRange):
+			classes[t.O] = true
+		}
+	}
+	var out []WellBehavedViolation
+	for _, t := range triples {
+		if classes[t.P] {
+			out = append(out, WellBehavedViolation{t, "class used in property position"})
+		}
+		if classes[t.S] {
+			if t.P.Kind == IRI && (t.P.Value == RDFType || IsSchemaProperty(t.P.Value) ||
+				t.P.Value == RDFSLabel || t.P.Value == RDFSComment) {
+				continue
+			}
+			out = append(out, WellBehavedViolation{t, "class has a non-schema, non-type property"})
+		}
+	}
+	return out
+}

@@ -1,0 +1,79 @@
+package refimpl
+
+import (
+	"sort"
+	"strings"
+
+	"rdfsum/internal/dict"
+	"rdfsum/internal/query"
+	"rdfsum/internal/store"
+)
+
+// Eval evaluates q by unindexed backtracking over every triple of g —
+// the obviously-correct O(|G|^α) oracle for the optimized evaluator.
+// It returns the distinct projected rows as canonical strings, sorted.
+func Eval(g *store.Graph, q *query.Query) []string {
+	head := q.Distinguished
+	if len(head) == 0 {
+		head = q.Vars()
+	}
+	all := g.All()
+	binding := map[string]dict.ID{}
+	rows := map[string]bool{}
+
+	matchTerm := func(t query.Term, id dict.ID) (string, bool) {
+		if !t.IsVar {
+			want, ok := g.Dict().Lookup(t.Value)
+			return "", ok && want == id
+		}
+		if cur, ok := binding[t.Var]; ok {
+			return "", cur == id
+		}
+		return t.Var, true
+	}
+
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(q.Patterns) {
+			parts := make([]string, len(head))
+			for j, v := range head {
+				parts[j] = g.Dict().Term(binding[v]).String()
+			}
+			rows[strings.Join(parts, "\t")] = true
+			return
+		}
+		p := q.Patterns[i]
+		for _, t := range all {
+			var bound []string
+			ok := true
+			for _, pos := range []struct {
+				pt query.Term
+				id dict.ID
+			}{{p.S, t.S}, {p.P, t.P}, {p.O, t.O}} {
+				v, match := matchTerm(pos.pt, pos.id)
+				if !match {
+					ok = false
+					break
+				}
+				if v != "" {
+					binding[v] = pos.id
+					bound = append(bound, v)
+				}
+			}
+			if ok {
+				rec(i + 1)
+			}
+			for _, v := range bound {
+				delete(binding, v)
+			}
+		}
+	}
+	rec(0)
+
+	out := make([]string, 0, len(rows))
+	for r := range rows {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,281 @@
+// Package refimpl holds naive, definition-faithful reference
+// implementations of the paper's constructions, used exclusively as
+// testing oracles for the optimized packages:
+//
+//   - property cliques by pairwise fixpoint (Definition 5, verbatim);
+//   - weak and strong node equivalence by closure over the definitions
+//     (Definitions 7 and 15);
+//   - saturation by blind rule application to fixpoint (§2.1);
+//   - BGP evaluation by unindexed backtracking.
+//
+// Everything here favors obviousness over speed (quadratic/cubic loops);
+// oracles only run on small graphs in tests.
+package refimpl
+
+import (
+	"sort"
+
+	"rdfsum/internal/dict"
+	"rdfsum/internal/store"
+)
+
+// SourceCliques returns the partition of data properties into source
+// cliques by the literal Definition 5 fixpoint: p1 and p2 are
+// source-related iff some resource has both, or some resource has p1 and
+// p3 with p3 source-related to p2.
+func SourceCliques(data []store.Triple) [][]dict.ID {
+	return cliquesBy(data, func(t store.Triple) dict.ID { return t.S })
+}
+
+// TargetCliques is the target-side counterpart.
+func TargetCliques(data []store.Triple) [][]dict.ID {
+	return cliquesBy(data, func(t store.Triple) dict.ID { return t.O })
+}
+
+func cliquesBy(data []store.Triple, end func(store.Triple) dict.ID) [][]dict.ID {
+	props := map[dict.ID]bool{}
+	for _, t := range data {
+		props[t.P] = true
+	}
+	related := map[[2]dict.ID]bool{}
+	relate := func(a, b dict.ID) { related[[2]dict.ID{a, b}] = true; related[[2]dict.ID{b, a}] = true }
+	for p := range props {
+		relate(p, p)
+	}
+	// Base case: co-occurrence on one resource.
+	for _, t1 := range data {
+		for _, t2 := range data {
+			if end(t1) == end(t2) {
+				relate(t1.P, t2.P)
+			}
+		}
+	}
+	// Fixpoint of the transitive condition (ii).
+	for changed := true; changed; {
+		changed = false
+		for a := range props {
+			for b := range props {
+				if related[[2]dict.ID{a, b}] {
+					continue
+				}
+				for c := range props {
+					if related[[2]dict.ID{a, c}] && related[[2]dict.ID{c, b}] {
+						relate(a, b)
+						changed = true
+						break
+					}
+				}
+			}
+		}
+	}
+	return classesOf(props, func(a, b dict.ID) bool { return related[[2]dict.ID{a, b}] })
+}
+
+// classesOf groups the keys of set into equivalence classes of eq, each
+// sorted, ordered by smallest member.
+func classesOf(set map[dict.ID]bool, eq func(a, b dict.ID) bool) [][]dict.ID {
+	var ids []dict.ID
+	for id := range set {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	assigned := map[dict.ID]int{}
+	var classes [][]dict.ID
+	for _, id := range ids {
+		placed := false
+		for ci := range classes {
+			if eq(classes[ci][0], id) {
+				classes[ci] = append(classes[ci], id)
+				assigned[id] = ci
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			assigned[id] = len(classes)
+			classes = append(classes, []dict.ID{id})
+		}
+	}
+	return classes
+}
+
+// nodeCliques computes SC(r) and TC(r) for every data node, as indexes
+// into the returned clique lists (-1 = ∅).
+func nodeCliques(g *store.Graph) (src, tgt [][]dict.ID, nodeSrc, nodeTgt map[dict.ID]int) {
+	src = SourceCliques(g.Data)
+	tgt = TargetCliques(g.Data)
+	srcOf := map[dict.ID]int{}
+	for i, c := range src {
+		for _, p := range c {
+			srcOf[p] = i
+		}
+	}
+	tgtOf := map[dict.ID]int{}
+	for i, c := range tgt {
+		for _, p := range c {
+			tgtOf[p] = i
+		}
+	}
+	nodeSrc = map[dict.ID]int{}
+	nodeTgt = map[dict.ID]int{}
+	seen := map[dict.ID]bool{}
+	for _, t := range g.Data {
+		seen[t.S] = true
+		seen[t.O] = true
+		nodeSrc[t.S] = srcOf[t.P]
+		nodeTgt[t.O] = tgtOf[t.P]
+	}
+	for n := range seen {
+		if _, ok := nodeSrc[n]; !ok {
+			nodeSrc[n] = -1
+		}
+		if _, ok := nodeTgt[n]; !ok {
+			nodeTgt[n] = -1
+		}
+	}
+	// Typed-only resources: no cliques at all.
+	for _, t := range g.Types {
+		if !seen[t.S] {
+			nodeSrc[t.S] = -1
+			nodeTgt[t.S] = -1
+		}
+	}
+	return src, tgt, nodeSrc, nodeTgt
+}
+
+// WeakClasses returns the partition of G's data nodes under weak
+// equivalence (Definition 7, closed transitively), with all clique-less
+// nodes lumped into one class (the paper's Nτ convention, §4.1).
+func WeakClasses(g *store.Graph) [][]dict.ID {
+	_, _, nodeSrc, nodeTgt := nodeCliques(g)
+	nodes := map[dict.ID]bool{}
+	for n := range nodeSrc {
+		nodes[n] = true
+	}
+	eq := func(a, b dict.ID) bool {
+		if a == b {
+			return true
+		}
+		// Transitive closure by BFS over the base relation.
+		base := func(x, y dict.ID) bool {
+			if nodeSrc[x] == -1 && nodeTgt[x] == -1 && nodeSrc[y] == -1 && nodeTgt[y] == -1 {
+				return true // both clique-less: Nτ
+			}
+			return (nodeSrc[x] != -1 && nodeSrc[x] == nodeSrc[y]) ||
+				(nodeTgt[x] != -1 && nodeTgt[x] == nodeTgt[y])
+		}
+		visited := map[dict.ID]bool{a: true}
+		frontier := []dict.ID{a}
+		for len(frontier) > 0 {
+			x := frontier[0]
+			frontier = frontier[1:]
+			if base(x, b) {
+				return true
+			}
+			for y := range nodes {
+				if !visited[y] && base(x, y) {
+					visited[y] = true
+					frontier = append(frontier, y)
+				}
+			}
+		}
+		return false
+	}
+	return classesOf(nodes, eq)
+}
+
+// StrongClasses returns the partition under strong equivalence
+// (Definition 15): same source clique and same target clique.
+func StrongClasses(g *store.Graph) [][]dict.ID {
+	_, _, nodeSrc, nodeTgt := nodeCliques(g)
+	nodes := map[dict.ID]bool{}
+	for n := range nodeSrc {
+		nodes[n] = true
+	}
+	eq := func(a, b dict.ID) bool {
+		return nodeSrc[a] == nodeSrc[b] && nodeTgt[a] == nodeTgt[b]
+	}
+	return classesOf(nodes, eq)
+}
+
+// Saturate computes G∞ by blind rule application to fixpoint (no schema
+// pre-closure, no pass ordering — the defining construction of §2.1).
+func Saturate(g *store.Graph) *store.Graph {
+	v := g.Vocab()
+	set := map[store.Triple]bool{}
+	var all []store.Triple
+	add := func(t store.Triple) bool {
+		if set[t] {
+			return false
+		}
+		set[t] = true
+		all = append(all, t)
+		return true
+	}
+	for _, t := range g.All() {
+		add(t)
+	}
+	for changed := true; changed; {
+		changed = false
+		snapshot := append([]store.Triple(nil), all...)
+		for _, t1 := range snapshot {
+			for _, t2 := range snapshot {
+				for _, derived := range derive(v, t1, t2) {
+					if add(derived) {
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	out := store.NewGraphWithDict(g.Dict())
+	for _, t := range all {
+		out.AddEncoded(t.S, t.P, t.O)
+	}
+	out.SortDedup()
+	return out
+}
+
+// derive applies every immediate entailment rule with t1, t2 as premises
+// (in that order).
+func derive(v store.Vocab, t1, t2 store.Triple) []store.Triple {
+	var out []store.Triple
+	switch {
+	case t1.P == v.SubClass && t2.P == v.SubClass && t1.O == t2.S:
+		out = append(out, store.Triple{S: t1.S, P: v.SubClass, O: t2.O})
+	case t1.P == v.SubProp && t2.P == v.SubProp && t1.O == t2.S:
+		out = append(out, store.Triple{S: t1.S, P: v.SubProp, O: t2.O})
+	case t1.P == v.Domain && t2.P == v.SubClass && t1.O == t2.S:
+		out = append(out, store.Triple{S: t1.S, P: v.Domain, O: t2.O})
+	case t1.P == v.Range && t2.P == v.SubClass && t1.O == t2.S:
+		out = append(out, store.Triple{S: t1.S, P: v.Range, O: t2.O})
+	case t1.P == v.SubProp && t2.P == v.Domain && t1.O == t2.S:
+		out = append(out, store.Triple{S: t1.S, P: v.Domain, O: t2.O})
+	case t1.P == v.SubProp && t2.P == v.Range && t1.O == t2.S:
+		out = append(out, store.Triple{S: t1.S, P: v.Range, O: t2.O})
+	case t1.P == v.Type && t2.P == v.SubClass && t1.O == t2.S:
+		out = append(out, store.Triple{S: t1.S, P: v.Type, O: t2.O})
+	}
+	// Instance rules keyed on t2 being a schema triple about t1's property.
+	if !isSchemaOrType(v, t1.P) {
+		switch t2.P {
+		case v.SubProp:
+			if t1.P == t2.S {
+				out = append(out, store.Triple{S: t1.S, P: t2.O, O: t1.O})
+			}
+		case v.Domain:
+			if t1.P == t2.S {
+				out = append(out, store.Triple{S: t1.S, P: v.Type, O: t2.O})
+			}
+		case v.Range:
+			if t1.P == t2.S {
+				out = append(out, store.Triple{S: t1.O, P: v.Type, O: t2.O})
+			}
+		}
+	}
+	return out
+}
+
+func isSchemaOrType(v store.Vocab, p dict.ID) bool {
+	return p == v.Type || p == v.SubClass || p == v.SubProp || p == v.Domain || p == v.Range
+}

@@ -1,0 +1,144 @@
+// Package samples provides the worked example graphs of the paper, used by
+// tests, examples and benchmarks:
+//
+//   - Fig2: the running sample RDF graph of §3 (Figure 2), whose cliques
+//     are tabulated in Table 1 and whose four summaries appear in
+//     Figures 4, 6, 7 and 9.
+//   - Fig5: the weak-completeness illustration graph (Figure 5).
+//   - Fig8: the typed-weak non-completeness counter-example (Figure 8).
+//   - Fig10: the strong-completeness illustration graph (Figure 10).
+package samples
+
+import (
+	"rdfsum/internal/rdf"
+	"rdfsum/internal/store"
+)
+
+// NS is the namespace of all sample resources.
+const NS = "http://example.org/"
+
+// IRI builds a term in the sample namespace.
+func IRI(local string) rdf.Term { return rdf.NewIRI(NS + local) }
+
+// Property names of the Figure 2 graph, abbreviated in the paper as
+// a, t, e, c, r, p.
+var (
+	Author    = IRI("author")
+	Title     = IRI("title")
+	Editor    = IRI("editor")
+	Comment   = IRI("comment")
+	Reviewed  = IRI("reviewed")
+	Published = IRI("published")
+
+	Book    = IRI("Book")
+	Journal = IRI("Journal")
+	Spec    = IRI("Spec")
+)
+
+// Fig2 returns the paper's running sample graph (Figure 2):
+//
+//	r1 —author→ a1, r1 —title→ t1            r1 τ Book
+//	r2 —title→ t2, r2 —editor→ e1            r2 τ Journal
+//	r3 —editor→ e2, r3 —comment→ c1
+//	r4 —author→ a2, r4 —title→ t3
+//	r5 —title→ t4, r5 —editor→ e2            r5 τ Spec
+//	a1 —reviewed→ r4, e1 —published→ r4
+//	r6 (typed only)                          r6 τ Journal
+//
+// Its source cliques are SC1={a,t,e,c}, SC2={r}, SC3={p}; its target
+// cliques TC1={a}, TC2={t}, TC3={e}, TC4={c}, TC5={r,p} (Table 1).
+func Fig2() *store.Graph {
+	return store.FromTriples(Fig2Triples())
+}
+
+// Fig2Triples returns the triples of Fig2 at string level.
+func Fig2Triples() []rdf.Triple {
+	r := func(i string) rdf.Term { return IRI("r" + i) }
+	return []rdf.Triple{
+		rdf.NewTriple(r("1"), Author, IRI("a1")),
+		rdf.NewTriple(r("1"), Title, IRI("t1")),
+		rdf.NewTriple(r("2"), Title, IRI("t2")),
+		rdf.NewTriple(r("2"), Editor, IRI("e1")),
+		rdf.NewTriple(r("3"), Editor, IRI("e2")),
+		rdf.NewTriple(r("3"), Comment, IRI("c1")),
+		rdf.NewTriple(r("4"), Author, IRI("a2")),
+		rdf.NewTriple(r("4"), Title, IRI("t3")),
+		rdf.NewTriple(r("5"), Title, IRI("t4")),
+		rdf.NewTriple(r("5"), Editor, IRI("e2")),
+		rdf.NewTriple(IRI("a1"), Reviewed, r("4")),
+		rdf.NewTriple(IRI("e1"), Published, r("4")),
+		rdf.NewTriple(r("1"), rdf.Type(), Book),
+		rdf.NewTriple(r("2"), rdf.Type(), Journal),
+		rdf.NewTriple(r("5"), rdf.Type(), Spec),
+		rdf.NewTriple(r("6"), rdf.Type(), Journal),
+	}
+}
+
+// Fig5 returns the weak-completeness illustration graph of Figure 5:
+//
+//	x —a1→ r1, r1 —b1→ y1, z —b2→ y2, r2 —c→ y2 (r2 —b2→ y2)
+//	with schema b1 ≺sp b, b2 ≺sp b.
+//
+// The paper draws: x —a1→ r1 —b1→ y1 and r2 —b2→ y2, r2 —c→ z.
+func Fig5() *store.Graph {
+	return store.FromTriples([]rdf.Triple{
+		rdf.NewTriple(IRI("x"), IRI("a1"), IRI("r1")),
+		rdf.NewTriple(IRI("r1"), IRI("b1"), IRI("y1")),
+		rdf.NewTriple(IRI("r2"), IRI("b2"), IRI("y2")),
+		rdf.NewTriple(IRI("r2"), IRI("c"), IRI("z")),
+		rdf.NewTriple(IRI("b1"), rdf.SubPropertyOf(), IRI("b")),
+		rdf.NewTriple(IRI("b2"), rdf.SubPropertyOf(), IRI("b")),
+	})
+}
+
+// Fig8 returns the typed-weak non-completeness counter-example of
+// Figure 8:
+//
+//	r1 —a→ y1, r1 —b→ x ;  r2 —b→ y2
+//	with schema a ←↩d c.
+//
+// Saturation types r1 (via the domain rule), so TW_{G∞} separates r1 from
+// r2, while TW_G merged them as untyped weak-equivalent nodes — hence
+// TW_{G∞} ≠ TW_{(TW_G)∞}.
+func Fig8() *store.Graph {
+	return store.FromTriples([]rdf.Triple{
+		rdf.NewTriple(IRI("r1"), IRI("a"), IRI("y1")),
+		rdf.NewTriple(IRI("r1"), IRI("b"), IRI("x")),
+		rdf.NewTriple(IRI("r2"), IRI("b"), IRI("y2")),
+		rdf.NewTriple(IRI("a"), rdf.Domain(), IRI("c")),
+	})
+}
+
+// Fig10 returns the strong-completeness illustration graph of Figure 10:
+//
+//	r1 —b→ z1, r1 —a1→ x1 ; r2 —c→ z2, r2 —a1→ x2 ; r3 —a2→ z3
+//	with schema a1 ≺sp a, a2 ≺sp a.
+func Fig10() *store.Graph {
+	return store.FromTriples([]rdf.Triple{
+		rdf.NewTriple(IRI("r1"), IRI("b"), IRI("z1")),
+		rdf.NewTriple(IRI("r1"), IRI("a1"), IRI("x1")),
+		rdf.NewTriple(IRI("r2"), IRI("c"), IRI("z2")),
+		rdf.NewTriple(IRI("r2"), IRI("a1"), IRI("x2")),
+		rdf.NewTriple(IRI("r3"), IRI("a2"), IRI("z3")),
+		rdf.NewTriple(IRI("a1"), rdf.SubPropertyOf(), IRI("a")),
+		rdf.NewTriple(IRI("a2"), rdf.SubPropertyOf(), IRI("a")),
+	})
+}
+
+// BookGraph returns the §2.1 book example with its schema (used by the
+// saturation examples and the quickstart).
+func BookGraph() *store.Graph {
+	doi1 := IRI("doi1")
+	b1 := rdf.NewBlank("b1")
+	return store.FromTriples([]rdf.Triple{
+		rdf.NewTriple(doi1, rdf.Type(), IRI("Book")),
+		rdf.NewTriple(doi1, IRI("writtenBy"), b1),
+		rdf.NewTriple(doi1, IRI("hasTitle"), rdf.NewLiteral("Le Port des Brumes")),
+		rdf.NewTriple(b1, IRI("hasName"), rdf.NewLiteral("G. Simenon")),
+		rdf.NewTriple(doi1, IRI("publishedIn"), rdf.NewLiteral("1932")),
+		rdf.NewTriple(IRI("Book"), rdf.SubClassOf(), IRI("Publication")),
+		rdf.NewTriple(IRI("writtenBy"), rdf.SubPropertyOf(), IRI("hasAuthor")),
+		rdf.NewTriple(IRI("writtenBy"), rdf.Domain(), IRI("Book")),
+		rdf.NewTriple(IRI("writtenBy"), rdf.Range(), IRI("Person")),
+	})
+}

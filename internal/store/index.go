@@ -1,0 +1,143 @@
+package store
+
+import (
+	"sort"
+
+	"rdfsum/internal/dict"
+)
+
+// Index provides ordered access paths over all three components of a
+// graph, supporting triple-pattern matching with any combination of bound
+// positions. It materializes three sort orders — SPO, POS and OSP — the
+// classical access-path set for triple stores.
+type Index struct {
+	spo []Triple // sorted by (S, P, O)
+	pos []Triple // sorted by (P, O, S)
+	osp []Triple // sorted by (O, S, P)
+}
+
+// NewIndex builds the three orderings over the graph's current triples.
+// The index does not track later mutations of g.
+func NewIndex(g *Graph) *Index {
+	all := g.All()
+	ix := &Index{
+		spo: all,
+		pos: append([]Triple(nil), all...),
+		osp: append([]Triple(nil), all...),
+	}
+	sort.Slice(ix.spo, func(i, j int) bool { return ix.spo[i].Less(ix.spo[j]) })
+	sort.Slice(ix.pos, func(i, j int) bool {
+		a, b := ix.pos[i], ix.pos[j]
+		if a.P != b.P {
+			return a.P < b.P
+		}
+		if a.O != b.O {
+			return a.O < b.O
+		}
+		return a.S < b.S
+	})
+	sort.Slice(ix.osp, func(i, j int) bool {
+		a, b := ix.osp[i], ix.osp[j]
+		if a.O != b.O {
+			return a.O < b.O
+		}
+		if a.S != b.S {
+			return a.S < b.S
+		}
+		return a.P < b.P
+	})
+	return ix
+}
+
+// Len reports the number of indexed triples.
+func (ix *Index) Len() int { return len(ix.spo) }
+
+// ForEach calls fn for every triple matching the pattern, where dict.None
+// in a position acts as a wildcard. Iteration stops early when fn returns
+// false.
+func (ix *Index) ForEach(s, p, o dict.ID, fn func(Triple) bool) {
+	arr, lo, hi := ix.rangeFor(s, p, o)
+	for _, t := range arr[lo:hi] {
+		if (s == dict.None || t.S == s) &&
+			(p == dict.None || t.P == p) &&
+			(o == dict.None || t.O == o) {
+			if !fn(t) {
+				return
+			}
+		}
+	}
+}
+
+// Count returns the number of triples matching the pattern. Every bound
+// combination is a prefix of one of the three maintained orders — (), (s),
+// (s,p), (s,p,o) on SPO; (p), (p,o) on POS; (o), (o,s) on OSP — so the
+// count is always an exact range width.
+func (ix *Index) Count(s, p, o dict.ID) int {
+	_, lo, hi := ix.rangeFor(s, p, o)
+	return hi - lo
+}
+
+// Contains reports whether the exact triple is present.
+func (ix *Index) Contains(t Triple) bool {
+	found := false
+	ix.ForEach(t.S, t.P, t.O, func(Triple) bool { found = true; return false })
+	return found
+}
+
+// rangeFor selects the best order for the bound positions and returns the
+// array and half-open range of candidate triples.
+func (ix *Index) rangeFor(s, p, o dict.ID) ([]Triple, int, int) {
+	switch {
+	case s != dict.None && p != dict.None && o != dict.None:
+		lo := sort.Search(len(ix.spo), func(i int) bool { return !ix.spo[i].Less(Triple{s, p, o}) })
+		hi := lo
+		for hi < len(ix.spo) && ix.spo[hi] == (Triple{s, p, o}) {
+			hi++
+		}
+		return ix.spo, lo, hi
+	case s != dict.None && p != dict.None:
+		lo := sort.Search(len(ix.spo), func(i int) bool {
+			t := ix.spo[i]
+			return t.S > s || (t.S == s && t.P >= p)
+		})
+		hi := sort.Search(len(ix.spo), func(i int) bool {
+			t := ix.spo[i]
+			return t.S > s || (t.S == s && t.P > p)
+		})
+		return ix.spo, lo, hi
+	case s != dict.None && o != dict.None:
+		lo := sort.Search(len(ix.osp), func(i int) bool {
+			t := ix.osp[i]
+			return t.O > o || (t.O == o && t.S >= s)
+		})
+		hi := sort.Search(len(ix.osp), func(i int) bool {
+			t := ix.osp[i]
+			return t.O > o || (t.O == o && t.S > s)
+		})
+		return ix.osp, lo, hi
+	case p != dict.None && o != dict.None:
+		lo := sort.Search(len(ix.pos), func(i int) bool {
+			t := ix.pos[i]
+			return t.P > p || (t.P == p && t.O >= o)
+		})
+		hi := sort.Search(len(ix.pos), func(i int) bool {
+			t := ix.pos[i]
+			return t.P > p || (t.P == p && t.O > o)
+		})
+		return ix.pos, lo, hi
+	case s != dict.None:
+		lo := sort.Search(len(ix.spo), func(i int) bool { return ix.spo[i].S >= s })
+		hi := sort.Search(len(ix.spo), func(i int) bool { return ix.spo[i].S > s })
+		return ix.spo, lo, hi
+	case p != dict.None:
+		lo := sort.Search(len(ix.pos), func(i int) bool { return ix.pos[i].P >= p })
+		hi := sort.Search(len(ix.pos), func(i int) bool { return ix.pos[i].P > p })
+		return ix.pos, lo, hi
+	case o != dict.None:
+		lo := sort.Search(len(ix.osp), func(i int) bool { return ix.osp[i].O >= o })
+		hi := sort.Search(len(ix.osp), func(i int) bool { return ix.osp[i].O > o })
+		return ix.osp, lo, hi
+	default:
+		return ix.spo, 0, len(ix.spo)
+	}
+}

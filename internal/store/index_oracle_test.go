@@ -1,0 +1,77 @@
+package store
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"rdfsum/internal/dict"
+	"rdfsum/internal/rdf"
+)
+
+// TestIndexMatchesNaiveScan: for random graphs and random patterns, every
+// index access path returns exactly the triples a full scan would.
+func TestIndexMatchesNaiveScan(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 99))
+		n := rng.IntN(40) + 5
+		g := NewGraph()
+		for i := 0; i < n; i++ {
+			s := rdf.NewIRI("http://x/n" + string(rune('a'+rng.IntN(6))))
+			p := rdf.NewIRI("http://x/p" + string(rune('a'+rng.IntN(4))))
+			o := rdf.NewIRI("http://x/n" + string(rune('a'+rng.IntN(6))))
+			g.Add(rdf.Triple{S: s, P: p, O: o})
+		}
+		g.SortDedup()
+		ix := NewIndex(g)
+		all := g.All()
+
+		// Try every bound-position combination with values drawn from the
+		// dictionary (plus the occasional absent 999 ID).
+		pick := func() dict.ID {
+			if rng.IntN(8) == 0 {
+				return dict.ID(9999)
+			}
+			return all[rng.IntN(len(all))].S
+		}
+		for trial := 0; trial < 30; trial++ {
+			var s, p, o dict.ID
+			if rng.IntN(2) == 0 {
+				s = pick()
+			}
+			if rng.IntN(2) == 0 {
+				p = all[rng.IntN(len(all))].P
+			}
+			if rng.IntN(2) == 0 {
+				o = pick()
+			}
+			want := map[Triple]int{}
+			for _, tr := range all {
+				if (s == 0 || tr.S == s) && (p == 0 || tr.P == p) && (o == 0 || tr.O == o) {
+					want[tr]++
+				}
+			}
+			got := map[Triple]int{}
+			ix.ForEach(s, p, o, func(tr Triple) bool { got[tr]++; return true })
+			if len(got) != len(want) {
+				return false
+			}
+			for tr, c := range want {
+				if got[tr] != c {
+					return false
+				}
+			}
+			wantCount := 0
+			for _, c := range want {
+				wantCount += c
+			}
+			if ix.Count(s, p, o) != wantCount {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

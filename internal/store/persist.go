@@ -1,0 +1,238 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"rdfsum/internal/dict"
+	"rdfsum/internal/rdf"
+)
+
+// Binary snapshot format (replaces the paper's Postgres COPY path):
+//
+//	magic   "RDFSUM" + format version byte
+//	uvarint number of dictionary terms, then for each term:
+//	        kind byte, then length-prefixed value [, datatype, lang for literals]
+//	uvarint data triple count, then 3 uvarint IDs per triple
+//	uvarint type triple count, same encoding
+//	uvarint schema triple count, same encoding
+//	uint32  little-endian CRC-32 (IEEE) of everything preceding it
+const (
+	snapshotMagic   = "RDFSUM"
+	snapshotVersion = 1
+)
+
+// WriteSnapshot serializes the graph (dictionary included) to w.
+func WriteSnapshot(w io.Writer, g *Graph) error {
+	crc := crc32.NewIEEE()
+	bw := bufio.NewWriter(io.MultiWriter(w, crc))
+
+	if _, err := bw.WriteString(snapshotMagic); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(snapshotVersion); err != nil {
+		return err
+	}
+
+	d := g.Dict()
+	writeUvarint(bw, uint64(d.Len()))
+	for id := dict.ID(1); id <= d.MaxID(); id++ {
+		t := d.Term(id)
+		if err := bw.WriteByte(byte(t.Kind)); err != nil {
+			return err
+		}
+		writeString(bw, t.Value)
+		if t.Kind == rdf.Literal {
+			writeString(bw, t.Datatype)
+			writeString(bw, t.Lang)
+		}
+	}
+	for _, comp := range [][]Triple{g.Data, g.Types, g.Schema} {
+		writeUvarint(bw, uint64(len(comp)))
+		for _, t := range comp {
+			writeUvarint(bw, uint64(t.S))
+			writeUvarint(bw, uint64(t.P))
+			writeUvarint(bw, uint64(t.O))
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	// The checksum is written to w only (it covers all bytes before it).
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], crc.Sum32())
+	_, err := w.Write(sum[:])
+	return err
+}
+
+// crcReader hashes exactly the bytes the parser consumes, which a
+// TeeReader around a buffered reader cannot do (read-ahead would pollute
+// the digest).
+type crcReader struct {
+	src *bufio.Reader
+	crc hash.Hash32
+}
+
+func (c *crcReader) ReadByte() (byte, error) {
+	b, err := c.src.ReadByte()
+	if err == nil {
+		var one [1]byte
+		one[0] = b
+		c.crc.Write(one[:]) //nolint:errcheck // hash writes cannot fail
+	}
+	return b, err
+}
+
+func (c *crcReader) Read(p []byte) (int, error) {
+	n, err := c.src.Read(p)
+	if n > 0 {
+		c.crc.Write(p[:n]) //nolint:errcheck // hash writes cannot fail
+	}
+	return n, err
+}
+
+// ReadSnapshot reconstructs a graph from a snapshot produced by
+// WriteSnapshot, verifying the trailing checksum.
+func ReadSnapshot(r io.Reader) (*Graph, error) {
+	br := &crcReader{src: bufio.NewReader(r), crc: crc32.NewIEEE()}
+
+	magic := make([]byte, len(snapshotMagic)+1)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("store: snapshot header: %w", err)
+	}
+	if string(magic[:len(snapshotMagic)]) != snapshotMagic {
+		return nil, fmt.Errorf("store: not a snapshot file (bad magic)")
+	}
+	if magic[len(snapshotMagic)] != snapshotVersion {
+		return nil, fmt.Errorf("store: unsupported snapshot version %d", magic[len(snapshotMagic)])
+	}
+
+	nTerms, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("store: snapshot dictionary size: %w", err)
+	}
+	d := dict.WithCapacity(int(nTerms))
+	for i := uint64(0); i < nTerms; i++ {
+		kind, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("store: snapshot term %d: %w", i, err)
+		}
+		value, err := readString(br)
+		if err != nil {
+			return nil, fmt.Errorf("store: snapshot term %d: %w", i, err)
+		}
+		t := rdf.Term{Kind: rdf.TermKind(kind), Value: value}
+		if t.Kind == rdf.Literal {
+			if t.Datatype, err = readString(br); err != nil {
+				return nil, fmt.Errorf("store: snapshot term %d: %w", i, err)
+			}
+			if t.Lang, err = readString(br); err != nil {
+				return nil, fmt.Errorf("store: snapshot term %d: %w", i, err)
+			}
+		}
+		switch t.Kind {
+		case rdf.IRI, rdf.Blank, rdf.Literal:
+		default:
+			return nil, fmt.Errorf("store: snapshot term %d: invalid kind %d", i, kind)
+		}
+		d.Encode(t)
+	}
+	if d.Len() != int(nTerms) {
+		return nil, fmt.Errorf("store: snapshot dictionary holds duplicate terms")
+	}
+
+	g := NewGraphWithDict(d)
+	maxID := uint64(d.MaxID())
+	for comp := 0; comp < 3; comp++ {
+		n, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("store: snapshot component %d size: %w", comp, err)
+		}
+		ts := make([]Triple, 0, n)
+		for i := uint64(0); i < n; i++ {
+			var ids [3]uint64
+			for j := range ids {
+				ids[j], err = binary.ReadUvarint(br)
+				if err != nil {
+					return nil, fmt.Errorf("store: snapshot triple: %w", err)
+				}
+				if ids[j] == 0 || ids[j] > maxID {
+					return nil, fmt.Errorf("store: snapshot triple references unknown term id %d", ids[j])
+				}
+			}
+			ts = append(ts, Triple{dict.ID(ids[0]), dict.ID(ids[1]), dict.ID(ids[2])})
+		}
+		switch comp {
+		case 0:
+			g.Data = ts
+		case 1:
+			g.Types = ts
+		case 2:
+			g.Schema = ts
+		}
+	}
+
+	want := br.crc.Sum32() // checksum of exactly the consumed payload bytes
+	var sum [4]byte
+	if _, err := io.ReadFull(br.src, sum[:]); err != nil {
+		return nil, fmt.Errorf("store: snapshot checksum: %w", err)
+	}
+	if binary.LittleEndian.Uint32(sum[:]) != want {
+		return nil, fmt.Errorf("store: snapshot checksum mismatch (corrupt file)")
+	}
+	return g, nil
+}
+
+// SaveFile writes a snapshot to path, replacing any existing file.
+func SaveFile(path string, g *Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteSnapshot(f, g); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a snapshot from path.
+func LoadFile(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadSnapshot(f)
+}
+
+func writeUvarint(w *bufio.Writer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	w.Write(buf[:n]) //nolint:errcheck // bufio defers errors to Flush
+}
+
+func writeString(w *bufio.Writer, s string) {
+	writeUvarint(w, uint64(len(s)))
+	w.WriteString(s) //nolint:errcheck // bufio defers errors to Flush
+}
+
+func readString(br *crcReader) (string, error) {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return "", err
+	}
+	if n > 1<<31 {
+		return "", fmt.Errorf("string length %d too large", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}

@@ -1,0 +1,204 @@
+package turtle
+
+import (
+	"bufio"
+	"io"
+	"sort"
+	"strings"
+
+	"rdfsum/internal/rdf"
+)
+
+// Writer options control prefix compaction.
+type WriterOptions struct {
+	// Prefixes maps prefix names to namespace IRIs. When nil, prefixes
+	// are inferred from the triples (most common namespaces, up to 8)
+	// plus the standard rdf/rdfs/xsd entries.
+	Prefixes map[string]string
+}
+
+// Write serializes triples as Turtle: prefix declarations, one subject
+// block per subject with ';'-separated predicates and ','-separated
+// objects. Triples are grouped by subject in first-appearance order;
+// within a subject, rdf:type is printed first as 'a'.
+func Write(w io.Writer, triples []rdf.Triple, opts *WriterOptions) error {
+	bw := bufio.NewWriter(w)
+	var prefixes map[string]string
+	if opts != nil && opts.Prefixes != nil {
+		prefixes = opts.Prefixes
+	} else {
+		prefixes = inferPrefixes(triples)
+	}
+	// Longest-namespace-first matching for compaction.
+	type pfx struct{ name, ns string }
+	ordered := make([]pfx, 0, len(prefixes))
+	for name, ns := range prefixes {
+		ordered = append(ordered, pfx{name, ns})
+	}
+	sort.Slice(ordered, func(i, j int) bool {
+		if len(ordered[i].ns) != len(ordered[j].ns) {
+			return len(ordered[i].ns) > len(ordered[j].ns)
+		}
+		return ordered[i].name < ordered[j].name
+	})
+
+	compact := func(t rdf.Term) string {
+		switch t.Kind {
+		case rdf.IRI:
+			for _, p := range ordered {
+				if local, ok := strings.CutPrefix(t.Value, p.ns); ok && validLocal(local) {
+					return p.name + ":" + local
+				}
+			}
+			return t.String()
+		default:
+			return t.String()
+		}
+	}
+
+	// Emit prefix declarations in name order.
+	names := make([]string, 0, len(prefixes))
+	for name := range prefixes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if _, err := bw.WriteString("@prefix " + name + ": <" + prefixes[name] + "> .\n"); err != nil {
+			return err
+		}
+	}
+	if len(names) > 0 {
+		bw.WriteByte('\n') //nolint:errcheck
+	}
+
+	// Group by subject, keeping first-appearance order.
+	order := make([]rdf.Term, 0)
+	bySubject := map[rdf.Term][]rdf.Triple{}
+	for _, t := range triples {
+		if _, ok := bySubject[t.S]; !ok {
+			order = append(order, t.S)
+		}
+		bySubject[t.S] = append(bySubject[t.S], t)
+	}
+
+	for _, s := range order {
+		ts := bySubject[s]
+		// rdf:type first, then predicate order of first appearance.
+		sort.SliceStable(ts, func(i, j int) bool {
+			ti := ts[i].P.Value == rdf.RDFType
+			tj := ts[j].P.Value == rdf.RDFType
+			return ti && !tj
+		})
+		bw.WriteString(compact(s)) //nolint:errcheck
+		lastPred := rdf.Term{}
+		for i, t := range ts {
+			switch {
+			case i == 0:
+				bw.WriteByte(' ') //nolint:errcheck
+			case t.P == lastPred:
+				bw.WriteString(" , ")        //nolint:errcheck
+				bw.WriteString(compact(t.O)) //nolint:errcheck
+				continue
+			default:
+				bw.WriteString(" ;\n    ") //nolint:errcheck
+			}
+			if t.P.Value == rdf.RDFType {
+				bw.WriteString("a ") //nolint:errcheck
+			} else {
+				bw.WriteString(compact(t.P)) //nolint:errcheck
+				bw.WriteByte(' ')            //nolint:errcheck
+			}
+			bw.WriteString(compact(t.O)) //nolint:errcheck
+			lastPred = t.P
+		}
+		bw.WriteString(" .\n") //nolint:errcheck
+	}
+	return bw.Flush()
+}
+
+// validLocal reports whether a namespace remainder can serve as the local
+// part of a prefixed name in our subset (letters, digits, _, -, inner dots).
+func validLocal(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_', c == '-':
+		case c == '.' && i > 0 && i < len(s)-1:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// inferPrefixes derives up to 8 namespace prefixes from the most frequent
+// IRI namespaces, plus the standard vocabulary prefixes when used.
+func inferPrefixes(triples []rdf.Triple) map[string]string {
+	counts := map[string]int{}
+	bump := func(t rdf.Term) {
+		if t.Kind != rdf.IRI {
+			return
+		}
+		if ns := namespaceOf(t.Value); ns != "" {
+			counts[ns]++
+		}
+	}
+	for _, t := range triples {
+		bump(t.S)
+		bump(t.P)
+		bump(t.O)
+	}
+	std := map[string]string{
+		rdf.RDFNS:  "rdf",
+		rdf.RDFSNS: "rdfs",
+		rdf.XSDNS:  "xsd",
+	}
+	out := map[string]string{}
+	for ns, name := range std {
+		if counts[ns] > 0 {
+			out[name] = ns
+			delete(counts, ns)
+		}
+	}
+	type freq struct {
+		ns string
+		n  int
+	}
+	var ordered []freq
+	for ns, n := range counts {
+		ordered = append(ordered, freq{ns, n})
+	}
+	sort.Slice(ordered, func(i, j int) bool {
+		if ordered[i].n != ordered[j].n {
+			return ordered[i].n > ordered[j].n
+		}
+		return ordered[i].ns < ordered[j].ns
+	})
+	for i, f := range ordered {
+		if i >= 8 {
+			break
+		}
+		name := "ns" + string(rune('0'+i))
+		out[name] = f.ns
+	}
+	return out
+}
+
+// namespaceOf splits an IRI at the last '#' or '/'. IRIs containing
+// characters that cannot appear raw inside an IRIREF (such as the
+// content-addressed summary-node URIs, which embed '<' and '>') yield no
+// namespace: they are always written in full, escaped form.
+func namespaceOf(iri string) string {
+	if strings.ContainsAny(iri, "<>\"{}|^`\\ \t\n") {
+		return ""
+	}
+	for i := len(iri) - 1; i >= 0; i-- {
+		if iri[i] == '#' || iri[i] == '/' {
+			return iri[:i+1]
+		}
+	}
+	return ""
+}

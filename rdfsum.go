@@ -1,0 +1,258 @@
+// Package rdfsum implements query-oriented summarization of RDF graphs,
+// after "Query-Oriented Summarization of RDF Graphs" (Čebirić, Goasdoué,
+// Manolescu).
+//
+// Given an RDF graph G, the library builds an RDF graph H_G that
+// summarizes G — typically orders of magnitude smaller — as the quotient
+// of G under a node-equivalence relation. Four summary kinds are provided:
+//
+//   - Weak: nodes sharing source/target property cliques, transitively.
+//     The most compact; one data edge per distinct property.
+//   - Strong: nodes with identical (source clique, target clique) pairs.
+//   - TypedWeak / TypedStrong: rdf:type takes precedence — typed nodes
+//     group by their exact class set, untyped ones summarize weakly /
+//     strongly.
+//
+// Summaries are RBGP-representative (a relational BGP query with answers
+// on G∞ has answers on H_G∞), accurate, and idempotent (the summary of a
+// summary is itself). Weak and strong summaries additionally support a
+// saturation shortcut: the summary of the saturated graph equals the
+// summary of the saturated summary, so reasoning can run on the small
+// graph.
+//
+// Quickstart:
+//
+//	g, err := rdfsum.LoadNTriplesFile("data.nt")
+//	s, err := rdfsum.Summarize(g, rdfsum.Weak)
+//	fmt.Println(s.Stats.DataNodes, s.Stats.CompressionRatio())
+//	rdfsum.ExportDOT(os.Stdout, s.Graph, "weak summary")
+package rdfsum
+
+import (
+	"io"
+	"os"
+
+	"rdfsum/internal/bsbm"
+	"rdfsum/internal/core"
+	"rdfsum/internal/dot"
+	"rdfsum/internal/lubm"
+	"rdfsum/internal/ntriples"
+	"rdfsum/internal/query"
+	"rdfsum/internal/rdf"
+	"rdfsum/internal/saturate"
+	"rdfsum/internal/store"
+	"rdfsum/internal/turtle"
+)
+
+// Model types, re-exported from the implementation packages. The aliases
+// carry their full method sets.
+type (
+	// Term is an RDF term: IRI, blank node, or literal.
+	Term = rdf.Term
+	// Triple is a string-level RDF triple.
+	Triple = rdf.Triple
+	// Graph is a dictionary-encoded RDF graph, partitioned into data,
+	// type and schema components.
+	Graph = store.Graph
+	// Index provides triple-pattern access paths over a Graph.
+	Index = store.Index
+	// Summary is the result of summarizing a Graph.
+	Summary = core.Summary
+	// Stats carries the size measures of a summary and its input.
+	Stats = core.Stats
+	// Kind selects a summary construction.
+	Kind = core.Kind
+	// Options tunes summarization.
+	Options = core.Options
+	// Query is a SPARQL basic-graph-pattern query.
+	Query = query.Query
+	// QueryResult is the answer table of a SELECT evaluation.
+	QueryResult = query.Result
+	// WeakBuilder maintains a weak summary incrementally under triple
+	// insertions (streaming construction).
+	WeakBuilder = core.WeakBuilder
+	// Weights are the cardinality statistics of a summary's quotient map,
+	// for query-optimizer use.
+	Weights = core.Weights
+)
+
+// Summary kinds.
+const (
+	Weak        = core.Weak
+	Strong      = core.Strong
+	TypeBased   = core.TypeBased
+	TypedWeak   = core.TypedWeak
+	TypedStrong = core.TypedStrong
+)
+
+// Weak-summary construction algorithms (Options.WeakAlgorithm).
+const (
+	// Incremental is the paper's one-pass merge algorithm (default).
+	Incremental = core.Incremental
+	// Global materializes the property cliques first; an oracle/ablation.
+	Global = core.Global
+)
+
+// Term constructors.
+var (
+	NewIRI          = rdf.NewIRI
+	NewBlank        = rdf.NewBlank
+	NewLiteral      = rdf.NewLiteral
+	NewLangLiteral  = rdf.NewLangLiteral
+	NewTypedLiteral = rdf.NewTypedLiteral
+	NewTriple       = rdf.NewTriple
+)
+
+// ParseKind resolves a summary kind name ("weak", "strong", "typed-weak",
+// "typed-strong", "type-based", or their abbreviations).
+func ParseKind(name string) (Kind, error) { return core.ParseKind(name) }
+
+// Parse reads an N-Triples document.
+func Parse(r io.Reader) ([]Triple, error) { return ntriples.Parse(r) }
+
+// ParseString reads an N-Triples document from a string.
+func ParseString(s string) ([]Triple, error) { return ntriples.ParseString(s) }
+
+// ParseStream streams triples from an N-Triples document to fn without
+// materializing them.
+func ParseStream(r io.Reader, fn func(Triple) error) error {
+	return ntriples.ParseFunc(r, fn)
+}
+
+// WriteNTriples serializes triples in N-Triples format.
+func WriteNTriples(w io.Writer, triples []Triple) error { return ntriples.Write(w, triples) }
+
+// NewGraph builds an encoded graph from triples.
+func NewGraph(triples []Triple) *Graph { return store.FromTriples(triples) }
+
+// EmptyGraph returns an empty graph with a fresh dictionary; add triples
+// with (*Graph).Add.
+func EmptyGraph() *Graph { return store.NewGraph() }
+
+// LoadNTriplesFile reads and encodes an N-Triples file.
+func LoadNTriplesFile(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	g := store.NewGraph()
+	if err := ntriples.ParseFunc(f, func(t Triple) error { g.Add(t); return nil }); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// ParseTurtle reads a document in the supported Turtle subset (prefixes,
+// 'a', predicate/object lists, typed and numeric literals).
+func ParseTurtle(r io.Reader) ([]Triple, error) { return turtle.Parse(r) }
+
+// ParseTurtleString reads a Turtle document from a string.
+func ParseTurtleString(s string) ([]Triple, error) { return turtle.ParseString(s) }
+
+// LoadTurtleFile reads and encodes a Turtle file.
+func LoadTurtleFile(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	triples, err := turtle.Parse(f)
+	if err != nil {
+		return nil, err
+	}
+	return store.FromTriples(triples), nil
+}
+
+// WriteTurtle serializes triples as prefix-compacted Turtle (prefixes are
+// inferred from the data; rdf:type prints as 'a', subjects group with
+// ';' / ',' lists).
+func WriteTurtle(w io.Writer, triples []Triple) error {
+	return turtle.Write(w, triples, nil)
+}
+
+// SaveSnapshot writes a graph (dictionary included) to the library's
+// checksummed binary format.
+func SaveSnapshot(path string, g *Graph) error { return store.SaveFile(path, g) }
+
+// LoadSnapshot reads a graph saved with SaveSnapshot.
+func LoadSnapshot(path string) (*Graph, error) { return store.LoadFile(path) }
+
+// Saturate returns G∞, the closure of g under the RDFS entailment rules
+// for subclass, subproperty, domain and range constraints. The semantics
+// of an RDF graph is its saturation; evaluate queries against Saturate(g)
+// for complete answers.
+func Saturate(g *Graph) *Graph { return saturate.Graph(g) }
+
+// Summarize builds the summary of g of the given kind with default
+// options.
+func Summarize(g *Graph, kind Kind) (*Summary, error) { return core.Summarize(g, kind, nil) }
+
+// SummarizeWithOptions builds the summary of g with explicit options.
+func SummarizeWithOptions(g *Graph, kind Kind, opts *Options) (*Summary, error) {
+	return core.Summarize(g, kind, opts)
+}
+
+// CheckWellBehaved verifies the well-behavedness assumptions the
+// summarizers rely on (no class in property position; classes carry only
+// type/schema properties). It returns nil when the triples are
+// well-behaved, and a non-empty slice of violations (each an error)
+// otherwise.
+func CheckWellBehaved(triples []Triple) []rdf.WellBehavedViolation {
+	return rdf.CheckWellBehaved(triples)
+}
+
+// NewIndex builds the SPO/POS/OSP access paths used by query evaluation.
+func NewIndex(g *Graph) *Index { return store.NewIndex(g) }
+
+// ParseQuery parses a SPARQL-subset BGP query (PREFIX, SELECT, ASK).
+func ParseQuery(text string) (*Query, error) { return query.Parse(text) }
+
+// EvalQuery evaluates q against g (explicit triples only — pass
+// Saturate(g) for complete answers), building a transient index.
+// For repeated evaluation over one graph, build the index once with
+// NewIndex and use EvalQueryIndexed.
+func EvalQuery(g *Graph, q *Query) (*QueryResult, error) {
+	return query.Eval(g, store.NewIndex(g), q, nil)
+}
+
+// EvalQueryIndexed evaluates q using a prebuilt index.
+func EvalQueryIndexed(g *Graph, ix *Index, q *Query) (*QueryResult, error) {
+	return query.Eval(g, ix, q, nil)
+}
+
+// AskQuery reports whether q has at least one answer on g.
+func AskQuery(g *Graph, q *Query) (bool, error) {
+	return query.Ask(g, store.NewIndex(g), q)
+}
+
+// ExportDOT renders a graph (or a summary's Graph) as a Graphviz DOT
+// document in the paper's visual style.
+func ExportDOT(w io.Writer, g *Graph, title string) error {
+	return dot.Write(w, g, &dot.Options{Title: title})
+}
+
+// GenerateBSBM builds a deterministic Berlin-SPARQL-Benchmark-shaped
+// dataset with the given number of products (≈58 triples per product),
+// the workload of the paper's evaluation.
+func GenerateBSBM(products int) *Graph {
+	return bsbm.GenerateGraph(bsbm.DefaultConfig(products))
+}
+
+// GenerateLUBM builds a deterministic LUBM-shaped university dataset with
+// the given number of universities (≈3.3k triples per university): deep
+// class hierarchy and subproperty families, the saturation-heavy
+// complement to BSBM.
+func GenerateLUBM(universities int) *Graph {
+	return lubm.GenerateGraph(lubm.DefaultConfig(universities))
+}
+
+// NewWeakBuilder returns an empty streaming weak-summary builder; feed it
+// triples with Add/AddEncoded and snapshot anytime with Summary.
+func NewWeakBuilder() *WeakBuilder { return core.NewWeakBuilder() }
+
+// NewWeakBuilderWithGraph seeds a streaming builder with an existing
+// graph's triples (the graph is adopted, not copied).
+func NewWeakBuilderWithGraph(g *Graph) *WeakBuilder {
+	return core.NewWeakBuilderWithGraph(g)
+}

@@ -1,0 +1,124 @@
+package rdfsum_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"rdfsum"
+)
+
+// TestStreamingBuilderFacade: the streaming builder matches batch
+// summarization through the public API.
+func TestStreamingBuilderFacade(t *testing.T) {
+	g := rdfsum.GenerateBSBM(60)
+	batch, err := rdfsum.Summarize(g, rdfsum.Weak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := rdfsum.NewWeakBuilder()
+	for _, tr := range g.Decode() {
+		b.Add(tr)
+	}
+	inc := b.Summary()
+	if !reflect.DeepEqual(batch.Graph.CanonicalStrings(), inc.Graph.CanonicalStrings()) {
+		t.Error("streaming builder differs from batch summarization")
+	}
+	if b.Classes() == 0 {
+		t.Error("Classes() should be positive after streaming a dataset")
+	}
+}
+
+// TestParallelFacade: Options.Workers produces identical summaries.
+func TestParallelFacade(t *testing.T) {
+	g := rdfsum.GenerateBSBM(120)
+	seq, err := rdfsum.Summarize(g, rdfsum.Weak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		par, err := rdfsum.SummarizeWithOptions(g, rdfsum.Weak, &rdfsum.Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(seq.Graph.CanonicalStrings(), par.Graph.CanonicalStrings()) {
+			t.Errorf("workers=%d produced a different summary", workers)
+		}
+	}
+	// The Global algorithm is also reachable through the facade.
+	glo, err := rdfsum.SummarizeWithOptions(g, rdfsum.Weak, &rdfsum.Options{WeakAlgorithm: rdfsum.Global})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq.Graph.CanonicalStrings(), glo.Graph.CanonicalStrings()) {
+		t.Error("global algorithm produced a different summary")
+	}
+}
+
+// TestWeightsFacade: cardinalities power summary-only query estimation.
+func TestWeightsFacade(t *testing.T) {
+	g := rdfsum.GenerateBSBM(80)
+	s, err := rdfsum.Summarize(g, rdfsum.Weak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := s.ComputeWeights()
+	total := 0
+	for _, c := range w.EdgeCard {
+		total += c
+	}
+	if total != len(g.Data) {
+		t.Errorf("edge cardinalities sum to %d, want |D_G| = %d", total, len(g.Data))
+	}
+	price, ok := g.Dict().LookupIRI("http://bsbm.example.org/vocabulary/price")
+	if !ok {
+		t.Fatal("price property missing")
+	}
+	if w.PropertyCount(price) != 80*3 { // 3 offers per product, 1 price each
+		t.Errorf("PropertyCount(price) = %d, want %d", w.PropertyCount(price), 80*3)
+	}
+}
+
+// TestTurtleRoundTripFacade: a summary graph written as Turtle (with its
+// content-addressed node URIs) reloads to the identical triple set.
+func TestTurtleRoundTripFacade(t *testing.T) {
+	g := rdfsum.GenerateBSBM(30)
+	s, err := rdfsum.Summarize(g, rdfsum.TypedWeak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rdfsum.WriteTurtle(&buf, s.Graph.Decode()); err != nil {
+		t.Fatal(err)
+	}
+	back, err := rdfsum.ParseTurtle(&buf)
+	if err != nil {
+		t.Fatalf("reparse of summary Turtle failed: %v", err)
+	}
+	h := rdfsum.NewGraph(back)
+	if !reflect.DeepEqual(s.Graph.CanonicalStrings(), h.CanonicalStrings()) {
+		t.Error("Turtle round trip changed the summary triple set")
+	}
+}
+
+// TestGenerateLUBMFacade: the LUBM workload is reachable and summarizable
+// through the public API, and saturation grows it substantially.
+func TestGenerateLUBMFacade(t *testing.T) {
+	g := rdfsum.GenerateLUBM(1)
+	if g.NumEdges() < 1000 {
+		t.Fatalf("LUBM(1) only %d triples", g.NumEdges())
+	}
+	inf := rdfsum.Saturate(g)
+	if inf.NumEdges() <= g.NumEdges() {
+		t.Error("LUBM saturation added nothing; hierarchy not exercised")
+	}
+	for _, kind := range allKinds {
+		if _, err := rdfsum.Summarize(g, kind); err != nil {
+			t.Fatalf("Summarize(%v) on LUBM: %v", kind, err)
+		}
+	}
+	// Representativeness spot-check on the second workload.
+	if !checkRepresentative(t, g, 3, 10, 3) {
+		t.Error("representativeness violated on LUBM")
+	}
+}

@@ -1,0 +1,132 @@
+package rdfsum_test
+
+import (
+	"os"
+	"testing"
+	"testing/quick"
+
+	"rdfsum"
+	"rdfsum/internal/datagen"
+	"rdfsum/internal/query"
+	"rdfsum/internal/store"
+)
+
+func writeFile(path string, data []byte) error { return os.WriteFile(path, data, 0o644) }
+
+// allKinds are the four paper summaries plus the type-based helper.
+var allKinds = []rdfsum.Kind{rdfsum.Weak, rdfsum.Strong, rdfsum.TypedWeak,
+	rdfsum.TypedStrong, rdfsum.TypeBased}
+
+// checkRepresentative extracts nQueries random RBGP queries that are
+// non-empty on G∞ and asserts each is non-empty on H_G∞ (Proposition 1).
+func checkRepresentative(t *testing.T, g *rdfsum.Graph, seed uint64, nQueries, size int) bool {
+	t.Helper()
+	inf := rdfsum.Saturate(g)
+	infIx := store.NewIndex(inf)
+	rng := query.NewRNG(seed)
+
+	type satSummary struct {
+		graph *rdfsum.Graph
+		ix    *store.Index
+	}
+	sats := map[rdfsum.Kind]satSummary{}
+	for _, kind := range allKinds {
+		s, err := rdfsum.Summarize(g, kind)
+		if err != nil {
+			t.Fatalf("Summarize(%v): %v", kind, err)
+		}
+		hInf := rdfsum.Saturate(s.Graph)
+		sats[kind] = satSummary{hInf, store.NewIndex(hInf)}
+	}
+
+	for i := 0; i < nQueries; i++ {
+		q, ok := query.ExtractRBGP(inf, rng, size)
+		if !ok {
+			return true // nothing to extract (empty instance component)
+		}
+		if err := q.IsRBGP(); err != nil {
+			t.Fatalf("extracted query not RBGP: %v", err)
+		}
+		// Sanity: non-empty on its source G∞.
+		if found, err := query.Ask(inf, infIx, q); err != nil || !found {
+			t.Fatalf("extracted query empty on G∞ (err %v): %s", err, q)
+		}
+		for _, kind := range allKinds {
+			found, err := query.Ask(sats[kind].graph, sats[kind].ix, q)
+			if err != nil {
+				t.Fatalf("Ask on %v summary: %v", kind, err)
+			}
+			if !found {
+				t.Logf("representativeness violated for %v on query %s", kind, q)
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestProposition1RepresentativenessSamples: every RBGP query non-empty on
+// the saturated sample graphs is non-empty on each saturated summary.
+func TestProposition1RepresentativenessSamples(t *testing.T) {
+	graphs := map[string]*rdfsum.Graph{
+		"bsbm-small": rdfsum.GenerateBSBM(25),
+	}
+	nt := []string{sampleNT}
+	for i, doc := range nt {
+		ts, err := rdfsum.ParseString(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		graphs["doc"+string(rune('0'+i))] = rdfsum.NewGraph(ts)
+	}
+	for name, g := range graphs {
+		if !checkRepresentative(t, g, 11, 25, 4) {
+			t.Errorf("%s: representativeness violated", name)
+		}
+	}
+}
+
+// TestProposition1RepresentativenessRandom fuzzes Prop. 1 over the random
+// heterogeneous corpus.
+func TestProposition1RepresentativenessRandom(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := datagen.RandomGraph(datagen.FromQuickSeed(seed))
+		return checkRepresentative(t, g, seed, 6, 3)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSummariesCompressBSBM: on a BSBM dataset the paper's compactness
+// shape must hold — every summary is far smaller than the input, and the
+// type-first kinds (W, S) are no larger than the typed kinds (TW, TS).
+func TestSummariesCompressBSBM(t *testing.T) {
+	g := rdfsum.GenerateBSBM(400)
+	stats := map[rdfsum.Kind]rdfsum.Stats{}
+	for _, kind := range allKinds {
+		s, err := rdfsum.Summarize(g, kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats[kind] = s.Stats
+	}
+	for _, kind := range []rdfsum.Kind{rdfsum.Weak, rdfsum.Strong, rdfsum.TypedWeak, rdfsum.TypedStrong} {
+		if ratio := stats[kind].CompressionRatio(); ratio > 0.05 {
+			t.Errorf("%v summary compression ratio %.4f, want well under 0.05", kind, ratio)
+		}
+	}
+	if stats[rdfsum.Weak].DataNodes > stats[rdfsum.TypedWeak].DataNodes {
+		t.Errorf("weak (%d) should have no more data nodes than typed weak (%d)",
+			stats[rdfsum.Weak].DataNodes, stats[rdfsum.TypedWeak].DataNodes)
+	}
+	if stats[rdfsum.Strong].DataNodes > stats[rdfsum.TypedStrong].DataNodes {
+		t.Errorf("strong (%d) should have no more data nodes than typed strong (%d)",
+			stats[rdfsum.Strong].DataNodes, stats[rdfsum.TypedStrong].DataNodes)
+	}
+	// The typed kinds multiply data nodes (5–50x in the paper; the exact
+	// factor depends on scale — require a clear separation).
+	if f := float64(stats[rdfsum.TypedWeak].DataNodes) / float64(stats[rdfsum.Weak].DataNodes); f < 2 {
+		t.Errorf("typed-weak/weak data-node factor = %.1f, want >= 2", f)
+	}
+}
