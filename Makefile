@@ -1,0 +1,42 @@
+# The targets here are exactly what CI runs (.github/workflows/ci.yml),
+# so a green `make check` locally means a green build.
+
+GO ?= go
+
+.PHONY: all build test race vet fmt fmt-check bench bench-smoke check clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+# Full benchmark sweep (the 1M-triple load benchmark takes a while).
+bench:
+	$(GO) test -run 'XXX-none' -bench . ./...
+
+# One iteration of every benchmark, skipping the slow sweeps — the CI
+# smoke check that perf code at least runs.
+bench-smoke:
+	$(GO) test -run 'XXX-none' -bench . -benchtime 1x -short ./...
+
+check: build vet fmt-check race bench-smoke
+
+clean:
+	$(GO) clean ./...

@@ -260,6 +260,112 @@ func BenchmarkNTriplesParse(b *testing.B) {
 	}
 }
 
+// ntData renders a cached BSBM graph as N-Triples bytes for the load
+// benchmarks.
+var (
+	ntMu    sync.Mutex
+	ntCache = map[int][]byte{}
+)
+
+func ntData(b *testing.B, products int) []byte {
+	b.Helper()
+	g := bsbmGraph(b, products)
+	ntMu.Lock()
+	defer ntMu.Unlock()
+	if data, ok := ntCache[products]; ok {
+		return data
+	}
+	var buf bytes.Buffer
+	if err := ntriples.Write(&buf, g.Decode()); err != nil {
+		b.Fatal(err)
+	}
+	ntCache[products] = buf.Bytes()
+	return ntCache[products]
+}
+
+// BenchmarkLoadNTriples compares the sequential load-and-encode path with
+// the parallel ingestion pipeline at growing worker counts, on ~290k
+// BSBM triples (products=5000).
+func BenchmarkLoadNTriples(b *testing.B) {
+	data := ntData(b, 5000)
+	b.Run("sequential", func(b *testing.B) {
+		b.SetBytes(int64(len(data)))
+		for i := 0; i < b.N; i++ {
+			g := rdfsum.EmptyGraph()
+			if err := rdfsum.ParseStream(bytes.NewReader(data), func(t rdfsum.Triple) error {
+				g.Add(t)
+				return nil
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("parallel/workers=%d", workers), func(b *testing.B) {
+			b.SetBytes(int64(len(data)))
+			for i := 0; i < b.N; i++ {
+				if _, err := rdfsum.LoadNTriplesParallel(bytes.NewReader(data),
+					&rdfsum.LoadOptions{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkLoadNTriples1M is the acceptance benchmark for the parallel
+// ingestion pipeline: a ≥1M-triple BSBM input (products=17500 ≈ 1.01M
+// triples), sequential vs 4 and 8 workers. Skipped under -short — the
+// dataset generation alone takes tens of seconds.
+func BenchmarkLoadNTriples1M(b *testing.B) {
+	if testing.Short() {
+		b.Skip("1M-triple load benchmark skipped in -short mode")
+	}
+	data := ntData(b, 17500)
+	b.Run("sequential", func(b *testing.B) {
+		b.SetBytes(int64(len(data)))
+		for i := 0; i < b.N; i++ {
+			if _, err := rdfsum.LoadNTriplesParallel(bytes.NewReader(data),
+				&rdfsum.LoadOptions{Workers: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, workers := range []int{4, 8} {
+		b.Run(fmt.Sprintf("parallel/workers=%d", workers), func(b *testing.B) {
+			b.SetBytes(int64(len(data)))
+			for i := 0; i < b.N; i++ {
+				if _, err := rdfsum.LoadNTriplesParallel(bytes.NewReader(data),
+					&rdfsum.LoadOptions{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkLoadNTriplesLUBM is the cross-dataset load check (≈33k triples,
+// 10 universities).
+func BenchmarkLoadNTriplesLUBM(b *testing.B) {
+	g := rdfsum.GenerateLUBM(10)
+	var buf bytes.Buffer
+	if err := ntriples.Write(&buf, g.Decode()); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.SetBytes(int64(len(data)))
+			for i := 0; i < b.N; i++ {
+				if _, err := rdfsum.LoadNTriplesParallel(bytes.NewReader(data),
+					&rdfsum.LoadOptions{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkSaturate(b *testing.B) {
 	for _, products := range benchSizes {
 		g := bsbmGraph(b, products)

@@ -73,6 +73,17 @@ commands:
   profile     print the dataset's entity kinds from its typed-weak summary`)
 }
 
+// loadWorkers is the shared -workers setting: 0 loads N-Triples on all
+// CPUs through the parallel pipeline, 1 forces the sequential path.
+var loadWorkers int
+
+// loadFlags registers the loading flags shared by every subcommand that
+// reads a graph.
+func loadFlags(fs *flag.FlagSet) {
+	fs.IntVar(&loadWorkers, "workers", 0,
+		"N-Triples load workers (0 = all CPUs, 1 = sequential)")
+}
+
 // load reads a graph from an N-Triples (.nt) file, a Turtle (.ttl) file,
 // or a snapshot (anything else).
 func load(path string) (*rdfsum.Graph, error) {
@@ -81,7 +92,7 @@ func load(path string) (*rdfsum.Graph, error) {
 	}
 	switch {
 	case strings.HasSuffix(path, ".nt"):
-		return rdfsum.LoadNTriplesFile(path)
+		return rdfsum.LoadNTriplesFileParallel(path, &rdfsum.LoadOptions{Workers: loadWorkers})
 	case strings.HasSuffix(path, ".ttl"):
 		return rdfsum.LoadTurtleFile(path)
 	default:
@@ -118,6 +129,7 @@ func cmdSummarize(args []string) error {
 	out := fs.String("out", "", "write the summary graph (.nt or snapshot)")
 	dotOut := fs.String("dot", "", "write a Graphviz rendering of the summary")
 	saturateFirst := fs.Bool("saturate", false, "summarize the saturation G∞ instead of G")
+	loadFlags(fs)
 	fs.Parse(args) //nolint:errcheck // ExitOnError
 
 	kind, err := rdfsum.ParseKind(*kindName)
@@ -159,6 +171,7 @@ func cmdSaturate(args []string) error {
 	fs := flag.NewFlagSet("saturate", flag.ExitOnError)
 	in := fs.String("in", "", "input graph")
 	out := fs.String("out", "", "output file (default: stdout as N-Triples)")
+	loadFlags(fs)
 	fs.Parse(args) //nolint:errcheck
 	g, err := load(*in)
 	if err != nil {
@@ -176,6 +189,7 @@ func cmdStats(args []string) error {
 	fs := flag.NewFlagSet("stats", flag.ExitOnError)
 	in := fs.String("in", "", "input graph")
 	kinds := fs.String("kinds", "weak,strong,typed-weak,typed-strong", "summaries to measure")
+	loadFlags(fs)
 	fs.Parse(args) //nolint:errcheck
 	g, err := load(*in)
 	if err != nil {
@@ -213,6 +227,7 @@ func cmdQuery(args []string) error {
 	qfile := fs.String("qfile", "", "file holding the query")
 	saturateFirst := fs.Bool("saturate", false, "evaluate against G∞ (complete answers)")
 	limit := fs.Int("limit", 0, "maximum rows (0 = all)")
+	loadFlags(fs)
 	fs.Parse(args) //nolint:errcheck
 	if *qtext == "" && *qfile != "" {
 		b, err := os.ReadFile(*qfile)
@@ -262,6 +277,7 @@ func cmdConvert(args []string) error {
 	fs := flag.NewFlagSet("convert", flag.ExitOnError)
 	in := fs.String("in", "", "input graph")
 	out := fs.String("out", "", "output file")
+	loadFlags(fs)
 	fs.Parse(args) //nolint:errcheck
 	if *out == "" {
 		return fmt.Errorf("missing -out file")

@@ -26,12 +26,13 @@ import (
 func main() {
 	in := flag.String("in", "", "input graph (.nt, .ttl or snapshot)")
 	addr := flag.String("addr", ":8176", "listen address")
+	workers := flag.Int("workers", 0, "N-Triples load workers (0 = all CPUs, 1 = sequential)")
 	flag.Parse()
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "rdfsumd: missing -in file")
 		os.Exit(2)
 	}
-	srv, err := newServer(*in)
+	srv, err := newServer(*in, *workers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rdfsumd:", err)
 		os.Exit(1)

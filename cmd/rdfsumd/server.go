@@ -27,12 +27,15 @@ type server struct {
 	plainOnce sync.Once
 }
 
-func newServer(path string) (*server, error) {
+// newServer loads the graph at path. N-Triples inputs go through the
+// parallel pipeline with the given worker count (0 = all CPUs, 1 =
+// sequential).
+func newServer(path string, workers int) (*server, error) {
 	var g *rdfsum.Graph
 	var err error
 	switch {
 	case strings.HasSuffix(path, ".nt"):
-		g, err = rdfsum.LoadNTriplesFile(path)
+		g, err = rdfsum.LoadNTriplesFileParallel(path, &rdfsum.LoadOptions{Workers: workers})
 	case strings.HasSuffix(path, ".ttl"):
 		g, err = rdfsum.LoadTurtleFile(path)
 	default:

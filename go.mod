@@ -1,0 +1,3 @@
+module rdfsum
+
+go 1.24

@@ -1,0 +1,288 @@
+// Package load implements the parallel N-Triples ingestion pipeline.
+//
+// The paper's implementation (§6) parses N-Triples, encodes every term
+// through a dictionary, and "subsequently works only with the integer
+// representation"; in this repository that load-and-encode path dominates
+// end-to-end time on large inputs. This package parallelizes it without
+// changing its observable result:
+//
+//  1. Split — the input is cut into ~1 MiB slabs at newline boundaries
+//     (ntriples.SplitSlabs), each tagged with its global starting line.
+//  2. Parse+observe — GOMAXPROCS workers parse slabs concurrently
+//     (ntriples.ParseSlab keeps exact per-line error positions) and
+//     intern terms into a sharded concurrent dictionary (dict.Sharded),
+//     recording each term's first occurrence position. Triples are held
+//     as provisional 12-byte records.
+//  3. Renumber — dict.Sharded.Finalize assigns dense 1..MaxID IDs in
+//     first-occurrence order, reproducing exactly the IDs a sequential
+//     load would have issued (the dense space downstream code depends on).
+//  4. Assemble — workers translate each slab's provisional triples and
+//     partition them into data/type/schema batches, which are appended to
+//     the store.Graph in slab order.
+//
+// The result is bit-identical to the sequential path — same dictionary,
+// same triple slices, same component order — which load_test.go asserts
+// term-for-term. A malformed line is reported with its exact global
+// 1-based line number from whichever slab holds it; when several slabs
+// fail before the pipeline stops, the earliest detected line wins (with a
+// single bad line this is exactly the sequential error).
+package load
+
+import (
+	"errors"
+	"io"
+	"os"
+	"runtime"
+	"sync"
+
+	"rdfsum/internal/dict"
+	"rdfsum/internal/ntriples"
+	"rdfsum/internal/rdf"
+	"rdfsum/internal/store"
+)
+
+// Options tunes the parallel loader.
+type Options struct {
+	// Workers is the number of parse workers. 0 means GOMAXPROCS;
+	// 1 selects the plain sequential path.
+	Workers int
+	// SlabBytes is the split granularity. 0 means
+	// ntriples.DefaultSlabBytes (1 MiB).
+	SlabBytes int
+}
+
+func (o Options) workers() int {
+	if o.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Workers
+}
+
+// NTriplesFile loads and encodes an N-Triples file with opts.
+func NTriplesFile(path string, opts Options) (*store.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return NTriples(f, opts)
+}
+
+// NTriples loads and encodes an N-Triples document with opts.
+func NTriples(r io.Reader, opts Options) (*store.Graph, error) {
+	workers := opts.workers()
+	if workers == 1 {
+		return sequential(r)
+	}
+	return parallel(r, workers, opts.SlabBytes)
+}
+
+// sequential is the workers=1 path: ParseFunc into Graph.Add, exactly the
+// historical loader.
+func sequential(r io.Reader) (*store.Graph, error) {
+	g := store.NewGraph()
+	if err := ntriples.ParseFunc(r, func(t rdf.Triple) error { g.Add(t); return nil }); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// provTriple is a parsed triple whose terms are provisional dictionary IDs.
+type provTriple struct {
+	s, p, o dict.ProvID
+}
+
+// slabTriples is the parse output of one slab, collected for the assembly
+// phase.
+type slabTriples struct {
+	index   int
+	triples []provTriple
+}
+
+// errAborted stops the splitter once a worker has recorded a failure; it
+// never escapes this package.
+var errAborted = errors.New("load: aborted")
+
+// loadState is the shared state of one parallel load.
+type loadState struct {
+	sd *dict.Sharded
+
+	mu      sync.Mutex
+	results []slabTriples // dense by slab index once all workers finish
+	err     error         // the error to report; parse errors keep the earliest line
+}
+
+// fail records err, keeping the existing one unless the new error points
+// at an earlier line — matching the "first error in file order" behavior
+// of the sequential scan. Non-parse errors (I/O) win over nothing but
+// never displace an earlier parse error.
+func (st *loadState) fail(err error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.err == nil {
+		st.err = err
+		return
+	}
+	cur, curOK := st.err.(*ntriples.ParseError)
+	incoming, inOK := err.(*ntriples.ParseError)
+	if inOK && (!curOK || incoming.Line < cur.Line) {
+		st.err = err
+	}
+}
+
+func (st *loadState) aborted() bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.err != nil
+}
+
+func (st *loadState) put(r slabTriples) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for len(st.results) <= r.index {
+		st.results = append(st.results, slabTriples{index: -1})
+	}
+	st.results[r.index] = r
+}
+
+// occurrence keys order terms by (line, role); see dict.Sharded.
+const (
+	roleS = 0
+	roleP = 1
+	roleO = 2
+)
+
+func key(lineNo, role int) uint64 { return uint64(lineNo)<<2 | uint64(role) }
+
+func parallel(r io.Reader, workers, slabBytes int) (*store.Graph, error) {
+	st := &loadState{sd: dict.NewSharded()}
+	slabs := make(chan ntriples.Slab, workers)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for slab := range slabs {
+				if st.aborted() {
+					continue // drain
+				}
+				if res, err := parseSlab(st.sd, slab); err != nil {
+					st.fail(err)
+				} else {
+					st.put(res)
+				}
+			}
+		}()
+	}
+
+	splitErr := ntriples.SplitSlabs(r, slabBytes, func(s ntriples.Slab) error {
+		if st.aborted() {
+			return errAborted // stop reading; a worker already failed
+		}
+		slabs <- s
+		return nil
+	})
+	close(slabs)
+	wg.Wait()
+	if splitErr != nil && splitErr != errAborted {
+		st.fail(splitErr)
+	}
+	if st.err != nil {
+		return nil, st.err
+	}
+
+	// Renumber: dense IDs in global first-occurrence order, after the
+	// pre-interned vocabulary — identical to sequential encode order.
+	g := store.NewGraph()
+	remap := st.sd.Finalize(g.Dict())
+
+	return assemble(g, remap, st.results, workers), nil
+}
+
+// parseSlab parses one slab into provisional triples. The slab-local
+// cache keeps hot terms (properties, classes) off the shard locks; since
+// occurrence keys grow monotonically within a slab, the first observation
+// per slab carries the slab's minimum key, so the global minimum is still
+// found across slabs.
+func parseSlab(sd *dict.Sharded, slab ntriples.Slab) (slabTriples, error) {
+	cache := make(map[rdf.Term]dict.ProvID, 64)
+	observe := func(t rdf.Term, k uint64) dict.ProvID {
+		if p, ok := cache[t]; ok {
+			return p
+		}
+		p := sd.Observe(t, k)
+		cache[t] = p
+		return p
+	}
+	triples := make([]provTriple, 0, len(slab.Data)/64)
+	err := ntriples.ParseSlab(slab, func(lineNo int, t rdf.Triple) error {
+		triples = append(triples, provTriple{
+			s: observe(t.S, key(lineNo, roleS)),
+			p: observe(t.P, key(lineNo, roleP)),
+			o: observe(t.O, key(lineNo, roleO)),
+		})
+		return nil
+	})
+	if err != nil {
+		return slabTriples{}, err
+	}
+	return slabTriples{index: slab.Index, triples: triples}, nil
+}
+
+// batch is one slab's translated, partitioned triples.
+type batch struct {
+	data, types, schema []store.Triple
+}
+
+// assemble translates provisional IDs through remap and partitions each
+// slab concurrently, then appends the batches in slab order so the
+// component slices match a sequential load byte for byte.
+func assemble(g *store.Graph, remap [][]dict.ID, results []slabTriples, workers int) *store.Graph {
+	vocab := g.Vocab()
+	batches := make([]batch, len(results))
+	var wg sync.WaitGroup
+	next := make(chan int, len(results))
+	for i := range results {
+		next <- i
+	}
+	close(next)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				var b batch
+				for _, pt := range results[i].triples {
+					t := store.Triple{
+						S: dict.Remap(remap, pt.s),
+						P: dict.Remap(remap, pt.p),
+						O: dict.Remap(remap, pt.o),
+					}
+					switch vocab.ComponentOf(t.P) {
+					case store.CompTypes:
+						b.types = append(b.types, t)
+					case store.CompSchema:
+						b.schema = append(b.schema, t)
+					default:
+						b.data = append(b.data, t)
+					}
+				}
+				batches[i] = b
+			}
+		}()
+	}
+	wg.Wait()
+
+	var nd, nt, ns int
+	for _, b := range batches {
+		nd += len(b.data)
+		nt += len(b.types)
+		ns += len(b.schema)
+	}
+	g.Grow(nd, nt, ns)
+	for _, b := range batches {
+		g.AppendBatch(b.data, b.types, b.schema)
+	}
+	return g
+}

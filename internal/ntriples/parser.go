@@ -51,7 +51,7 @@ func ParseString(s string) ([]rdf.Triple, error) {
 // for large files: no intermediate slice is built.
 func ParseFunc(r io.Reader, fn func(rdf.Triple) error) error {
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	sc.Buffer(make([]byte, 0, 64*1024), MaxLineBytes)
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
@@ -68,6 +68,11 @@ func ParseFunc(r io.Reader, fn func(rdf.Triple) error) error {
 		}
 	}
 	if err := sc.Err(); err != nil {
+		if err == bufio.ErrTooLong {
+			// The scanner stalls on the line after the last one it
+			// delivered; report it instead of the opaque scanner error.
+			return &ParseError{Line: lineNo + 1, Msg: tooLongMsg()}
+		}
 		return fmt.Errorf("ntriples: read: %w", err)
 	}
 	return nil

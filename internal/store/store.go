@@ -10,6 +10,7 @@
 package store
 
 import (
+	"slices"
 	"sort"
 
 	"rdfsum/internal/dict"
@@ -97,16 +98,62 @@ func (g *Graph) Add(t rdf.Triple) {
 	g.AddEncoded(g.dict.Encode(t.S), g.dict.Encode(t.P), g.dict.Encode(t.O))
 }
 
+// Component identifies one of the three partitions of the triple-based
+// representation ⟨D_G, S_G, T_G⟩.
+type Component uint8
+
+const (
+	// CompData is the data component D_G.
+	CompData Component = iota
+	// CompTypes is the type component T_G.
+	CompTypes
+	// CompSchema is the schema component S_G.
+	CompSchema
+)
+
+// ComponentOf is the single source of truth for the partitioning
+// invariant: rdf:type triples belong to Types, the four RDFS constraint
+// properties to Schema, everything else to Data. AddEncoded and the
+// parallel loader's assembly both route through it.
+func (v Vocab) ComponentOf(p dict.ID) Component {
+	switch p {
+	case v.Type:
+		return CompTypes
+	case v.SubClass, v.SubProp, v.Domain, v.Range:
+		return CompSchema
+	default:
+		return CompData
+	}
+}
+
 // AddEncoded routes an already-encoded triple to the proper component.
 func (g *Graph) AddEncoded(s, p, o dict.ID) {
-	switch p {
-	case g.vocab.Type:
+	switch g.vocab.ComponentOf(p) {
+	case CompTypes:
 		g.Types = append(g.Types, Triple{s, p, o})
-	case g.vocab.SubClass, g.vocab.SubProp, g.vocab.Domain, g.vocab.Range:
+	case CompSchema:
 		g.Schema = append(g.Schema, Triple{s, p, o})
 	default:
 		g.Data = append(g.Data, Triple{s, p, o})
 	}
+}
+
+// Grow reserves capacity for upcoming appends to the three components,
+// so bulk loads pay for at most one reallocation per component.
+func (g *Graph) Grow(data, types, schema int) {
+	g.Data = slices.Grow(g.Data, data)
+	g.Types = slices.Grow(g.Types, types)
+	g.Schema = slices.Grow(g.Schema, schema)
+}
+
+// AppendBatch bulk-appends already-encoded, already-partitioned triples.
+// The caller asserts that every triple is routed to the component
+// AddEncoded would have chosen; the parallel loader partitions per slab
+// and lands each batch here in slab order.
+func (g *Graph) AppendBatch(data, types, schema []Triple) {
+	g.Data = append(g.Data, data...)
+	g.Types = append(g.Types, types...)
+	g.Schema = append(g.Schema, schema...)
 }
 
 // NumEdges is the total number of triples, |G|e.

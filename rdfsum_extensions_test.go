@@ -2,10 +2,13 @@ package rdfsum_test
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"reflect"
 	"testing"
 
 	"rdfsum"
+	"rdfsum/internal/dict"
 )
 
 // TestStreamingBuilderFacade: the streaming builder matches batch
@@ -52,6 +55,62 @@ func TestParallelFacade(t *testing.T) {
 	}
 	if !reflect.DeepEqual(seq.Graph.CanonicalStrings(), glo.Graph.CanonicalStrings()) {
 		t.Error("global algorithm produced a different summary")
+	}
+}
+
+// TestParallelLoadFacade: the parallel ingestion pipeline, reached
+// through the public API, yields a graph bit-identical to the sequential
+// loader — same dictionary, same component slices — and summaries built
+// from it match.
+func TestParallelLoadFacade(t *testing.T) {
+	src := rdfsum.GenerateBSBM(60)
+	var buf bytes.Buffer
+	if err := rdfsum.WriteNTriples(&buf, src.Decode()); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	path := filepath.Join(t.TempDir(), "data.nt")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	seq, err := rdfsum.LoadNTriplesFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := rdfsum.LoadNTriplesFileParallel(path, &rdfsum.LoadOptions{Workers: 4, SlabBytes: 16 * 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Dict().Len() != par.Dict().Len() {
+		t.Fatalf("dictionaries differ: %d vs %d terms", seq.Dict().Len(), par.Dict().Len())
+	}
+	for i := 1; i <= seq.Dict().Len(); i++ {
+		if seq.Dict().Term(dict.ID(i)) != par.Dict().Term(dict.ID(i)) {
+			t.Fatalf("dictionary id %d differs", i)
+		}
+	}
+	if !reflect.DeepEqual(seq.Data, par.Data) ||
+		!reflect.DeepEqual(seq.Types, par.Types) ||
+		!reflect.DeepEqual(seq.Schema, par.Schema) {
+		t.Fatal("component slices differ between sequential and parallel load")
+	}
+
+	// And through the reader-based entry point.
+	par2, err := rdfsum.LoadNTriplesParallel(bytes.NewReader(data), &rdfsum.LoadOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := rdfsum.Summarize(seq, rdfsum.Weak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := rdfsum.Summarize(par2, rdfsum.Weak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s1.Graph.CanonicalStrings(), s2.Graph.CanonicalStrings()) {
+		t.Error("summaries built from sequential and parallel loads differ")
 	}
 }
 
