@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt fmt-check bench bench-smoke check clean
+.PHONY: all build test race vet lint fmt fmt-check bench bench-smoke bench-json check clean
 
 all: build
 
@@ -18,6 +18,15 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# What the CI lint job runs: vet always, staticcheck when installed
+# (`go install honnef.co/go/tools/cmd/staticcheck@latest`).
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
 
 fmt:
 	gofmt -w .
@@ -35,6 +44,15 @@ bench:
 # smoke check that perf code at least runs.
 bench-smoke:
 	$(GO) test -run 'XXX-none' -bench . -benchtime 1x -short ./...
+
+# The CI bench job: smoke numbers with allocations, archived as JSON.
+# Redirect-then-cat (not a tee pipe) so a benchmark failure fails the
+# target instead of being masked by the pipe's exit status.
+bench-json:
+	@$(GO) test -run 'XXX-none' -bench . -benchtime 1x -benchmem -short ./... > bench.txt || (cat bench.txt; rm -f bench.txt; exit 1)
+	@cat bench.txt
+	$(GO) run ./cmd/benchjson -in bench.txt -out BENCH_ci.json
+	@rm -f bench.txt
 
 check: build vet fmt-check race bench-smoke
 

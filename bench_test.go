@@ -384,6 +384,177 @@ func BenchmarkIndexBuild(b *testing.B) {
 	}
 }
 
+// --- query engine benchmarks -----------------------------------------------
+//
+// The compile/execute engine: BSBM and LUBM query mixes, planned (summary
+// Weights drive the static join order) vs. greedy (runtime index counts
+// only), and pruned (saturated-summary emptiness gate) vs. unpruned.
+
+// bsbmQueryMix is a BSBM-shaped BGP workload: star joins over offers,
+// chain joins through reviews, and a type-constrained lookup.
+var bsbmQueryMix = []string{
+	`PREFIX bsbm: <http://bsbm.example.org/vocabulary/>
+	 SELECT ?p ?v WHERE {
+		?o bsbm:product ?p .
+		?o bsbm:vendor ?v .
+		?r bsbm:reviewFor ?p .
+		?r bsbm:rating1 ?score
+	 }`,
+	`PREFIX bsbm: <http://bsbm.example.org/vocabulary/>
+	 SELECT ?p ?c WHERE {
+		?p bsbm:producer ?pr .
+		?o bsbm:product ?p .
+		?o bsbm:price ?c
+	 }`,
+	`PREFIX bsbm: <http://bsbm.example.org/vocabulary/>
+	 SELECT ?r ?d WHERE { ?r bsbm:reviewFor ?p . ?r bsbm:reviewDate ?d }`,
+	`PREFIX bsbm: <http://bsbm.example.org/vocabulary/>
+	 PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+	 SELECT ?p WHERE { ?p rdf:type bsbm:Product . ?p bsbm:producer ?x }`,
+}
+
+// lubmQueryMix exercises the university workload: hierarchical joins and
+// a triangle (student — advisor — department).
+var lubmQueryMix = []string{
+	`PREFIX ub: <http://lubm.example.org/univ-bench.owl#>
+	 SELECT ?x ?u WHERE { ?x ub:headOf ?d . ?d ub:subOrganizationOf ?u }`,
+	`PREFIX ub: <http://lubm.example.org/univ-bench.owl#>
+	 SELECT ?s WHERE { ?s ub:memberOf ?d . ?s ub:advisor ?p . ?p ub:worksFor ?d }`,
+	`PREFIX ub: <http://lubm.example.org/univ-bench.owl#>
+	 SELECT ?s ?c WHERE {
+		?x ub:worksFor ?d .
+		?x ub:teacherOf ?c .
+		?s ub:advisor ?x .
+		?s ub:takesCourse ?c
+	 }`,
+}
+
+// bsbmEmptyMix is provably-empty on G∞: the pattern combinations cross
+// disjoint entity kinds (offers never carry review properties), which the
+// weak summary's saturated form detects.
+var bsbmEmptyMix = []string{
+	`PREFIX bsbm: <http://bsbm.example.org/vocabulary/>
+	 SELECT ?o WHERE { ?o bsbm:price ?x . ?o bsbm:reviewDate ?d }`,
+	`PREFIX bsbm: <http://bsbm.example.org/vocabulary/>
+	 SELECT ?p WHERE { ?p bsbm:producer ?x . ?p bsbm:reviewFor ?r }`,
+	`PREFIX bsbm: <http://bsbm.example.org/vocabulary/>
+	 SELECT ?o WHERE { ?o bsbm:vendor ?v . ?o bsbm:rating1 ?s }`,
+}
+
+func parseMix(b *testing.B, texts []string) []*rdfsum.Query {
+	b.Helper()
+	qs := make([]*rdfsum.Query, len(texts))
+	for i, text := range texts {
+		q, err := rdfsum.ParseQuery(text)
+		if err != nil {
+			b.Fatal(err)
+		}
+		qs[i] = q
+	}
+	return qs
+}
+
+// runEngineMix evaluates the whole mix once per iteration under the given
+// options, so planned-vs-greedy compares on identical work.
+func runEngineMix(b *testing.B, g *rdfsum.Graph, ix *rdfsum.Index, qs []*rdfsum.Query, opts *rdfsum.QueryOptions) {
+	b.Helper()
+	rows := 0
+	for i := 0; i < b.N; i++ {
+		rows = 0
+		for _, q := range qs {
+			res, err := rdfsum.EvalQueryWithOptions(g, ix, q, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rows += len(res.Rows)
+		}
+	}
+	b.ReportMetric(float64(rows), "rows")
+}
+
+// BenchmarkQueryEngineBSBM: the BSBM mix, greedy (runtime index counts
+// only) vs. planned (weak-summary Weights choose the static join order).
+func BenchmarkQueryEngineBSBM(b *testing.B) {
+	g := bsbmGraph(b, 1000)
+	ix := rdfsum.NewIndex(g)
+	qs := parseMix(b, bsbmQueryMix)
+	s, err := rdfsum.Summarize(g, rdfsum.Weak)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := s.ComputeWeights()
+	b.Run("greedy", func(b *testing.B) {
+		runEngineMix(b, g, ix, qs, &rdfsum.QueryOptions{})
+	})
+	b.Run("planned", func(b *testing.B) {
+		runEngineMix(b, g, ix, qs, &rdfsum.QueryOptions{Stats: w})
+	})
+}
+
+// BenchmarkQueryEngineLUBM: the university mix on the saturation-heavy
+// dataset (evaluated on G, the explicit triples).
+func BenchmarkQueryEngineLUBM(b *testing.B) {
+	g := rdfsum.GenerateLUBM(4)
+	ix := rdfsum.NewIndex(g)
+	qs := parseMix(b, lubmQueryMix)
+	s, err := rdfsum.Summarize(g, rdfsum.TypedWeak)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := s.ComputeWeights()
+	b.Run("greedy", func(b *testing.B) {
+		runEngineMix(b, g, ix, qs, &rdfsum.QueryOptions{})
+	})
+	b.Run("planned", func(b *testing.B) {
+		runEngineMix(b, g, ix, qs, &rdfsum.QueryOptions{Stats: w})
+	})
+}
+
+// BenchmarkQueryPruningBSBM: provably-empty queries, evaluated against the
+// full graph vs. short-circuited by the weak-summary pruning gate (gate
+// construction is outside the timed loop, as in a serving process).
+func BenchmarkQueryPruningBSBM(b *testing.B) {
+	g := bsbmGraph(b, 1000)
+	ix := rdfsum.NewIndex(g)
+	qs := parseMix(b, bsbmEmptyMix)
+	s, err := rdfsum.Summarize(g, rdfsum.Weak)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pruner := rdfsum.NewQueryPruner(s)
+	for _, q := range qs {
+		if !pruner.ProvablyEmpty(q) {
+			b.Fatalf("benchmark query not pruned by the weak summary: %s", q)
+		}
+	}
+	b.Run("unpruned", func(b *testing.B) {
+		runEngineMix(b, g, ix, qs, &rdfsum.QueryOptions{})
+	})
+	b.Run("pruned", func(b *testing.B) {
+		runEngineMix(b, g, ix, qs, &rdfsum.QueryOptions{Pruner: pruner})
+	})
+}
+
+// BenchmarkQueryCompile: the per-query planning cost a serving process
+// pays before execution (or amortizes via CompileQuery).
+func BenchmarkQueryCompile(b *testing.B) {
+	g := bsbmGraph(b, 1000)
+	qs := parseMix(b, bsbmQueryMix)
+	s, err := rdfsum.Summarize(g, rdfsum.Weak)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := s.ComputeWeights()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, q := range qs {
+			if _, err := rdfsum.CompileQuery(g, q, w); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
 func BenchmarkQueryEval(b *testing.B) {
 	g := bsbmGraph(b, 1000)
 	ix := rdfsum.NewIndex(g)

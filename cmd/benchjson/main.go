@@ -1,0 +1,142 @@
+// Command benchjson converts `go test -bench` text output into a stable
+// JSON document, so CI can archive the perf trajectory per commit
+// (BENCH_ci.json) and diffs stay machine-readable.
+//
+//	go test -run XXX-none -bench . -benchmem ./... | benchjson -out BENCH_ci.json
+//
+// Every benchmark line becomes one record with its iteration count and a
+// metric map (ns/op, B/op, allocs/op, MB/s and any b.ReportMetric units).
+// Header lines (goos/goarch/cpu/pkg) are folded into the environment
+// block; pkg is tracked per benchmark.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one `Benchmark...` result line.
+type Benchmark struct {
+	Name    string             `json:"name"`
+	Pkg     string             `json:"pkg,omitempty"`
+	Runs    int64              `json:"runs"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Report is the document benchjson emits.
+type Report struct {
+	Env        map[string]string `json:"env"`
+	Benchmarks []Benchmark       `json:"benchmarks"`
+}
+
+func main() {
+	in := flag.String("in", "", "benchmark text (default: stdin)")
+	out := flag.String("out", "", "output file (default: stdout)")
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	report, err := parse(r)
+	if err != nil {
+		fatal(err)
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		if _, err := os.Stdout.Write(data); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}
+
+// parse reads go-test benchmark output. Unrecognized lines (test chatter,
+// PASS/ok trailers) are skipped; malformed Benchmark lines are an error.
+func parse(r io.Reader) (*Report, error) {
+	report := &Report{Env: map[string]string{}}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"),
+			strings.HasPrefix(line, "goarch:"),
+			strings.HasPrefix(line, "cpu:"):
+			key, val, _ := strings.Cut(line, ":")
+			report.Env[key] = strings.TrimSpace(val)
+		case strings.HasPrefix(line, "pkg:"):
+			_, val, _ := strings.Cut(line, ":")
+			pkg = strings.TrimSpace(val)
+		case strings.HasPrefix(line, "Benchmark"):
+			b, err := parseBench(line)
+			if err != nil {
+				return nil, fmt.Errorf("%q: %w", line, err)
+			}
+			b.Pkg = pkg
+			report.Benchmarks = append(report.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sort.SliceStable(report.Benchmarks, func(i, j int) bool {
+		a, b := report.Benchmarks[i], report.Benchmarks[j]
+		if a.Pkg != b.Pkg {
+			return a.Pkg < b.Pkg
+		}
+		return a.Name < b.Name
+	})
+	return report, nil
+}
+
+// parseBench splits "BenchmarkX-8  100  123 ns/op  4 B/op ..." into name,
+// run count, and (value, unit) metric pairs.
+func parseBench(line string) (Benchmark, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return Benchmark{}, fmt.Errorf("too few fields")
+	}
+	runs, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, fmt.Errorf("iteration count: %w", err)
+	}
+	b := Benchmark{Name: fields[0], Runs: runs, Metrics: map[string]float64{}}
+	rest := fields[2:]
+	if len(rest)%2 != 0 {
+		return Benchmark{}, fmt.Errorf("odd metric fields: %v", rest)
+	}
+	for i := 0; i < len(rest); i += 2 {
+		v, err := strconv.ParseFloat(rest[i], 64)
+		if err != nil {
+			return Benchmark{}, fmt.Errorf("metric value %q: %w", rest[i], err)
+		}
+		b.Metrics[rest[i+1]] = v
+	}
+	return b, nil
+}

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: rdfsum
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkQueryEngineBSBM/planned-8         	     100	   8232818 ns/op	    2048 B/op	      12 allocs/op	      8577 rows
+BenchmarkQueryPruningBSBM/pruned-8         	   30000	     39025 ns/op
+PASS
+ok  	rdfsum	0.282s
+pkg: rdfsum/internal/query
+BenchmarkOther-8	       5	    100 ns/op
+`
+
+func TestParse(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Env["goos"] != "linux" || rep.Env["goarch"] != "amd64" || !strings.Contains(rep.Env["cpu"], "Xeon") {
+		t.Errorf("env = %v", rep.Env)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("benchmarks = %d, want 3", len(rep.Benchmarks))
+	}
+	// Sorted by (pkg, name): the two rdfsum entries first.
+	b := rep.Benchmarks[0]
+	if b.Name != "BenchmarkQueryEngineBSBM/planned-8" || b.Pkg != "rdfsum" || b.Runs != 100 {
+		t.Errorf("first = %+v", b)
+	}
+	if b.Metrics["ns/op"] != 8232818 || b.Metrics["allocs/op"] != 12 || b.Metrics["rows"] != 8577 {
+		t.Errorf("metrics = %v", b.Metrics)
+	}
+	if last := rep.Benchmarks[2]; last.Pkg != "rdfsum/internal/query" || last.Name != "BenchmarkOther-8" {
+		t.Errorf("last = %+v", last)
+	}
+}
+
+func TestParseMalformed(t *testing.T) {
+	if _, err := parse(strings.NewReader("BenchmarkBad-8  notanumber  1 ns/op\n")); err == nil {
+		t.Error("want error on malformed iteration count")
+	}
+	if _, err := parse(strings.NewReader("BenchmarkBad-8  3  1 ns/op trailing\n")); err == nil {
+		t.Error("want error on odd metric fields")
+	}
+}

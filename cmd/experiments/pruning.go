@@ -44,18 +44,15 @@ func printPruning(targets []int, dataset string, seed uint64) {
 		infIx := store.NewIndex(inf)
 		props := g.DistinctDataProperties()
 
-		type sat struct {
-			g  *rdfsum.Graph
-			ix *store.Index
-		}
-		sums := map[rdfsum.Kind]sat{}
+		// The library-level pruning gate (query.Pruner) each summary kind
+		// provides to the engine — the same gate rdfsumd serves with.
+		pruners := map[rdfsum.Kind]*rdfsum.QueryPruner{}
 		for _, k := range kinds {
 			s, err := rdfsum.Summarize(g, k)
 			if err != nil {
 				fatal(err)
 			}
-			hInf := rdfsum.Saturate(s.Graph)
-			sums[k] = sat{hInf, store.NewIndex(hInf)}
+			pruners[k] = rdfsum.NewQueryPruner(s)
 		}
 
 		rng := query.NewRNG(seed + uint64(target))
@@ -67,13 +64,10 @@ func printPruning(targets []int, dataset string, seed uint64) {
 			if !ok {
 				break
 			}
-			// Soundness check on the original (non-empty) query.
+			// Soundness check on the original (non-empty) query: a query
+			// with answers on G∞ must never be pruned (Prop. 1).
 			for _, k := range kinds {
-				found, err := query.Ask(sums[k].g, sums[k].ix, q)
-				if err != nil {
-					fatal(err)
-				}
-				if !found {
+				if pruners[k].ProvablyEmpty(q) {
 					sound = false
 				}
 			}
@@ -92,11 +86,7 @@ func printPruning(targets []int, dataset string, seed uint64) {
 			}
 			emptyQueries++
 			for _, k := range kinds {
-				found, err := query.Ask(sums[k].g, sums[k].ix, corrupted)
-				if err != nil {
-					fatal(err)
-				}
-				if !found {
+				if pruners[k].ProvablyEmpty(corrupted) {
 					pruned[k]++
 				}
 			}

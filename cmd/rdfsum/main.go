@@ -5,7 +5,7 @@
 //	rdfsum summarize -in data.nt -kind weak [-out summary.nt] [-dot summary.dot]
 //	rdfsum saturate  -in data.nt [-out saturated.nt]
 //	rdfsum stats     -in data.nt [-kinds weak,strong,typed-weak,typed-strong]
-//	rdfsum query     -in data.nt -q 'SELECT ?x WHERE { ... }' [-saturate]
+//	rdfsum query     -in data.nt -q 'SELECT ?x WHERE { ... }' [-saturate] [-explain] [-limit N] [-prune kind|off]
 //	rdfsum convert   -in data.nt -out data.snapshot
 //
 // Inputs and outputs ending in .nt are N-Triples; anything else is the
@@ -227,6 +227,12 @@ func cmdQuery(args []string) error {
 	qfile := fs.String("qfile", "", "file holding the query")
 	saturateFirst := fs.Bool("saturate", false, "evaluate against G∞ (complete answers)")
 	limit := fs.Int("limit", 0, "maximum rows (0 = all)")
+	explain := fs.Bool("explain", false, "print the join order with estimated vs. actual cardinalities")
+	// Off by default: a one-shot CLI invocation would pay a full
+	// summarize+saturate before every query; the long-lived rdfsumd
+	// amortizes that cost and defaults to weak instead.
+	pruneKind := fs.String("prune", "off",
+		"summary kind gating provably-empty queries and feeding planner stats (off = disable)")
 	loadFlags(fs)
 	fs.Parse(args) //nolint:errcheck
 	if *qtext == "" && *qfile != "" {
@@ -243,33 +249,54 @@ func cmdQuery(args []string) error {
 	if err != nil {
 		return err
 	}
-	if *saturateFirst {
-		g = rdfsum.Saturate(g)
-	}
 	q, err := rdfsum.ParseQuery(*qtext)
 	if err != nil {
 		return err
 	}
-	res, err := rdfsum.EvalQuery(g, q)
+
+	// Summarize *before* saturating: the pruning gate and the planner
+	// statistics both come from a summary of the loaded graph.
+	opts := &rdfsum.QueryOptions{Limit: *limit, Explain: *explain}
+	if *pruneKind != "off" {
+		kind, err := rdfsum.ParseKind(*pruneKind)
+		if err != nil {
+			return err
+		}
+		s, err := rdfsum.Summarize(g, kind)
+		if err != nil {
+			return err
+		}
+		opts.Pruner = rdfsum.NewQueryPruner(s)
+		opts.Stats = s.ComputeWeights()
+	}
+	if *saturateFirst {
+		g = rdfsum.Saturate(g)
+	}
+	res, err := rdfsum.EvalQueryWithOptions(g, rdfsum.NewIndex(g), q, opts)
 	if err != nil {
 		return err
+	}
+	if *explain && res.Explain != nil {
+		fmt.Println("plan:")
+		fmt.Print(res.Explain.String())
 	}
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	for _, v := range res.Vars {
 		fmt.Fprintf(tw, "?%s\t", v)
 	}
 	fmt.Fprintln(tw)
-	for i, row := range res.Rows {
-		if *limit > 0 && i >= *limit {
-			break
-		}
+	for _, row := range res.Rows {
 		for _, term := range row {
 			fmt.Fprintf(tw, "%s\t", term)
 		}
 		fmt.Fprintln(tw)
 	}
 	tw.Flush() //nolint:errcheck
-	fmt.Printf("%d row(s)\n", len(res.Rows))
+	if res.Truncated {
+		fmt.Printf("%d row(s) (truncated at -limit %d)\n", len(res.Rows), *limit)
+	} else {
+		fmt.Printf("%d row(s)\n", len(res.Rows))
+	}
 	return nil
 }
 

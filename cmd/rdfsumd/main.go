@@ -12,7 +12,11 @@
 //	                           with ?format=ntriples | dot)
 //	GET  /profile              entity-kind profile (typed-weak based)
 //	POST /query                SPARQL BGP text in the body;
-//	                           ?saturate=true evaluates against G∞
+//	                           ?saturate=true evaluates against G∞,
+//	                           ?limit=N caps rows (default 10000),
+//	                           ?explain=true reports the join order,
+//	                           ?prune=weak|strong|...|off selects the
+//	                           summary-pruning gate (default weak)
 package main
 
 import (
@@ -38,5 +42,5 @@ func main() {
 		os.Exit(1)
 	}
 	log.Printf("rdfsumd: serving %s (%d triples) on %s", *in, srv.graph.NumEdges(), *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv.mux()))
+	log.Fatal(http.ListenAndServe(*addr, srv.handler()))
 }

@@ -4,27 +4,59 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"rdfsum"
 	"rdfsum/internal/profile"
-	"rdfsum/internal/query"
 	"rdfsum/internal/store"
 )
+
+// Query row limits: the default when the client sends none, and the hard
+// cap a client-supplied ?limit may not exceed.
+const (
+	defaultQueryLimit = 10_000
+	maxQueryLimit     = 100_000
+)
+
+// summaryCell is the singleflight slot for one summary kind: the first
+// request builds, concurrent requests for the same kind wait on the Once,
+// and requests for *other* kinds proceed independently — a slow Strong
+// build no longer blocks Weak-pruned queries.
+type summaryCell struct {
+	once sync.Once
+	sum  *rdfsum.Summary
+	err  error
+}
+
+// prunerCell singleflights the saturated-summary emptiness oracle of one
+// kind (built on top of that kind's summaryCell).
+type prunerCell struct {
+	once   sync.Once
+	pruner *rdfsum.QueryPruner
+	err    error
+}
 
 // server holds the loaded graph and caches derived artifacts.
 type server struct {
 	graph *rdfsum.Graph
 
-	mu        sync.Mutex
-	summaries map[rdfsum.Kind]*rdfsum.Summary
+	mu        sync.Mutex // guards the two cell maps (not the builds)
+	summaries map[rdfsum.Kind]*summaryCell
+	pruners   map[rdfsum.Kind]*prunerCell
+
 	satOnce   sync.Once
 	saturated *rdfsum.Graph
 	satIx     *store.Index
 	plainIx   *store.Index
 	plainOnce sync.Once
+
+	weightsOnce sync.Once
+	weights     *rdfsum.Weights
 }
 
 // newServer loads the graph at path. N-Triples inputs go through the
@@ -48,7 +80,11 @@ func newServer(path string, workers int) (*server, error) {
 }
 
 func newServerFromGraph(g *rdfsum.Graph) *server {
-	return &server{graph: g, summaries: map[rdfsum.Kind]*rdfsum.Summary{}}
+	return &server{
+		graph:     g,
+		summaries: map[rdfsum.Kind]*summaryCell{},
+		pruners:   map[rdfsum.Kind]*prunerCell{},
+	}
 }
 
 func (s *server) mux() *http.ServeMux {
@@ -64,19 +100,83 @@ func (s *server) mux() *http.ServeMux {
 	return m
 }
 
-// summary builds (or returns the cached) summary of one kind.
+// handler wraps the mux with per-request logging (method, path, status,
+// duration) for serving observability.
+func (s *server) handler() http.Handler {
+	return logRequests(s.mux())
+}
+
+// statusWriter records the response code for the request log.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func logRequests(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h.ServeHTTP(sw, r)
+		log.Printf("%s %s %d %s", r.Method, r.URL.Path, sw.code,
+			time.Since(start).Round(time.Microsecond))
+	})
+}
+
+// summary builds (or returns the cached) summary of one kind. Builds of
+// different kinds run concurrently; duplicate requests for one kind
+// coalesce onto a single build.
 func (s *server) summary(kind rdfsum.Kind) (*rdfsum.Summary, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if sum, ok := s.summaries[kind]; ok {
-		return sum, nil
+	cell, ok := s.summaries[kind]
+	if !ok {
+		cell = &summaryCell{}
+		s.summaries[kind] = cell
 	}
-	sum, err := rdfsum.Summarize(s.graph, kind)
-	if err != nil {
-		return nil, err
+	s.mu.Unlock()
+	cell.once.Do(func() {
+		cell.sum, cell.err = rdfsum.Summarize(s.graph, kind)
+	})
+	return cell.sum, cell.err
+}
+
+// pruner builds (or returns the cached) summary-pruning gate of one kind.
+func (s *server) pruner(kind rdfsum.Kind) (*rdfsum.QueryPruner, error) {
+	s.mu.Lock()
+	cell, ok := s.pruners[kind]
+	if !ok {
+		cell = &prunerCell{}
+		s.pruners[kind] = cell
 	}
-	s.summaries[kind] = sum
-	return sum, nil
+	s.mu.Unlock()
+	cell.once.Do(func() {
+		sum, err := s.summary(kind)
+		if err != nil {
+			cell.err = err
+			return
+		}
+		cell.pruner = rdfsum.NewQueryPruner(sum)
+	})
+	return cell.pruner, cell.err
+}
+
+// planStats returns the weak summary's quotient-map cardinalities, the
+// statistics behind the planner's join ordering. Nil (with a logged
+// warning) when the weak summary cannot be built.
+func (s *server) planStats() *rdfsum.Weights {
+	s.weightsOnce.Do(func() {
+		sum, err := s.summary(rdfsum.Weak)
+		if err != nil {
+			log.Printf("rdfsumd: planner stats unavailable: %v", err)
+			return
+		}
+		s.weights = sum.ComputeWeights()
+	})
+	return s.weights
 }
 
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -156,6 +256,30 @@ func (s *server) handleProfile(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// queryLimit validates the optional ?limit parameter: a positive integer
+// capped at maxQueryLimit, defaulting to defaultQueryLimit.
+func queryLimit(r *http.Request) (int, error) {
+	raw := r.URL.Query().Get("limit")
+	if raw == "" {
+		return defaultQueryLimit, nil
+	}
+	n, err := strconv.Atoi(raw)
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf("invalid limit %q (want a positive integer)", raw)
+	}
+	if n > maxQueryLimit {
+		n = maxQueryLimit
+	}
+	return n, nil
+}
+
+// handleQuery evaluates a SPARQL BGP posted in the body.
+//
+// Parameters: ?saturate=true evaluates against G∞; ?limit=N caps the rows
+// (default 10000, capped at 100000); ?explain=true adds the join-order
+// report; ?prune selects the summary kind gating provably-empty queries
+// (default weak, "off" disables). The response reports whether the row
+// set was truncated by the limit.
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
 	if err != nil {
@@ -167,11 +291,42 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
+	limit, err := queryLimit(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	opts := &rdfsum.QueryOptions{
+		Limit:   limit,
+		Explain: r.URL.Query().Get("explain") == "true",
+	}
+	// Guarded assignment: a nil *Weights stored directly into the
+	// interface field would be a non-nil PlanStats and panic the planner.
+	if w := s.planStats(); w != nil {
+		opts.Stats = w
+	}
+	pruneName := r.URL.Query().Get("prune")
+	if pruneName == "" {
+		pruneName = "weak"
+	}
+	if pruneName != "off" {
+		kind, err := rdfsum.ParseKind(pruneName)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		pruner, err := s.pruner(kind)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		opts.Pruner = pruner
+	}
 	g, ix := s.graph, s.plainIndex()
 	if r.URL.Query().Get("saturate") == "true" {
 		g, ix = s.saturatedIndex()
 	}
-	res, err := query.Eval(g, ix, q, &query.EvalOptions{Limit: 10_000})
+	res, err := rdfsum.EvalQueryWithOptions(g, ix, q, opts)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
@@ -184,7 +339,16 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		rows = append(rows, cells)
 	}
-	writeJSON(w, map[string]any{"vars": res.Vars, "rows": rows, "count": len(rows)})
+	payload := map[string]any{
+		"vars":      res.Vars,
+		"rows":      rows,
+		"count":     len(rows),
+		"truncated": res.Truncated,
+	}
+	if res.Explain != nil {
+		payload["explain"] = res.Explain
+	}
+	writeJSON(w, payload)
 }
 
 func (s *server) plainIndex() *store.Index {
@@ -200,15 +364,21 @@ func (s *server) saturatedIndex() (*rdfsum.Graph, *store.Index) {
 	return s.saturated, s.satIx
 }
 
+// writeJSON encodes v; headers are already sent by the time an encode
+// error can occur, so it is logged rather than silently dropped.
 func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(v) //nolint:errcheck // headers already sent
+	if err := enc.Encode(v); err != nil {
+		log.Printf("rdfsumd: response encode: %v", err)
+	}
 }
 
 func httpError(w http.ResponseWriter, code int, err error) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()}) //nolint:errcheck
+	if encErr := json.NewEncoder(w).Encode(map[string]string{"error": err.Error()}); encErr != nil {
+		log.Printf("rdfsumd: error-response encode: %v", encErr)
+	}
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -14,7 +15,7 @@ import (
 func testServer(t *testing.T) *httptest.Server {
 	t.Helper()
 	srv := newServerFromGraph(rdfsum.GenerateBSBM(40))
-	ts := httptest.NewServer(srv.mux())
+	ts := httptest.NewServer(srv.handler())
 	t.Cleanup(ts.Close)
 	return ts
 }
@@ -170,6 +171,145 @@ func TestQueryEndpoint(t *testing.T) {
 	resp3.Body.Close()
 	if resp3.StatusCode != http.StatusBadRequest {
 		t.Errorf("malformed query status = %d", resp3.StatusCode)
+	}
+}
+
+// postQuery posts q and decodes the JSON response.
+func postQuery(t *testing.T, url, q string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(url, "application/sparql-query", strings.NewReader(q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	return resp.StatusCode, body
+}
+
+const priceQuery = `PREFIX bsbm: <http://bsbm.example.org/vocabulary/>
+	SELECT ?o WHERE { ?o bsbm:price ?p }`
+
+func TestQueryLimitParam(t *testing.T) {
+	ts := testServer(t)
+
+	// Client limit below the answer count (120): rows cut, truncated set.
+	code, body := postQuery(t, ts.URL+"/query?limit=7", priceQuery)
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if body["count"].(float64) != 7 || body["truncated"] != true {
+		t.Errorf("limited query = count %v truncated %v, want 7/true",
+			body["count"], body["truncated"])
+	}
+
+	// No limit: all 120 answers, not truncated.
+	_, body = postQuery(t, ts.URL+"/query", priceQuery)
+	if body["count"].(float64) != 120 || body["truncated"] != false {
+		t.Errorf("default query = count %v truncated %v, want 120/false",
+			body["count"], body["truncated"])
+	}
+
+	// Invalid limits are rejected.
+	for _, bad := range []string{"0", "-3", "abc"} {
+		code, _ := postQuery(t, ts.URL+"/query?limit="+bad, priceQuery)
+		if code != http.StatusBadRequest {
+			t.Errorf("limit=%s status = %d, want 400", bad, code)
+		}
+	}
+}
+
+func TestQueryExplainParam(t *testing.T) {
+	ts := testServer(t)
+	code, body := postQuery(t, ts.URL+"/query?explain=true", priceQuery)
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	ex, ok := body["explain"].(map[string]any)
+	if !ok {
+		t.Fatalf("explain missing from response: %v", body)
+	}
+	if ex["used_stats"] != true {
+		t.Errorf("explain.used_stats = %v, want true (weak-summary weights)", ex["used_stats"])
+	}
+	steps := ex["steps"].([]any)
+	if len(steps) != 1 {
+		t.Fatalf("explain.steps = %v, want 1 step", steps)
+	}
+	step := steps[0].(map[string]any)
+	if step["est"].(float64) != 120 || step["actual"].(float64) != 120 {
+		t.Errorf("step est/actual = %v/%v, want 120/120", step["est"], step["actual"])
+	}
+}
+
+func TestQueryPruning(t *testing.T) {
+	ts := testServer(t)
+	// Offers have price, reviews have reviewDate: no node carries both,
+	// so the weak-summary gate proves the join empty.
+	empty := `PREFIX bsbm: <http://bsbm.example.org/vocabulary/>
+		SELECT ?o WHERE { ?o bsbm:price ?x . ?o bsbm:reviewDate ?d }`
+	code, body := postQuery(t, ts.URL+"/query?explain=true", empty)
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if body["count"].(float64) != 0 {
+		t.Errorf("count = %v, want 0", body["count"])
+	}
+	ex := body["explain"].(map[string]any)
+	if ex["pruned"] != true || ex["pruned_by"] != "weak" {
+		t.Errorf("explain = %v, want pruned by weak summary", ex)
+	}
+
+	// Same query with pruning off still returns 0 rows, unpruned.
+	_, body = postQuery(t, ts.URL+"/query?explain=true&prune=off", empty)
+	if body["count"].(float64) != 0 {
+		t.Errorf("unpruned count = %v, want 0", body["count"])
+	}
+	if ex := body["explain"].(map[string]any); ex["pruned"] != false {
+		t.Errorf("prune=off still pruned: %v", ex)
+	}
+
+	// Pruning must not change non-empty answers.
+	_, body = postQuery(t, ts.URL+"/query?prune=typed-weak", priceQuery)
+	if body["count"].(float64) != 120 {
+		t.Errorf("typed-weak gated count = %v, want 120", body["count"])
+	}
+
+	// Unknown prune kind is rejected.
+	code, _ = postQuery(t, ts.URL+"/query?prune=nope", priceQuery)
+	if code != http.StatusBadRequest {
+		t.Errorf("prune=nope status = %d, want 400", code)
+	}
+}
+
+// TestSummarySingleflight: concurrent requests for different summary
+// kinds must all succeed (the per-kind cells build independently; one
+// build no longer serializes the others behind a global lock).
+func TestSummarySingleflight(t *testing.T) {
+	ts := testServer(t)
+	kinds := []string{"weak", "strong", "typed-weak", "typed-strong", "weak", "strong"}
+	errs := make(chan error, len(kinds))
+	for _, k := range kinds {
+		go func(kind string) {
+			resp, err := http.Get(ts.URL + "/summary?kind=" + kind)
+			if err != nil {
+				errs <- err
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("kind %s: status %d", kind, resp.StatusCode)
+				return
+			}
+			errs <- nil
+		}(k)
+	}
+	for range kinds {
+		if err := <-errs; err != nil {
+			t.Error(err)
+		}
 	}
 }
 

@@ -19,14 +19,16 @@ func main() {
 	g := rdfsum.GenerateBSBM(2000) // ~120k triples
 	fmt.Printf("dataset: %d triples\n", g.NumEdges())
 
-	// Build once, offline: the saturated weak summary.
+	// Build once, offline: the weak summary, its saturated pruning gate,
+	// and the quotient-map weights that drive the planner's join order.
 	start := time.Now()
 	s, err := rdfsum.Summarize(g, rdfsum.Weak)
 	if err != nil {
 		log.Fatal(err)
 	}
-	hInf := rdfsum.Saturate(s.Graph)
-	fmt.Printf("weak summary: %d edges, built in %v\n\n",
+	pruner := rdfsum.NewQueryPruner(s)
+	weights := s.ComputeWeights()
+	fmt.Printf("weak summary: %d edges, gate+weights built in %v\n\n",
 		s.Stats.AllEdges, time.Since(start).Round(time.Millisecond))
 
 	queries := map[string]string{
@@ -52,31 +54,37 @@ func main() {
 	}
 
 	inf := rdfsum.Saturate(g)
+	infIx := rdfsum.NewIndex(inf)
 	for name, text := range queries {
 		q, err := rdfsum.ParseQuery(text)
 		if err != nil {
 			log.Fatal(err)
 		}
 
+		// One call: the engine consults the gate first, then plans the
+		// join order from the summary weights if it must execute.
 		t0 := time.Now()
-		maybe, err := rdfsum.AskQuery(hInf, q)
+		res, err := rdfsum.EvalQueryWithOptions(inf, infIx, q, &rdfsum.QueryOptions{
+			Pruner:  pruner,
+			Stats:   weights,
+			Explain: true,
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		summaryTime := time.Since(t0)
+		elapsed := time.Since(t0)
 
 		fmt.Printf("%s\n", name)
-		if !maybe {
-			fmt.Printf("  summary check (%v): provably EMPTY — pruned, graph never touched\n\n",
-				summaryTime.Round(time.Microsecond))
+		if res.Explain.Pruned {
+			fmt.Printf("  %v: provably EMPTY by the %s summary — graph never touched\n\n",
+				elapsed.Round(time.Microsecond), res.Explain.PrunedBy)
 			continue
 		}
-		t1 := time.Now()
-		res, err := rdfsum.EvalQuery(inf, q)
-		if err != nil {
-			log.Fatal(err)
+		fmt.Printf("  %v: %d answers; plan (est -> actual per pattern):\n",
+			elapsed.Round(time.Millisecond), len(res.Rows))
+		for _, step := range res.Explain.Steps {
+			fmt.Printf("    %s  est=%d actual=%d\n", step.Pattern, step.Est, step.Actual)
 		}
-		fmt.Printf("  summary check (%v): maybe non-empty -> evaluated on G∞ (%v): %d answers\n\n",
-			summaryTime.Round(time.Microsecond), time.Since(t1).Round(time.Millisecond), len(res.Rows))
+		fmt.Println()
 	}
 }

@@ -19,6 +19,13 @@ type Weights struct {
 	NodeCard map[dict.ID]int
 	EdgeCard map[store.Triple]int
 	TypeCard map[store.Triple]int
+
+	// propCount / classCount cache the per-property and per-class sums of
+	// EdgeCard / TypeCard so the query planner's PlanStats calls are O(1)
+	// on the hot path. ComputeWeights fills them; the accessors fall back
+	// to scanning when a Weights was assembled by hand.
+	propCount  map[dict.ID]int
+	classCount map[dict.ID]int
 }
 
 // ComputeWeights derives the cardinalities of s's quotient map by one pass
@@ -41,16 +48,42 @@ func (s *Summary) ComputeWeights() *Weights {
 		e := store.Triple{S: s.NodeOf[t.S], P: v.Type, O: t.O}
 		w.TypeCard[e]++
 	}
+	w.propCount = make(map[dict.ID]int)
+	for e, c := range w.EdgeCard {
+		w.propCount[e.P] += c
+	}
+	w.classCount = make(map[dict.ID]int)
+	for e, c := range w.TypeCard {
+		w.classCount[e.O] += c
+	}
 	return w
 }
 
 // PropertyCount returns the number of input data triples with property p,
 // summed from the edge cardinalities (an exact statistic).
 func (w *Weights) PropertyCount(p dict.ID) int {
+	if w.propCount != nil {
+		return w.propCount[p]
+	}
 	n := 0
 	for e, c := range w.EdgeCard {
 		if e.P == p {
 			n += c
+		}
+	}
+	return n
+}
+
+// ClassCount returns the number of input τ triples whose class is c,
+// summed from the type-edge cardinalities (an exact statistic).
+func (w *Weights) ClassCount(c dict.ID) int {
+	if w.classCount != nil {
+		return w.classCount[c]
+	}
+	n := 0
+	for e, card := range w.TypeCard {
+		if e.O == c {
+			n += card
 		}
 	}
 	return n

@@ -1,8 +1,6 @@
 package query
 
 import (
-	"fmt"
-
 	"rdfsum/internal/dict"
 	"rdfsum/internal/rdf"
 	"rdfsum/internal/store"
@@ -12,194 +10,311 @@ import (
 type Result struct {
 	Vars []string
 	Rows [][]rdf.Term
+	// Truncated is true when Limit cut the enumeration: at least one more
+	// distinct answer exists beyond the returned rows.
+	Truncated bool
+	// Explain carries the execution report when EvalOptions.Explain was
+	// set (nil otherwise).
+	Explain *Explain
 }
 
 // EvalOptions tune evaluation.
 type EvalOptions struct {
 	// Limit caps the number of rows (0 = unlimited).
 	Limit int
+	// Stats feeds summary cardinalities to the planner (see PlanStats);
+	// nil falls back to the stats-free heuristic order.
+	Stats PlanStats
+	// Pruner, when non-nil, gates execution behind the saturated-summary
+	// emptiness check: RBGP queries provably empty on the summary return
+	// an empty result without touching the graph (Prop. 1).
+	Pruner *Pruner
+	// Explain requests an execution report in Result.Explain.
+	Explain bool
 }
 
-// Eval evaluates q against the indexed graph and returns the bindings of
-// the distinguished variables (all body variables when none are
-// distinguished). Evaluation accesses explicit triples only — evaluate
-// against a saturated graph to obtain complete answers (§2.1).
+// Eval compiles q and evaluates it against the indexed graph, returning
+// the bindings of the distinguished variables (all body variables when
+// none are distinguished). Evaluation accesses explicit triples only —
+// evaluate against a saturated graph to obtain complete answers (§2.1).
+// For repeated evaluation of one query, Compile once and call Plan.Eval.
 func Eval(g *store.Graph, ix *store.Index, q *Query, opts *EvalOptions) (*Result, error) {
-	if err := q.Validate(); err != nil {
+	var stats PlanStats
+	if opts != nil {
+		stats = opts.Stats
+	}
+	pl, err := Compile(g, q, stats)
+	if err != nil {
 		return nil, err
 	}
-	limit := 0
+	return pl.Eval(ix, opts)
+}
+
+// EvalWithSummary is Eval with the summary-pruning gate in front: when the
+// query is RBGP and empty on the pruner's saturated summary, it is
+// provably empty on G∞ (hence on g) and execution is skipped.
+func EvalWithSummary(g *store.Graph, ix *store.Index, q *Query, pr *Pruner, opts *EvalOptions) (*Result, error) {
+	var o EvalOptions
 	if opts != nil {
-		limit = opts.Limit
+		o = *opts
 	}
-	head := q.Distinguished
-	if len(head) == 0 {
-		head = q.Vars()
-	}
-	res := &Result{Vars: head}
-
-	enc, ok := encodePatterns(g, q)
-	if !ok {
-		return res, nil // a constant is absent from the graph: no answers
-	}
-
-	binding := make(map[string]dict.ID)
-	seen := make(map[string]bool)
-	var emit func() bool
-	emit = func() bool {
-		row := make([]rdf.Term, len(head))
-		key := ""
-		for i, v := range head {
-			id := binding[v]
-			row[i] = g.Dict().Term(id)
-			key += fmt.Sprint(id) + "|"
-		}
-		if seen[key] {
-			return true
-		}
-		seen[key] = true
-		res.Rows = append(res.Rows, row)
-		return limit == 0 || len(res.Rows) < limit
-	}
-	matchAll(ix, enc, binding, emit)
-	return res, nil
+	o.Pruner = pr
+	return Eval(g, ix, q, &o)
 }
 
 // Ask reports whether q has at least one answer on the indexed graph.
 func Ask(g *store.Graph, ix *store.Index, q *Query) (bool, error) {
-	if err := q.Validate(); err != nil {
+	pl, err := Compile(g, q, nil)
+	if err != nil {
 		return false, err
 	}
-	enc, ok := encodePatterns(g, q)
-	if !ok {
+	return pl.Ask(ix)
+}
+
+// Eval executes the plan against an index over the plan's graph.
+func (pl *Plan) Eval(ix *store.Index, opts *EvalOptions) (*Result, error) {
+	limit := 0
+	var pruner *Pruner
+	wantExplain := false
+	if opts != nil {
+		limit = opts.Limit
+		pruner = opts.Pruner
+		wantExplain = opts.Explain
+	}
+	res := &Result{Vars: pl.head}
+	var ex *Explain
+	if wantExplain {
+		ex = pl.newExplain()
+		res.Explain = ex
+	}
+	if pruner.ProvablyEmpty(pl.query) {
+		if ex != nil {
+			ex.Pruned = true
+			ex.PrunedBy = pl.queryPrunedBy(pruner)
+		}
+		return res, nil
+	}
+	if pl.empty {
+		return res, nil // a constant is absent from the graph: no answers
+	}
+
+	e := &executor{
+		ix:        ix,
+		terms:     pl.graph.Dict(),
+		pats:      pl.pats,
+		order:     pl.order,
+		regs:      make([]dict.ID, pl.nslots),
+		done:      make([]bool, len(pl.pats)),
+		headSlots: pl.headSlots,
+		rowbuf:    make([]dict.ID, len(pl.headSlots)),
+		seen:      newTupleSet(len(pl.headSlots)),
+		res:       res,
+		limit:     limit,
+	}
+	if ex != nil {
+		e.actual = make([]int64, len(pl.pats))
+	}
+	e.run(len(pl.pats))
+	if ex != nil {
+		for pos, i := range pl.order {
+			ex.Steps[pos].Actual = e.actual[i]
+		}
+	}
+	return res, nil
+}
+
+// Ask executes the plan for emptiness only, stopping at the first match.
+func (pl *Plan) Ask(ix *store.Index) (bool, error) {
+	if pl.empty {
 		return false, nil
 	}
-	found := false
-	matchAll(ix, enc, make(map[string]dict.ID), func() bool {
-		found = true
-		return false
-	})
-	return found, nil
-}
-
-// encPattern is a pattern with constants resolved to dictionary IDs.
-type encPattern struct {
-	s, p, o    dict.ID // dict.None when the position is a variable
-	vs, vp, vo string  // variable names ("" when constant)
-}
-
-// encodePatterns resolves every constant; ok is false when some constant
-// does not occur in the graph (hence the query has no answers).
-func encodePatterns(g *store.Graph, q *Query) ([]encPattern, bool) {
-	enc := make([]encPattern, len(q.Patterns))
-	for i, p := range q.Patterns {
-		e := encPattern{}
-		if p.S.IsVar {
-			e.vs = p.S.Var
-		} else if id, ok := g.Dict().Lookup(p.S.Value); ok {
-			e.s = id
-		} else {
-			return nil, false
-		}
-		if p.P.IsVar {
-			e.vp = p.P.Var
-		} else if id, ok := g.Dict().Lookup(p.P.Value); ok {
-			e.p = id
-		} else {
-			return nil, false
-		}
-		if p.O.IsVar {
-			e.vo = p.O.Var
-		} else if id, ok := g.Dict().Lookup(p.O.Value); ok {
-			e.o = id
-		} else {
-			return nil, false
-		}
-		enc[i] = e
+	e := &executor{
+		ix:    ix,
+		terms: pl.graph.Dict(),
+		pats:  pl.pats,
+		order: pl.order,
+		regs:  make([]dict.ID, pl.nslots),
+		done:  make([]bool, len(pl.pats)),
+		ask:   true,
 	}
-	return enc, true
+	e.run(len(pl.pats))
+	return e.found, nil
 }
 
-// matchAll backtracks over the patterns, choosing at each step the
-// remaining pattern with the smallest index range under the current
-// binding (greedy selectivity ordering). emit returns false to stop the
+// queryPrunedBy names the pruning summary for the explanation.
+func (pl *Plan) queryPrunedBy(pr *Pruner) string { return pr.Kind() }
+
+// executor is the per-call state of a plan run: a slot register file in
+// place of the old map[string]dict.ID binding, a trail for backtracking,
+// and an ID-tuple set in place of the old fmt.Sprint string dedup keys.
+type executor struct {
+	ix    *store.Index
+	terms *dict.Dict
+	pats  []planPat
+	order []int
+
+	regs  []dict.ID // slot -> bound ID (dict.None = unbound)
+	done  []bool
+	trail []int // slots bound, in order, for undo
+
+	headSlots []int
+	rowbuf    []dict.ID
+	seen      *tupleSet
+	res       *Result
+	limit     int
+
+	actual []int64 // triples enumerated per pattern (nil unless explaining)
+
+	ask   bool
+	found bool
+}
+
+// run backtracks over the patterns. At each step it picks the remaining
+// pattern with the smallest live index range under the current registers
+// (the greedy selectivity rule), scanning candidates in the static plan
+// order so that ties — frequent when several patterns are still fully
+// unbound — resolve to the weight-chosen order. Returns false to stop the
 // enumeration.
-func matchAll(ix *store.Index, patterns []encPattern, binding map[string]dict.ID, emit func() bool) {
-	done := make([]bool, len(patterns))
-	var rec func(remaining int) bool
-	rec = func(remaining int) bool {
-		if remaining == 0 {
-			return emit()
+func (e *executor) run(remaining int) bool {
+	if remaining == 0 {
+		return e.emit()
+	}
+	best, bestCount := -1, 0
+	for _, i := range e.order {
+		if e.done[i] {
+			continue
 		}
-		// Pick the most selective pending pattern.
-		best, bestCount := -1, -1
-		for i, p := range patterns {
-			if done[i] {
-				continue
-			}
-			s, pr, o := p.resolve(binding)
-			c := ix.Count(s, pr, o)
-			if best == -1 || c < bestCount {
-				best, bestCount = i, c
+		s, p, o := e.pats[i].resolve(e.regs)
+		c := e.ix.Count(s, p, o)
+		if best == -1 || c < bestCount {
+			best, bestCount = i, c
+			if c == 0 {
+				break // dead end: binding this pattern fails immediately
 			}
 		}
-		p := patterns[best]
-		done[best] = true
-		defer func() { done[best] = false }()
-
-		s, pr, o := p.resolve(binding)
-		keepGoing := true
-		ix.ForEach(s, pr, o, func(t store.Triple) bool {
-			newly, ok := bindPattern(p, t, binding)
-			if ok {
-				keepGoing = rec(remaining - 1)
-				for _, v := range newly {
-					delete(binding, v)
-				}
-			}
-			return keepGoing
-		})
+	}
+	p := e.pats[best]
+	e.done[best] = true
+	mark := len(e.trail)
+	keepGoing := true
+	s, pr, o := p.resolve(e.regs)
+	e.ix.ForEach(s, pr, o, func(t store.Triple) bool {
+		if e.actual != nil {
+			e.actual[best]++
+		}
+		if e.bind(p, t) {
+			keepGoing = e.run(remaining - 1)
+		}
+		e.unwind(mark)
 		return keepGoing
-	}
-	rec(len(patterns))
+	})
+	e.done[best] = false
+	return keepGoing
 }
 
-// resolve substitutes the current binding into the pattern, returning the
-// concrete IDs (dict.None = wildcard).
-func (p encPattern) resolve(binding map[string]dict.ID) (s, pr, o dict.ID) {
-	s, pr, o = p.s, p.p, p.o
-	if p.vs != "" {
-		s = binding[p.vs]
-	}
-	if p.vp != "" {
-		pr = binding[p.vp]
-	}
-	if p.vo != "" {
-		o = binding[p.vo]
-	}
-	return s, pr, o
+// bind extends the registers with the pattern's unbound slots against
+// triple t, recording assignments on the trail. It reports false when t
+// conflicts with a variable repeated inside the pattern; the caller
+// unwinds the trail either way.
+func (e *executor) bind(p planPat, t store.Triple) bool {
+	return e.tryBind(p.vs, t.S) && e.tryBind(p.vp, t.P) && e.tryBind(p.vo, t.O)
 }
 
-// bindPattern extends binding with the pattern's unbound variables against
-// triple t. ok is false when the triple conflicts with a variable repeated
-// inside the pattern; newly lists the variables bound by this call.
-func bindPattern(p encPattern, t store.Triple, binding map[string]dict.ID) (newly []string, ok bool) {
-	tryBind := func(v string, id dict.ID) bool {
-		if v == "" {
-			return true
-		}
-		if cur, bound := binding[v]; bound {
-			return cur == id
-		}
-		binding[v] = id
-		newly = append(newly, v)
+func (e *executor) tryBind(slot int, id dict.ID) bool {
+	if slot < 0 {
 		return true
 	}
-	if tryBind(p.vs, t.S) && tryBind(p.vp, t.P) && tryBind(p.vo, t.O) {
-		return newly, true
+	if cur := e.regs[slot]; cur != dict.None {
+		return cur == id
 	}
-	for _, v := range newly {
-		delete(binding, v)
+	e.regs[slot] = id
+	e.trail = append(e.trail, slot)
+	return true
+}
+
+// unwind unbinds every slot recorded after mark.
+func (e *executor) unwind(mark int) {
+	for _, slot := range e.trail[mark:] {
+		e.regs[slot] = dict.None
 	}
-	return nil, false
+	e.trail = e.trail[:mark]
+}
+
+// emit projects the registers onto the head slots, deduplicates, and
+// appends a decoded row. Returns false to stop the enumeration (ASK
+// satisfied, or the row limit was reached with more answers pending).
+func (e *executor) emit() bool {
+	if e.ask {
+		e.found = true
+		return false
+	}
+	for i, s := range e.headSlots {
+		e.rowbuf[i] = e.regs[s]
+	}
+	if !e.seen.add(e.rowbuf) {
+		return true
+	}
+	if e.limit > 0 && len(e.res.Rows) >= e.limit {
+		e.res.Truncated = true
+		return false
+	}
+	row := make([]rdf.Term, len(e.rowbuf))
+	for i, id := range e.rowbuf {
+		row[i] = e.terms.Term(id)
+	}
+	e.res.Rows = append(e.res.Rows, row)
+	return true
+}
+
+// tupleSet is a hash set of fixed-width dict.ID tuples, stored in one flat
+// backing slice — the allocation-free replacement for string dedup keys.
+type tupleSet struct {
+	width int
+	flat  []dict.ID
+	idx   map[uint64][]int32 // FNV-1a hash -> tuple start offsets in flat
+	any   bool               // width-0 case: one empty tuple at most
+}
+
+func newTupleSet(width int) *tupleSet {
+	return &tupleSet{width: width, idx: make(map[uint64][]int32)}
+}
+
+// add inserts the tuple, reporting true when it was not already present.
+// row is copied into the set's backing store; the caller may reuse it.
+func (ts *tupleSet) add(row []dict.ID) bool {
+	if ts.width == 0 {
+		if ts.any {
+			return false
+		}
+		ts.any = true
+		return true
+	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, id := range row {
+		v := uint32(id)
+		for shift := 0; shift < 32; shift += 8 {
+			h ^= uint64(byte(v >> shift))
+			h *= prime64
+		}
+	}
+	for _, start := range ts.idx[h] {
+		match := true
+		for i, id := range row {
+			if ts.flat[int(start)+i] != id {
+				match = false
+				break
+			}
+		}
+		if match {
+			return false
+		}
+	}
+	start := int32(len(ts.flat))
+	ts.flat = append(ts.flat, row...)
+	ts.idx[h] = append(ts.idx[h], start)
+	return true
 }

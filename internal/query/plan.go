@@ -1,0 +1,291 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"rdfsum/internal/dict"
+	"rdfsum/internal/store"
+)
+
+// PlanStats supplies summary-level cardinality statistics to the planner —
+// in practice a *core.Weights, the quotient-map cardinalities of a summary
+// of the queried graph (the paper's "support for query optimization" use
+// case). Estimates drive the static join order; they need not be exact for
+// the graph actually queried (e.g. its saturation), only proportionate.
+type PlanStats interface {
+	// PropertyCount estimates the number of data triples with property p.
+	PropertyCount(p dict.ID) int
+	// ClassCount estimates the number of τ triples with class c.
+	ClassCount(c dict.ID) int
+}
+
+// planPat is a triple pattern compiled to integer form: constants are
+// dictionary IDs (dict.None marks a variable position) and variables are
+// dense slot indices into the register file (-1 marks a constant position).
+type planPat struct {
+	s, p, o    dict.ID
+	vs, vp, vo int
+}
+
+// resolve substitutes the register file into the pattern, yielding the
+// concrete lookup IDs (dict.None = wildcard: the slot is still unbound).
+func (p planPat) resolve(regs []dict.ID) (s, pr, o dict.ID) {
+	s, pr, o = p.s, p.p, p.o
+	if p.vs >= 0 {
+		s = regs[p.vs]
+	}
+	if p.vp >= 0 {
+		pr = regs[p.vp]
+	}
+	if p.vo >= 0 {
+		o = regs[p.vo]
+	}
+	return s, pr, o
+}
+
+// constants counts the bound positions of the pattern, the stats-free
+// selectivity heuristic.
+func (p planPat) constants() int {
+	n := 0
+	if p.vs < 0 {
+		n++
+	}
+	if p.vp < 0 {
+		n++
+	}
+	if p.vo < 0 {
+		n++
+	}
+	return n
+}
+
+// estUnknown marks a pattern the planner has no statistic for.
+const estUnknown = int64(-1)
+
+// Plan is a query compiled against one graph's dictionary: an integer-slot
+// program ready for repeated execution. A Plan is immutable after Compile
+// and safe for concurrent Eval/Ask calls (execution state lives per call).
+type Plan struct {
+	query *Query
+	graph *store.Graph
+
+	head      []string // projected variable names
+	headSlots []int    // register slot of each head variable
+	nslots    int
+
+	pats  []planPat // in the query's original pattern order
+	est   []int64   // static cardinality estimate per pattern (estUnknown = none)
+	order []int     // static join order: pattern indices, most selective first
+
+	usedStats bool
+	empty     bool // a constant is absent from the dictionary: zero answers
+}
+
+// Compile validates q and compiles it against g's dictionary into a Plan.
+// When stats is non-nil (summary Weights), the static join order is chosen
+// by estimated cardinality: per-property triple counts for bound-property
+// patterns and per-class τ counts for type patterns; patterns are chained
+// greedily so each one shares a variable with those before it (avoiding
+// cartesian products). Without stats, the order falls back to
+// most-constants-first with the same connectivity chaining.
+func Compile(g *store.Graph, q *Query, stats PlanStats) (*Plan, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	pl := &Plan{query: q, graph: g, usedStats: stats != nil}
+
+	slotOf := make(map[string]int)
+	slot := func(name string) int {
+		if s, ok := slotOf[name]; ok {
+			return s
+		}
+		s := pl.nslots
+		slotOf[name] = s
+		pl.nslots++
+		return s
+	}
+	encode := func(t Term) (id dict.ID, vslot int) {
+		if t.IsVar {
+			return dict.None, slot(t.Var)
+		}
+		id, ok := g.Dict().Lookup(t.Value)
+		if !ok {
+			pl.empty = true
+		}
+		return id, -1
+	}
+
+	pl.pats = make([]planPat, len(q.Patterns))
+	for i, p := range q.Patterns {
+		e := planPat{}
+		e.s, e.vs = encode(p.S)
+		e.p, e.vp = encode(p.P)
+		e.o, e.vo = encode(p.O)
+		pl.pats[i] = e
+	}
+
+	pl.head = q.Distinguished
+	if len(pl.head) == 0 {
+		pl.head = q.Vars()
+	}
+	pl.headSlots = make([]int, len(pl.head))
+	for i, v := range pl.head {
+		pl.headSlots[i] = slot(v) // Validate guarantees v occurs in the body
+	}
+
+	pl.est = estimate(g, pl.pats, stats)
+	pl.order = staticOrder(pl.pats, pl.est)
+	return pl, nil
+}
+
+// estimate derives a static cardinality estimate for each pattern from the
+// summary statistics: ClassCount for τ patterns with a bound class,
+// PropertyCount for any other bound property, estUnknown otherwise.
+func estimate(g *store.Graph, pats []planPat, stats PlanStats) []int64 {
+	est := make([]int64, len(pats))
+	if stats == nil {
+		for i := range est {
+			est[i] = estUnknown
+		}
+		return est
+	}
+	typeID := g.Vocab().Type
+	for i, p := range pats {
+		switch {
+		case p.vp >= 0:
+			est[i] = estUnknown
+		case p.p == typeID:
+			if p.vo < 0 {
+				est[i] = int64(stats.ClassCount(p.o))
+			} else {
+				// τ triples are counted in TypeCard, not the per-property
+				// data-triple sums — PropertyCount(rdf:type) would be a
+				// falsely-cheap 0.
+				est[i] = estUnknown
+			}
+		default:
+			est[i] = int64(stats.PropertyCount(p.p))
+		}
+	}
+	return est
+}
+
+// staticOrder picks the up-front join order: the cheapest pattern first,
+// then repeatedly the cheapest pattern connected (sharing a slot) to those
+// already placed. Cost ranks by estimate when known, then by number of
+// constants, then by original position — so without statistics the order
+// degrades to the classical bound-positions heuristic.
+func staticOrder(pats []planPat, est []int64) []int {
+	n := len(pats)
+	order := make([]int, 0, n)
+	used := make([]bool, n)
+	bound := make(map[int]bool)
+
+	connected := func(p planPat) bool {
+		return (p.vs >= 0 && bound[p.vs]) ||
+			(p.vp >= 0 && bound[p.vp]) ||
+			(p.vo >= 0 && bound[p.vo])
+	}
+	// betterThan reports whether pattern i beats pattern j for the next
+	// position, given their connectivity to the already-placed prefix.
+	betterThan := func(i int, iConn bool, j int, jConn bool) bool {
+		if iConn != jConn {
+			return iConn
+		}
+		ei, ej := est[i], est[j]
+		if ei != ej {
+			if ej == estUnknown {
+				return true
+			}
+			if ei == estUnknown {
+				return false
+			}
+			return ei < ej
+		}
+		if ci, cj := pats[i].constants(), pats[j].constants(); ci != cj {
+			return ci > cj
+		}
+		return i < j
+	}
+
+	for len(order) < n {
+		best, bestConn := -1, false
+		for i := range pats {
+			if used[i] {
+				continue
+			}
+			conn := len(order) == 0 || connected(pats[i])
+			if best == -1 || betterThan(i, conn, best, bestConn) {
+				best, bestConn = i, conn
+			}
+		}
+		used[best] = true
+		order = append(order, best)
+		for _, s := range []int{pats[best].vs, pats[best].vp, pats[best].vo} {
+			if s >= 0 {
+				bound[s] = true
+			}
+		}
+	}
+	return order
+}
+
+// Explain reports how a query was (or would be) executed: the static join
+// order with per-pattern estimated cardinalities, the actual number of
+// triples enumerated per pattern during execution, and whether the
+// summary-pruning gate short-circuited the evaluation.
+type Explain struct {
+	// UsedStats is true when summary Weights informed the join order.
+	UsedStats bool `json:"used_stats"`
+	// Pruned is true when the saturated-summary gate proved the query
+	// empty and execution was skipped entirely.
+	Pruned bool `json:"pruned"`
+	// PrunedBy names the summary kind that pruned the query.
+	PrunedBy string `json:"pruned_by,omitempty"`
+	// Steps lists the patterns in the chosen static join order.
+	Steps []ExplainStep `json:"steps"`
+}
+
+// ExplainStep is one pattern of the plan.
+type ExplainStep struct {
+	// Pattern is the triple pattern in SPARQL syntax.
+	Pattern string `json:"pattern"`
+	// Index is the pattern's position in the original query body.
+	Index int `json:"index"`
+	// Est is the planner's cardinality estimate (-1 when unknown).
+	Est int64 `json:"est"`
+	// Actual is the number of triples enumerated for this pattern during
+	// execution (0 when execution was pruned or never reached it).
+	Actual int64 `json:"actual"`
+}
+
+// newExplain renders the static half of the explanation; Actuals are
+// filled in by the executor.
+func (pl *Plan) newExplain() *Explain {
+	ex := &Explain{UsedStats: pl.usedStats, Steps: make([]ExplainStep, len(pl.order))}
+	for pos, i := range pl.order {
+		ex.Steps[pos] = ExplainStep{
+			Pattern: pl.query.Patterns[i].String(),
+			Index:   i,
+			Est:     pl.est[i],
+		}
+	}
+	return ex
+}
+
+// String renders the plan order compactly, e.g. for CLI -explain output.
+func (ex *Explain) String() string {
+	if ex.Pruned {
+		return fmt.Sprintf("pruned by %s summary: provably empty\n", ex.PrunedBy)
+	}
+	var b strings.Builder
+	for pos, st := range ex.Steps {
+		est := "?"
+		if st.Est >= 0 {
+			est = fmt.Sprint(st.Est)
+		}
+		fmt.Fprintf(&b, "  %d. %s  est=%s actual=%d\n", pos, st.Pattern, est, st.Actual)
+	}
+	return b.String()
+}

@@ -69,6 +69,19 @@ type (
 	Query = query.Query
 	// QueryResult is the answer table of a SELECT evaluation.
 	QueryResult = query.Result
+	// QueryPlan is a query compiled against one graph: an integer-slot
+	// program with a weight-chosen static join order, reusable across
+	// evaluations and safe for concurrent use.
+	QueryPlan = query.Plan
+	// QueryExplain reports the chosen join order with estimated vs.
+	// actual per-pattern cardinalities.
+	QueryExplain = query.Explain
+	// QueryPruner gates evaluation behind a saturated summary used as an
+	// emptiness oracle (Prop. 1).
+	QueryPruner = query.Pruner
+	// PlanStats feeds summary cardinalities to the query planner;
+	// *Weights implements it.
+	PlanStats = query.PlanStats
 	// WeakBuilder maintains a weak summary incrementally under triple
 	// insertions (streaming construction).
 	WeakBuilder = core.WeakBuilder
@@ -243,6 +256,52 @@ func EvalQuery(g *Graph, q *Query) (*QueryResult, error) {
 // EvalQueryIndexed evaluates q using a prebuilt index.
 func EvalQueryIndexed(g *Graph, ix *Index, q *Query) (*QueryResult, error) {
 	return query.Eval(g, ix, q, nil)
+}
+
+// QueryOptions tune EvalQueryWithOptions.
+type QueryOptions struct {
+	// Limit caps the number of rows (0 = unlimited); Result.Truncated
+	// reports whether more distinct answers existed.
+	Limit int
+	// Stats feeds summary cardinalities to the planner's join ordering;
+	// pass (*Summary).ComputeWeights(). Nil falls back to the stats-free
+	// heuristic.
+	Stats PlanStats
+	// Pruner short-circuits provably-empty RBGP queries against a
+	// saturated summary (see NewQueryPruner). Nil disables pruning.
+	Pruner *QueryPruner
+	// Explain requests a join-order report in Result.Explain.
+	Explain bool
+}
+
+// EvalQueryWithOptions evaluates q with planner statistics, the
+// summary-pruning gate and row limits under the caller's control.
+func EvalQueryWithOptions(g *Graph, ix *Index, q *Query, opts *QueryOptions) (*QueryResult, error) {
+	var eo *query.EvalOptions
+	if opts != nil {
+		eo = &query.EvalOptions{
+			Limit:   opts.Limit,
+			Stats:   opts.Stats,
+			Pruner:  opts.Pruner,
+			Explain: opts.Explain,
+		}
+	}
+	return query.Eval(g, ix, q, eo)
+}
+
+// CompileQuery compiles q against g into a reusable plan. stats may be nil
+// (heuristic join order) or a summary's Weights (cardinality-driven
+// order). Execute with (*QueryPlan).Eval against an index over g.
+func CompileQuery(g *Graph, q *Query, stats PlanStats) (*QueryPlan, error) {
+	return query.Compile(g, q, stats)
+}
+
+// NewQueryPruner builds the summary-pruning gate from a summary: it
+// saturates the (small) summary graph and indexes it as an emptiness
+// oracle. RBGP queries with no answers on it are provably empty on G∞
+// (Prop. 1) — and on G — so evaluation can skip the data entirely.
+func NewQueryPruner(s *Summary) *QueryPruner {
+	return query.NewPruner(s.Kind.String(), saturate.Graph(s.Graph))
 }
 
 // AskQuery reports whether q has at least one answer on g.
