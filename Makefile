@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint fmt fmt-check bench bench-smoke bench-json check clean
+.PHONY: all build test race vet lint fmt fmt-check bench bench-smoke bench-json stress check clean
 
 all: build
 
@@ -53,6 +53,15 @@ bench-json:
 	@cat bench.txt
 	$(GO) run ./cmd/benchjson -in bench.txt -out BENCH_ci.json
 	@rm -f bench.txt
+
+# Live-subsystem stress under the race detector (mirrored as a CI step):
+# readers query epoch snapshots while a writer ingests batches and
+# compacts; plus the WAL crash-recovery property test. -count=2 reruns
+# with fresh schedules.
+stress:
+	$(GO) test -race -count=2 \
+		-run 'TestLiveStress|TestLiveIngestDuringConcurrentQueries|TestLiveCrashRecoveryPrefix' \
+		./internal/live ./cmd/rdfsumd
 
 check: build vet fmt-check race bench-smoke
 

@@ -581,6 +581,101 @@ func BenchmarkQueryEval(b *testing.B) {
 	}
 }
 
+// --- live-update subsystem benchmarks --------------------------------------
+//
+// The write path (WAL append + fsync + apply + epoch publication) and the
+// recovery path (replay on open). Batches are the group-commit unit, so
+// triples/s scales with batch size; the fsync variants bound the
+// durability tax on this machine's storage.
+
+// liveBatches slices a BSBM graph's triples into ingest batches.
+func liveBatches(b *testing.B, products, batchSize int) [][]rdfsum.Triple {
+	b.Helper()
+	decoded := bsbmGraph(b, products).Decode()
+	var out [][]rdfsum.Triple
+	for i := 0; i < len(decoded); i += batchSize {
+		out = append(out, decoded[i:min(i+batchSize, len(decoded))])
+	}
+	return out
+}
+
+// BenchmarkLiveIngest measures ingesting ~12k BSBM triples in 1k-triple
+// batches: memory-only (pure apply+publish cost), WAL without fsync
+// (logging cost), and WAL with fsync per batch (full durability).
+func BenchmarkLiveIngest(b *testing.B) {
+	batches := liveBatches(b, 200, 1024)
+	total := 0
+	for _, bt := range batches {
+		total += len(bt)
+	}
+	run := func(b *testing.B, open func() (*rdfsum.Live, error)) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			lv, err := open()
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, bt := range batches {
+				if err := lv.AddBatch(bt); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if lv.Snapshot().Graph.NumEdges() != total {
+				b.Fatal("ingest lost triples")
+			}
+			lv.Close()
+		}
+		b.ReportMetric(float64(total), "triples")
+	}
+	b.Run("memory", func(b *testing.B) {
+		run(b, func() (*rdfsum.Live, error) { return rdfsum.NewLive(nil), nil })
+	})
+	b.Run("wal-nosync", func(b *testing.B) {
+		run(b, func() (*rdfsum.Live, error) {
+			return rdfsum.OpenLive(b.TempDir(), &rdfsum.LiveOptions{NoSync: true})
+		})
+	})
+	b.Run("wal-fsync", func(b *testing.B) {
+		run(b, func() (*rdfsum.Live, error) {
+			return rdfsum.OpenLive(b.TempDir(), nil)
+		})
+	})
+}
+
+// BenchmarkWALReplay measures crash-recovery speed: reopening a store
+// whose state lives entirely in the WAL (~12k triples), which replays
+// every record into the graph, the incremental weak summary, and the
+// first epoch's index.
+func BenchmarkWALReplay(b *testing.B) {
+	dir := b.TempDir()
+	lv, err := rdfsum.OpenLive(dir, &rdfsum.LiveOptions{NoSync: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	total := 0
+	for _, bt := range liveBatches(b, 200, 1024) {
+		if err := lv.AddBatch(bt); err != nil {
+			b.Fatal(err)
+		}
+		total += len(bt)
+	}
+	if err := lv.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		re, err := rdfsum.OpenLive(dir, &rdfsum.LiveOptions{NoSync: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if re.Snapshot().Graph.NumEdges() != total {
+			b.Fatal("replay lost triples")
+		}
+		re.Close()
+	}
+	b.ReportMetric(float64(total), "triples")
+}
+
 func BenchmarkSnapshotRoundTrip(b *testing.B) {
 	g := bsbmGraph(b, 200)
 	b.Run("write", func(b *testing.B) {

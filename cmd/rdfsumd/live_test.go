@@ -1,0 +1,313 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"rdfsum"
+)
+
+// liveTestServer serves a durable live store rooted in a temp directory.
+func liveTestServer(t *testing.T, seed *rdfsum.Graph) (*httptest.Server, *server) {
+	t.Helper()
+	srv, err := newServer("", t.TempDir(), 1, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seed != nil {
+		if err := srv.live.AddBatch(seed.Decode()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Cleanup(func() { srv.live.Close() })
+	ts := httptest.NewServer(srv.handler())
+	t.Cleanup(ts.Close)
+	return ts, srv
+}
+
+// ntBody renders n distinct triples rooted at serial start as N-Triples.
+func ntBody(start, n int) string {
+	var b strings.Builder
+	for i := start; i < start+n; i++ {
+		fmt.Fprintf(&b, "<http://x/s%d> <http://x/p%d> <http://x/o%d> .\n", i, i%5, i%11)
+	}
+	return b.String()
+}
+
+func postBody(t *testing.T, url, body string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(url, "application/n-triples", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	return resp.StatusCode, out
+}
+
+func TestTriplesEndpoint(t *testing.T) {
+	ts, _ := liveTestServer(t, nil)
+
+	code, body := postBody(t, ts.URL+"/triples", ntBody(0, 25))
+	if code != http.StatusOK {
+		t.Fatalf("status = %d: %v", code, body)
+	}
+	if body["added"].(float64) != 25 || body["triples"].(float64) != 25 {
+		t.Fatalf("ingest response = %v, want added/triples 25", body)
+	}
+	if body["durable"] != true {
+		t.Fatalf("ingest response durable = %v, want true", body["durable"])
+	}
+	epoch := body["epoch"].(float64)
+
+	// The batch is queryable immediately.
+	code, qbody := postQuery(t, ts.URL+"/query?prune=off",
+		`SELECT ?s ?o WHERE { ?s <http://x/p1> ?o }`)
+	if code != http.StatusOK {
+		t.Fatalf("query status = %d", code)
+	}
+	if qbody["count"].(float64) != 5 {
+		t.Fatalf("query count = %v, want 5", qbody["count"])
+	}
+	if qbody["epoch"].(float64) < epoch {
+		t.Fatalf("query epoch %v older than ingest epoch %v", qbody["epoch"], epoch)
+	}
+
+	// Malformed N-Triples is rejected without state change.
+	code, _ = postBody(t, ts.URL+"/triples", "this is not ntriples\n")
+	if code != http.StatusBadRequest {
+		t.Fatalf("malformed ingest status = %d, want 400", code)
+	}
+	var stats map[string]any
+	getJSON(t, ts.URL+"/stats", &stats)
+	if stats["triples"].(float64) != 25 {
+		t.Fatalf("stats triples = %v after rejected ingest, want 25", stats["triples"])
+	}
+	if stats["epoch"].(float64) != epoch {
+		t.Fatalf("epoch moved on rejected ingest: %v -> %v", epoch, stats["epoch"])
+	}
+}
+
+func TestCompactEndpoint(t *testing.T) {
+	ts, srv := liveTestServer(t, nil)
+	if code, _ := postBody(t, ts.URL+"/triples", ntBody(0, 40)); code != http.StatusOK {
+		t.Fatal("ingest failed")
+	}
+	preWAL := srv.live.Stats().WALBytes
+	code, body := postBody(t, ts.URL+"/compact", "")
+	if code != http.StatusOK {
+		t.Fatalf("compact status = %d: %v", code, body)
+	}
+	if int64(body["wal_bytes"].(float64)) >= preWAL {
+		t.Fatalf("compaction did not shrink the WAL: %v -> %v", preWAL, body["wal_bytes"])
+	}
+	if body["generation"].(float64) != 2 {
+		t.Fatalf("generation = %v, want 2", body["generation"])
+	}
+}
+
+func TestCompactEndpointMemoryOnly(t *testing.T) {
+	ts := testServer(t) // memory-only wrapper
+	resp, err := http.Post(ts.URL+"/compact", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("memory-only compact status = %d, want 409", resp.StatusCode)
+	}
+}
+
+// TestLiveIngestDuringConcurrentQueries is the serving acceptance test:
+// POST /triples batches land while /query, /summary and /stats traffic
+// runs concurrently; every request succeeds, epochs only move forward,
+// and the final triple count equals everything acknowledged. Run under
+// -race (CI does) to check the memory model end to end.
+func TestLiveIngestDuringConcurrentQueries(t *testing.T) {
+	ts, srv := liveTestServer(t, rdfsum.GenerateBSBM(10))
+
+	const (
+		batches   = 25
+		batchSize = 30
+		readers   = 4
+	)
+	var wg sync.WaitGroup
+	errc := make(chan error, readers+2)
+	done := make(chan struct{})
+
+	wg.Add(1)
+	go func() { // ingest writer
+		defer wg.Done()
+		defer close(done)
+		for i := 0; i < batches; i++ {
+			code, body := postBody(t, ts.URL+"/triples", ntBody(100_000+i*batchSize, batchSize))
+			if code != http.StatusOK {
+				errc <- fmt.Errorf("ingest %d: status %d: %v", i, code, body)
+				return
+			}
+			if i == batches/2 {
+				if code, body := postBody(t, ts.URL+"/compact", ""); code != http.StatusOK {
+					errc <- fmt.Errorf("compact: status %d: %v", code, body)
+					return
+				}
+			}
+		}
+	}()
+
+	queries := []string{
+		`PREFIX bsbm: <http://bsbm.example.org/vocabulary/>
+		 SELECT ?o WHERE { ?o bsbm:price ?p }`,
+		`SELECT ?s ?o WHERE { ?s <http://x/p1> ?o }`,
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			lastEpoch := float64(0)
+			for i := 0; ; i++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				code, body := postQuery(t, ts.URL+"/query", queries[i%len(queries)])
+				if code != http.StatusOK {
+					errc <- fmt.Errorf("reader %d: query status %d: %v", r, code, body)
+					return
+				}
+				if e := body["epoch"].(float64); e < lastEpoch {
+					errc <- fmt.Errorf("reader %d: epoch went backwards %v -> %v", r, lastEpoch, e)
+					return
+				} else {
+					lastEpoch = e
+				}
+				if i%5 == 0 {
+					var sum map[string]any
+					if resp := getJSON(t, ts.URL+"/summary?kind=weak", &sum); resp.StatusCode != http.StatusOK {
+						errc <- fmt.Errorf("reader %d: summary status %d", r, resp.StatusCode)
+						return
+					}
+					var stats map[string]any
+					getJSON(t, ts.URL+"/stats", &stats)
+				}
+			}
+		}(r)
+	}
+
+	wg.Wait()
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+
+	want := rdfsum.GenerateBSBM(10).NumEdges() + batches*batchSize
+	if got := srv.live.Snapshot().Graph.NumEdges(); got != want {
+		t.Fatalf("final graph has %d triples, want %d", got, want)
+	}
+	// Post-ingest weak summary equals a batch summary of the same triples.
+	sum, _, err := srv.live.Summary(rdfsum.Weak, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := rdfsum.Summarize(rdfsum.NewGraph(srv.live.Snapshot().Graph.Decode()), rdfsum.Weak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := sum.Graph.CanonicalStrings(), batch.Graph.CanonicalStrings()
+	if len(a) != len(b) {
+		t.Fatalf("live weak summary has %d triples, batch %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("live weak summary diverges from batch at %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+}
+
+// TestPruningSoundUnderStaleness: a pruning gate built before an ingest
+// must never prune away the ingested triples. With a large staleness
+// tolerance the cached weak summary (and its gate) trails the graph; the
+// server must skip the gate rather than return a wrong empty answer.
+func TestPruningSoundUnderStaleness(t *testing.T) {
+	srv, err := newServer("", t.TempDir(), 1, 1_000_000, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.live.Close() })
+	ts := httptest.NewServer(srv.handler())
+	t.Cleanup(ts.Close)
+
+	if code, _ := postBody(t, ts.URL+"/triples", ntBody(0, 20)); code != http.StatusOK {
+		t.Fatal("ingest failed")
+	}
+	// Build the weak gate at the current epoch.
+	q := `SELECT ?s ?o WHERE { ?s <http://fresh/p> ?o }`
+	code, body := postQuery(t, ts.URL+"/query?prune=weak", q)
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if body["count"].(float64) != 0 {
+		t.Fatalf("fresh property present before ingest: %v", body["count"])
+	}
+	if _, ok := body["prune_epoch"]; !ok {
+		t.Fatal("gate at current epoch was not applied")
+	}
+
+	// Ingest a triple with a property the cached summary has never seen.
+	if code, _ := postBody(t, ts.URL+"/triples",
+		"<http://fresh/a> <http://fresh/p> <http://fresh/b> .\n"); code != http.StatusOK {
+		t.Fatal("ingest failed")
+	}
+	code, body = postQuery(t, ts.URL+"/query?prune=weak", q)
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if body["count"].(float64) != 1 {
+		t.Fatalf("stale gate pruned an acknowledged triple: count = %v, want 1", body["count"])
+	}
+	if _, ok := body["prune_epoch"]; ok {
+		t.Fatal("stale gate reported as applied")
+	}
+}
+
+// TestSummaryStaleness: with a staleness tolerance, cached summaries keep
+// serving with their build epoch advertised; with none, they track the
+// graph.
+func TestSummaryStaleness(t *testing.T) {
+	srv, err := newServer("", t.TempDir(), 1, 1000, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.live.Close() })
+	ts := httptest.NewServer(srv.handler())
+	t.Cleanup(ts.Close)
+
+	if code, _ := postBody(t, ts.URL+"/triples", ntBody(0, 20)); code != http.StatusOK {
+		t.Fatal("ingest failed")
+	}
+	var first map[string]any
+	getJSON(t, ts.URL+"/summary?kind=weak", &first)
+	if first["stale"].(float64) != 0 {
+		t.Fatalf("fresh summary stale = %v, want 0", first["stale"])
+	}
+	if code, _ := postBody(t, ts.URL+"/triples", ntBody(500, 20)); code != http.StatusOK {
+		t.Fatal("ingest failed")
+	}
+	var second map[string]any
+	getJSON(t, ts.URL+"/summary?kind=weak", &second)
+	if second["epoch"] != first["epoch"] {
+		t.Fatalf("tolerant server rebuilt: epoch %v -> %v", first["epoch"], second["epoch"])
+	}
+	if second["stale"].(float64) == 0 {
+		t.Fatal("stale summary advertised stale = 0")
+	}
+}

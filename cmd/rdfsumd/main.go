@@ -1,22 +1,32 @@
-// Command rdfsumd serves a loaded RDF graph and its summaries over HTTP —
-// the paper's "first-level user interface" use case as a small JSON
-// service.
+// Command rdfsumd serves an RDF graph and its summaries over HTTP — the
+// paper's "first-level user interface" use case as a small JSON service,
+// extended with live updates: graphs can be mutated while being served.
 //
-//	rdfsumd -in data.nt -addr :8176
+//	rdfsumd -in data.nt -addr :8176             # read-mostly, memory-only
+//	rdfsumd -live ./store -addr :8176           # durable mutable store
+//	rdfsumd -live ./store -in seed.nt           # seed a fresh store
 //
 // Endpoints:
 //
 //	GET  /healthz              liveness
-//	GET  /stats                graph size statistics
+//	GET  /stats                graph size statistics + epoch/WAL counters
 //	GET  /summary?kind=weak    summary statistics (+N-Triples or DOT body
-//	                           with ?format=ntriples | dot)
+//	                           with ?format=ntriples | dot); epoch-tagged
 //	GET  /profile              entity-kind profile (typed-weak based)
+//	POST /triples              N-Triples body appended as one acknowledged
+//	                           batch (WAL-durable with -live)
+//	POST /compact              fold the WAL into a snapshot generation
 //	POST /query                SPARQL BGP text in the body;
 //	                           ?saturate=true evaluates against G∞,
 //	                           ?limit=N caps rows (default 10000),
 //	                           ?explain=true reports the join order,
 //	                           ?prune=weak|strong|...|off selects the
 //	                           summary-pruning gate (default weak)
+//
+// Writes and reads are concurrent: queries run against immutable epoch
+// snapshots while ingest proceeds. Summary-derived artifacts are cached
+// per epoch; -max-stale N lets them serve up to N epochs behind (each
+// response reports the epoch it reflects).
 package main
 
 import (
@@ -28,19 +38,27 @@ import (
 )
 
 func main() {
-	in := flag.String("in", "", "input graph (.nt, .ttl or snapshot)")
+	in := flag.String("in", "", "input graph (.nt, .ttl or snapshot); with -live, seeds a fresh store")
+	liveDir := flag.String("live", "", "durable live-store directory (WAL + snapshots); empty = memory-only")
 	addr := flag.String("addr", ":8176", "listen address")
 	workers := flag.Int("workers", 0, "N-Triples load workers (0 = all CPUs, 1 = sequential)")
+	maxStale := flag.Uint64("max-stale", 0, "epochs a cached summary/pruner may trail the graph before rebuild")
+	noSync := flag.Bool("no-fsync", false, "skip the per-batch fsync (faster ingest, weaker durability)")
 	flag.Parse()
-	if *in == "" {
-		fmt.Fprintln(os.Stderr, "rdfsumd: missing -in file")
+	if *in == "" && *liveDir == "" {
+		fmt.Fprintln(os.Stderr, "rdfsumd: need -in and/or -live")
 		os.Exit(2)
 	}
-	srv, err := newServer(*in, *workers)
+	srv, err := newServer(*in, *liveDir, *workers, *maxStale, *noSync)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rdfsumd:", err)
 		os.Exit(1)
 	}
-	log.Printf("rdfsumd: serving %s (%d triples) on %s", *in, srv.graph.NumEdges(), *addr)
+	st := srv.live.Stats()
+	mode := "memory-only"
+	if st.Durable {
+		mode = fmt.Sprintf("durable at %s (gen %d)", *liveDir, st.Gen)
+	}
+	log.Printf("rdfsumd: serving %d triples on %s, %s, epoch %d", st.Triples, *addr, mode, st.Epoch)
 	log.Fatal(http.ListenAndServe(*addr, srv.handler()))
 }

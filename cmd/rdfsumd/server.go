@@ -23,68 +23,89 @@ const (
 	maxQueryLimit     = 100_000
 )
 
-// summaryCell is the singleflight slot for one summary kind: the first
-// request builds, concurrent requests for the same kind wait on the Once,
-// and requests for *other* kinds proceed independently — a slow Strong
-// build no longer blocks Weak-pruned queries.
-type summaryCell struct {
-	once sync.Once
-	sum  *rdfsum.Summary
-	err  error
-}
+// maxIngestBody bounds a POST /triples body.
+const maxIngestBody = 64 << 20
 
-// prunerCell singleflights the saturated-summary emptiness oracle of one
-// kind (built on top of that kind's summaryCell).
+// prunerCell caches the saturated-summary emptiness oracle of one kind,
+// tagged with the epoch of the summary it was built from. The mutex
+// singleflights rebuilds of that kind; other kinds proceed independently.
 type prunerCell struct {
-	once   sync.Once
+	mu     sync.Mutex
+	epoch  uint64
 	pruner *rdfsum.QueryPruner
-	err    error
 }
 
-// server holds the loaded graph and caches derived artifacts.
+// server fronts a live graph store. All reads go through the store's
+// published epoch snapshots, so they are consistent and wait-free under
+// concurrent ingest; derived artifacts (summaries, pruners, planner
+// weights, the saturated graph) are cached per epoch and rebuilt lazily
+// when stale beyond the configured tolerance.
 type server struct {
-	graph *rdfsum.Graph
+	live *rdfsum.Live
+	// maxStale is how many epochs behind a cached summary-derived
+	// artifact may serve before it is rebuilt (0 = always rebuild when
+	// stale). Staleness is reported to clients either way.
+	maxStale uint64
 
-	mu        sync.Mutex // guards the two cell maps (not the builds)
-	summaries map[rdfsum.Kind]*summaryCell
-	pruners   map[rdfsum.Kind]*prunerCell
+	pruners [5]prunerCell // indexed by rdfsum.Kind
 
-	satOnce   sync.Once
-	saturated *rdfsum.Graph
-	satIx     *store.Index
-	plainIx   *store.Index
-	plainOnce sync.Once
+	satMu    sync.Mutex
+	satEpoch uint64
+	satGraph *rdfsum.Graph
+	satIx    *store.Index
 
-	weightsOnce sync.Once
-	weights     *rdfsum.Weights
+	weightsMu    sync.Mutex
+	weightsEpoch uint64
+	weights      *rdfsum.Weights
 }
 
-// newServer loads the graph at path. N-Triples inputs go through the
-// parallel pipeline with the given worker count (0 = all CPUs, 1 =
-// sequential).
-func newServer(path string, workers int) (*server, error) {
-	var g *rdfsum.Graph
-	var err error
-	switch {
-	case strings.HasSuffix(path, ".nt"):
-		g, err = rdfsum.LoadNTriplesFileParallel(path, &rdfsum.LoadOptions{Workers: workers})
-	case strings.HasSuffix(path, ".ttl"):
-		g, err = rdfsum.LoadTurtleFile(path)
-	default:
-		g, err = rdfsum.LoadSnapshot(path)
+// newServer builds the serving state. When liveDir is set the store is
+// durable (WAL + snapshots in that directory) and path — if any — seeds a
+// fresh store; otherwise path is loaded into a memory-only live store.
+// N-Triples inputs go through the parallel pipeline with the given worker
+// count (0 = all CPUs, 1 = sequential).
+func newServer(path, liveDir string, workers int, maxStale uint64, noSync bool) (*server, error) {
+	if path != "" && liveDir != "" && rdfsum.LiveHasState(liveDir) {
+		// A seed only applies to a fresh store; skip the (possibly huge)
+		// load instead of parsing and silently discarding it.
+		log.Printf("rdfsumd: -in %s ignored: live store %s already has state", path, liveDir)
+		path = ""
 	}
-	if err != nil {
-		return nil, err
+	var seed *rdfsum.Graph
+	if path != "" {
+		var err error
+		switch {
+		case strings.HasSuffix(path, ".nt"):
+			seed, err = rdfsum.LoadNTriplesFileParallel(path, &rdfsum.LoadOptions{Workers: workers})
+		case strings.HasSuffix(path, ".ttl"):
+			seed, err = rdfsum.LoadTurtleFile(path)
+		default:
+			seed, err = rdfsum.LoadSnapshot(path)
+		}
+		if err != nil {
+			return nil, err
+		}
 	}
-	return newServerFromGraph(g), nil
+	var lv *rdfsum.Live
+	if liveDir != "" {
+		var err error
+		lv, err = rdfsum.OpenLive(liveDir, &rdfsum.LiveOptions{NoSync: noSync, Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		if lv.RecoveredTorn {
+			log.Printf("rdfsumd: WAL recovery dropped a torn tail (crash mid-append); acknowledged batches are intact")
+		}
+	} else {
+		lv = rdfsum.NewLive(seed)
+	}
+	return &server{live: lv, maxStale: maxStale}, nil
 }
 
+// newServerFromGraph wraps an in-memory graph; used by tests and
+// embedders.
 func newServerFromGraph(g *rdfsum.Graph) *server {
-	return &server{
-		graph:     g,
-		summaries: map[rdfsum.Kind]*summaryCell{},
-		pruners:   map[rdfsum.Kind]*prunerCell{},
-	}
+	return &server{live: rdfsum.NewLive(g)}
 }
 
 func (s *server) mux() *http.ServeMux {
@@ -97,6 +118,8 @@ func (s *server) mux() *http.ServeMux {
 	m.HandleFunc("GET /summary", s.handleSummary)
 	m.HandleFunc("GET /profile", s.handleProfile)
 	m.HandleFunc("POST /query", s.handleQuery)
+	m.HandleFunc("POST /triples", s.handleTriples)
+	m.HandleFunc("POST /compact", s.handleCompact)
 	return m
 }
 
@@ -127,67 +150,77 @@ func logRequests(h http.Handler) http.Handler {
 	})
 }
 
-// summary builds (or returns the cached) summary of one kind. Builds of
-// different kinds run concurrently; duplicate requests for one kind
-// coalesce onto a single build.
-func (s *server) summary(kind rdfsum.Kind) (*rdfsum.Summary, error) {
-	s.mu.Lock()
-	cell, ok := s.summaries[kind]
-	if !ok {
-		cell = &summaryCell{}
-		s.summaries[kind] = cell
-	}
-	s.mu.Unlock()
-	cell.once.Do(func() {
-		cell.sum, cell.err = rdfsum.Summarize(s.graph, kind)
-	})
-	return cell.sum, cell.err
+// summary returns the (possibly cached) summary of one kind plus the
+// epoch it reflects; the live store rebuilds it lazily when it is staler
+// than the server's tolerance.
+func (s *server) summary(kind rdfsum.Kind) (*rdfsum.Summary, uint64, error) {
+	return s.live.Summary(kind, s.maxStale)
 }
 
-// pruner builds (or returns the cached) summary-pruning gate of one kind.
-func (s *server) pruner(kind rdfsum.Kind) (*rdfsum.QueryPruner, error) {
-	s.mu.Lock()
-	cell, ok := s.pruners[kind]
-	if !ok {
-		cell = &prunerCell{}
-		s.pruners[kind] = cell
+// pruner returns the summary-pruning gate of one kind with the epoch of
+// the summary it reflects, rebuilding when that summary moved.
+func (s *server) pruner(kind rdfsum.Kind) (*rdfsum.QueryPruner, uint64, error) {
+	sum, epoch, err := s.summary(kind)
+	if err != nil {
+		return nil, 0, err
 	}
-	s.mu.Unlock()
-	cell.once.Do(func() {
-		sum, err := s.summary(kind)
-		if err != nil {
-			cell.err = err
-			return
-		}
+	cell := &s.pruners[kind]
+	cell.mu.Lock()
+	defer cell.mu.Unlock()
+	if cell.pruner == nil || cell.epoch != epoch {
 		cell.pruner = rdfsum.NewQueryPruner(sum)
-	})
-	return cell.pruner, cell.err
+		cell.epoch = epoch
+	}
+	return cell.pruner, cell.epoch, nil
 }
+
+// planStatsMaxStale is the minimum staleness tolerance applied to the
+// planner's weights lookup. Join-order statistics are pure heuristics —
+// a stale estimate reorders joins suboptimally, never wrongly — so they
+// are not worth an O(graph) weak-summary rebuild on the query path after
+// every ingest batch (which -max-stale 0, the soundness-oriented
+// default, would otherwise force).
+const planStatsMaxStale = 32
 
 // planStats returns the weak summary's quotient-map cardinalities, the
-// statistics behind the planner's join ordering. Nil (with a logged
-// warning) when the weak summary cannot be built.
+// statistics behind the planner's join ordering, rebuilt when the weak
+// summary trails by more than the staleness tolerance. Nil (with a
+// logged warning) when the weak summary cannot be built.
 func (s *server) planStats() *rdfsum.Weights {
-	s.weightsOnce.Do(func() {
-		sum, err := s.summary(rdfsum.Weak)
-		if err != nil {
-			log.Printf("rdfsumd: planner stats unavailable: %v", err)
-			return
-		}
+	stale := s.maxStale
+	if stale < planStatsMaxStale {
+		stale = planStatsMaxStale
+	}
+	sum, epoch, err := s.live.Summary(rdfsum.Weak, stale)
+	if err != nil {
+		log.Printf("rdfsumd: planner stats unavailable: %v", err)
+		return nil
+	}
+	s.weightsMu.Lock()
+	defer s.weightsMu.Unlock()
+	if s.weights == nil || s.weightsEpoch != epoch {
 		s.weights = sum.ComputeWeights()
-	})
+		s.weightsEpoch = epoch
+	}
 	return s.weights
 }
 
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	snap := s.live.Snapshot()
+	st := s.live.Stats()
+	g := snap.Graph
 	writeJSON(w, map[string]any{
-		"triples":        s.graph.NumEdges(),
-		"data_triples":   len(s.graph.Data),
-		"type_triples":   len(s.graph.Types),
-		"schema_triples": len(s.graph.Schema),
-		"data_nodes":     len(s.graph.DataNodes()),
-		"class_nodes":    len(s.graph.ClassNodes()),
-		"properties":     len(s.graph.DistinctDataProperties()),
+		"triples":        g.NumEdges(),
+		"data_triples":   len(g.Data),
+		"type_triples":   len(g.Types),
+		"schema_triples": len(g.Schema),
+		"data_nodes":     len(g.DataNodes()),
+		"class_nodes":    len(g.ClassNodes()),
+		"properties":     len(g.DistinctDataProperties()),
+		"epoch":          snap.Epoch,
+		"durable":        st.Durable,
+		"wal_bytes":      st.WALBytes,
+		"generation":     st.Gen,
 	})
 }
 
@@ -201,7 +234,7 @@ func (s *server) handleSummary(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	sum, err := s.summary(kind)
+	sum, epoch, err := s.summary(kind)
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, err)
 		return
@@ -215,6 +248,8 @@ func (s *server) handleSummary(w http.ResponseWriter, r *http.Request) {
 			"data_edges":  sum.Stats.DataEdges,
 			"all_edges":   sum.Stats.AllEdges,
 			"compression": sum.Stats.CompressionRatio(),
+			"epoch":       epoch,
+			"stale":       s.live.Epoch() - epoch,
 		})
 	case "ntriples":
 		w.Header().Set("Content-Type", "application/n-triples")
@@ -233,7 +268,7 @@ func (s *server) handleSummary(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleProfile(w http.ResponseWriter, r *http.Request) {
-	sum, err := s.summary(rdfsum.TypedWeak)
+	sum, epoch, err := s.summary(rdfsum.TypedWeak)
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, err)
 		return
@@ -253,6 +288,64 @@ func (s *server) handleProfile(w http.ResponseWriter, r *http.Request) {
 		"triples": p.InputTriples,
 		"nodes":   p.InputNodes,
 		"kinds":   out,
+		"epoch":   epoch,
+	})
+}
+
+// handleTriples ingests an N-Triples body as one acknowledged batch: the
+// triples are WAL-logged and fsynced (durable stores), applied to the
+// graph and the incremental weak summary, and published as a new epoch —
+// all while concurrent queries keep reading their snapshots.
+func (s *server) handleTriples(w http.ResponseWriter, r *http.Request) {
+	// Parse straight off the wire — no body buffering — with a limited
+	// reader enforcing the cap. Nothing is applied until the whole body
+	// parsed, so a rejected request changes no state.
+	lr := &io.LimitedReader{R: r.Body, N: maxIngestBody + 1}
+	var triples []rdfsum.Triple
+	parseErr := rdfsum.ParseStream(lr, func(t rdfsum.Triple) error {
+		triples = append(triples, t)
+		return nil
+	})
+	if lr.N == 0 { // the cap (plus its sentinel byte) was consumed
+		// Refuse rather than ingest a silently truncated prefix (the
+		// parse error, if any, is an artifact of the cut).
+		httpError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("body exceeds %d bytes; split the ingest into smaller batches", maxIngestBody))
+		return
+	}
+	if parseErr != nil {
+		httpError(w, http.StatusBadRequest, parseErr)
+		return
+	}
+	if err := s.live.AddBatch(triples); err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	snap := s.live.Snapshot()
+	writeJSON(w, map[string]any{
+		"added":   len(triples),
+		"triples": snap.Graph.NumEdges(),
+		"epoch":   snap.Epoch,
+		"durable": s.live.Durable(),
+	})
+}
+
+// handleCompact folds the WAL into a fresh snapshot generation.
+func (s *server) handleCompact(w http.ResponseWriter, _ *http.Request) {
+	if !s.live.Durable() {
+		httpError(w, http.StatusConflict,
+			fmt.Errorf("store is memory-only (start rdfsumd with -live to enable compaction)"))
+		return
+	}
+	if err := s.live.Compact(); err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	st := s.live.Stats()
+	writeJSON(w, map[string]any{
+		"epoch":      st.Epoch,
+		"generation": st.Gen,
+		"wal_bytes":  st.WALBytes,
 	})
 }
 
@@ -273,13 +366,18 @@ func queryLimit(r *http.Request) (int, error) {
 	return n, nil
 }
 
-// handleQuery evaluates a SPARQL BGP posted in the body.
+// handleQuery evaluates a SPARQL BGP posted in the body against the
+// current epoch snapshot.
 //
 // Parameters: ?saturate=true evaluates against G∞; ?limit=N caps the rows
 // (default 10000, capped at 100000); ?explain=true adds the join-order
 // report; ?prune selects the summary kind gating provably-empty queries
-// (default weak, "off" disables). The response reports whether the row
-// set was truncated by the limit.
+// (default weak, "off" disables). The response reports the epoch of the
+// data the rows reflect, whether the row set was truncated, and — when
+// the pruning gate was actually applied — prune_epoch. A gate whose
+// summary trails the evaluated epoch is skipped rather than served:
+// pruning with a summary that has not seen the latest triples would be
+// unsound (it could prove a non-empty query "empty").
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
 	if err != nil {
@@ -302,9 +400,20 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	// Guarded assignment: a nil *Weights stored directly into the
 	// interface field would be a non-nil PlanStats and panic the planner.
+	// Planner statistics are heuristics, so a stale epoch is fine here.
 	if w := s.planStats(); w != nil {
 		opts.Stats = w
 	}
+	// Pin the evaluated graph before fetching the pruning gate, so the
+	// soundness condition below can be checked against it.
+	snap := s.live.Snapshot()
+	g, ix := snap.Graph, snap.Index
+	evalEpoch := snap.Epoch
+	saturated := r.URL.Query().Get("saturate") == "true"
+	if saturated {
+		g, ix, evalEpoch = s.saturatedIndex(snap)
+	}
+	var pruneEpoch uint64
 	pruneName := r.URL.Query().Get("prune")
 	if pruneName == "" {
 		pruneName = "weak"
@@ -315,16 +424,21 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusBadRequest, err)
 			return
 		}
-		pruner, err := s.pruner(kind)
+		pruner, epoch, err := s.pruner(kind)
 		if err != nil {
 			httpError(w, http.StatusInternalServerError, err)
 			return
 		}
-		opts.Pruner = pruner
-	}
-	g, ix := s.graph, s.plainIndex()
-	if r.URL.Query().Get("saturate") == "true" {
-		g, ix = s.saturatedIndex()
+		// Soundness (Prop. 1 + monotonicity): emptiness on the summary of
+		// a graph that CONTAINS the evaluated one proves emptiness below.
+		// Graphs only grow, so the gate is sound iff its summary epoch is
+		// at least the evaluated epoch; a gate that trails it (possible
+		// under -max-stale, or when an ingest raced this request) could
+		// wrongly prune triples it has never seen — skip pruning instead.
+		if epoch >= evalEpoch {
+			opts.Pruner = pruner
+			pruneEpoch = epoch
+		}
 	}
 	res, err := rdfsum.EvalQueryWithOptions(g, ix, q, opts)
 	if err != nil {
@@ -339,11 +453,21 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		rows = append(rows, cells)
 	}
+	// "epoch" is the epoch of the data the rows were computed from: the
+	// snapshot's, or — under ?saturate with a staleness tolerance — the
+	// epoch of the cached saturated graph.
 	payload := map[string]any{
 		"vars":      res.Vars,
 		"rows":      rows,
 		"count":     len(rows),
 		"truncated": res.Truncated,
+		"epoch":     evalEpoch,
+	}
+	if saturated {
+		payload["saturate_epoch"] = evalEpoch
+	}
+	if opts.Pruner != nil {
+		payload["prune_epoch"] = pruneEpoch
 	}
 	if res.Explain != nil {
 		payload["explain"] = res.Explain
@@ -351,17 +475,18 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, payload)
 }
 
-func (s *server) plainIndex() *store.Index {
-	s.plainOnce.Do(func() { s.plainIx = rdfsum.NewIndex(s.graph) })
-	return s.plainIx
-}
-
-func (s *server) saturatedIndex() (*rdfsum.Graph, *store.Index) {
-	s.satOnce.Do(func() {
-		s.saturated = rdfsum.Saturate(s.graph)
-		s.satIx = rdfsum.NewIndex(s.saturated)
-	})
-	return s.saturated, s.satIx
+// saturatedIndex returns G∞, its index and the epoch it reflects, cached
+// across requests and rebuilt when the epoch moves beyond the staleness
+// tolerance.
+func (s *server) saturatedIndex(snap *rdfsum.LiveSnapshot) (*rdfsum.Graph, *store.Index, uint64) {
+	s.satMu.Lock()
+	defer s.satMu.Unlock()
+	if s.satGraph == nil || s.satEpoch+s.maxStale < snap.Epoch {
+		s.satGraph = rdfsum.Saturate(snap.Graph)
+		s.satIx = rdfsum.NewIndex(s.satGraph)
+		s.satEpoch = snap.Epoch
+	}
+	return s.satGraph, s.satIx, s.satEpoch
 }
 
 // writeJSON encodes v; headers are already sent by the time an encode

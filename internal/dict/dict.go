@@ -9,6 +9,7 @@ package dict
 
 import (
 	"fmt"
+	"sync"
 
 	"rdfsum/internal/rdf"
 )
@@ -21,8 +22,15 @@ const None ID = 0
 
 // Dict interns rdf.Terms, assigning each distinct term a dense ID.
 // The zero value is not usable; call New.
+//
+// A Dict is single-goroutine by default — the loaders and summarizers own
+// theirs exclusively and pay no synchronization. Share switches one
+// dictionary into shared mode, where every method takes an internal
+// read-write lock; the live subsystem uses this so snapshot readers can
+// decode and look up terms while the single writer interns new ones.
 type Dict struct {
-	terms []rdf.Term // terms[i] is the term with ID i+1
+	mu    *sync.RWMutex // nil until Share; guards terms and index when set
+	terms []rdf.Term    // terms[i] is the term with ID i+1
 	index map[rdf.Term]ID
 }
 
@@ -39,9 +47,23 @@ func WithCapacity(n int) *Dict {
 	}
 }
 
+// Share switches d into shared mode: from now on every method is safe for
+// concurrent use by multiple goroutines. The switch itself must happen
+// before the dictionary is shared (it is not itself synchronized), and
+// cannot be undone.
+func (d *Dict) Share() {
+	if d.mu == nil {
+		d.mu = new(sync.RWMutex)
+	}
+}
+
 // Encode interns t and returns its ID, assigning a fresh one on first
 // sight.
 func (d *Dict) Encode(t rdf.Term) ID {
+	if d.mu != nil {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+	}
 	if id, ok := d.index[t]; ok {
 		return id
 	}
@@ -56,6 +78,10 @@ func (d *Dict) EncodeIRI(iri string) ID { return d.Encode(rdf.NewIRI(iri)) }
 
 // Lookup returns the ID of t without interning it.
 func (d *Dict) Lookup(t rdf.Term) (ID, bool) {
+	if d.mu != nil {
+		d.mu.RLock()
+		defer d.mu.RUnlock()
+	}
 	id, ok := d.index[t]
 	return id, ok
 }
@@ -66,6 +92,10 @@ func (d *Dict) LookupIRI(iri string) (ID, bool) { return d.Lookup(rdf.NewIRI(iri
 // Term returns the term interned under id. It panics on an unknown or zero
 // id — callers only hold IDs this dictionary issued.
 func (d *Dict) Term(id ID) rdf.Term {
+	if d.mu != nil {
+		d.mu.RLock()
+		defer d.mu.RUnlock()
+	}
 	if id == None || int(id) > len(d.terms) {
 		panic(fmt.Sprintf("dict: unknown id %d (dictionary holds %d terms)", id, len(d.terms)))
 	}
@@ -73,8 +103,14 @@ func (d *Dict) Term(id ID) rdf.Term {
 }
 
 // Len reports the number of interned terms.
-func (d *Dict) Len() int { return len(d.terms) }
+func (d *Dict) Len() int {
+	if d.mu != nil {
+		d.mu.RLock()
+		defer d.mu.RUnlock()
+	}
+	return len(d.terms)
+}
 
 // MaxID returns the highest assigned ID (equal to Len, since IDs are
 // dense starting at 1).
-func (d *Dict) MaxID() ID { return ID(len(d.terms)) }
+func (d *Dict) MaxID() ID { return ID(d.Len()) }

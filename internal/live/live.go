@@ -1,0 +1,571 @@
+// Package live implements the read-write axis of the system: a
+// concurrent, durable, mutable RDF graph with incremental summary
+// maintenance and snapshot-isolated serving.
+//
+// The design is single-writer / multi-reader:
+//
+//   - Writers append through Add/AddBatch. Each batch is framed into a
+//     CRC-checked write-ahead log record and fsynced (group commit) before
+//     it is applied in memory — an acknowledged batch survives a crash.
+//   - Readers call Snapshot and get an immutable epoch: a copy-on-write
+//     view of the graph, a merged triple index, and the epoch number,
+//     published atomically and never mutated in place. Queries keep
+//     running at full speed against their epoch while ingest proceeds.
+//   - The weak summary is maintained incrementally by core.WeakBuilder
+//     (the paper's Algorithms 1–3 are one-pass, so ingest keeps it
+//     current at O(α) per triple); other summary kinds are rebuilt lazily
+//     per epoch behind per-kind cells, with staleness reported to callers.
+//   - Compact folds the WAL into a store snapshot file and swaps
+//     generations through a CURRENT manifest, so recovery always sees a
+//     consistent (snapshot, log) pair.
+//
+// On-disk layout of a live directory:
+//
+//	CURRENT            "gen <n>\n" — the active generation (atomic rename)
+//	snapshot-<n>.rdfsum  store snapshot the generation starts from (absent
+//	                     for a generation with an empty base)
+//	wal-<n>.log          record-framed WAL of triples since that snapshot
+//
+// Deletions are not supported: weak-summary maintenance is merge-based
+// and merges are not invertible (see core.WeakBuilder) — removing triples
+// requires a rebuild from a compacted snapshot.
+package live
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"rdfsum/internal/core"
+	"rdfsum/internal/rdf"
+	"rdfsum/internal/store"
+)
+
+// Options tunes Open and New.
+type Options struct {
+	// NoSync disables the per-batch fsync. Throughput rises; the
+	// durability guarantee weakens from "acknowledged batches survive a
+	// crash" to "the WAL is consistent but may lose recent batches".
+	NoSync bool
+	// Seed is adopted as the initial graph when the directory holds no
+	// prior state; it is compacted into the first snapshot so the WAL
+	// starts empty. Ignored when the store already has state. The graph
+	// is adopted, not copied — the caller must not use it afterwards.
+	Seed *store.Graph
+}
+
+// Snapshot is one published epoch: an immutable view served to readers.
+type Snapshot struct {
+	// Epoch increases by one per publication. Epoch 1 is the state at
+	// Open/New.
+	Epoch uint64
+	// Graph is the copy-on-write view of the graph at this epoch. It
+	// shares the live dictionary (which is in shared, locked mode) and
+	// must not be mutated.
+	Graph *store.Graph
+	// Index is the triple-pattern index over Graph.
+	Index *store.Index
+}
+
+// summaryCell caches the most recent build of one summary kind, tagged
+// with the epoch it reflects. The mutex singleflights rebuilds of that
+// kind without blocking other kinds.
+type summaryCell struct {
+	mu    sync.Mutex
+	epoch uint64
+	sum   *core.Summary
+}
+
+// Live is a mutable graph service. The zero value is not usable; call
+// Open or New. All methods are safe for concurrent use, with a single
+// writer at a time making progress.
+type Live struct {
+	dir  string // "" = memory-only (no WAL, Compact unavailable)
+	sync bool
+
+	mu      sync.Mutex // serializes writers (Add/AddBatch/Compact/Close)
+	builder *core.WeakBuilder
+	wal     *wal
+	lock    *os.File // exclusive flock on the store directory (nil on non-unix / memory)
+	gen     uint64
+	applied uint64 // triples applied to the in-memory graph (monotonic)
+	closed  bool
+
+	// published is the epoch counter behind cur; mutated under mu only.
+	published uint64
+	cur       atomic.Pointer[Snapshot]
+
+	// lastD/T/S are the component lengths at the last publication, for
+	// delta extraction when merging the index.
+	lastD, lastT, lastS int
+
+	cells [5]summaryCell // indexed by core.Kind
+
+	// RecoveredTorn reports whether Open dropped a torn tail from the WAL
+	// (the crash-recovery path was exercised).
+	RecoveredTorn bool
+}
+
+// New returns a memory-only live graph over g (nil for empty): the full
+// concurrency model without durability. Compact returns an error; the WAL
+// is absent. The graph is adopted, not copied.
+func New(g *store.Graph) *Live {
+	if g == nil {
+		g = store.NewGraph()
+	}
+	g.Dict().Share()
+	l := &Live{builder: core.NewWeakBuilderWithGraph(g), sync: false}
+	l.mu.Lock()
+	l.publishLocked()
+	l.mu.Unlock()
+	return l
+}
+
+// Open opens (or initializes) a durable live store in dir: it loads the
+// current generation's snapshot, replays the WAL over it — truncating a
+// torn tail, so exactly the acknowledged batches come back — and publishes
+// epoch 1.
+func Open(dir string, opts Options) (*Live, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	lock, err := lockDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	opened := false
+	defer func() {
+		if !opened && lock != nil {
+			lock.Close()
+		}
+	}()
+	l := &Live{dir: dir, sync: !opts.NoSync, lock: lock}
+
+	gen, err := readManifest(dir)
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		// Fresh directory: generation 1, optionally seeded.
+		g := opts.Seed
+		if g == nil {
+			g = store.NewGraph()
+		}
+		g.Dict().Share()
+		l.builder = core.NewWeakBuilderWithGraph(g)
+		l.gen = 1
+		if opts.Seed != nil && g.NumEdges() > 0 {
+			// Persist the seed as the generation's base snapshot so the
+			// WAL starts empty and replay cost stays proportional to
+			// post-seed writes.
+			if err := l.writeSnapshotFile(1, g); err != nil {
+				return nil, err
+			}
+		}
+		l.wal, err = createWAL(l.walPath(1), l.sync)
+		if err != nil {
+			return nil, err
+		}
+		if err := writeManifest(dir, 1); err != nil {
+			l.wal.close()
+			return nil, err
+		}
+	case err != nil:
+		return nil, err
+	default:
+		var g *store.Graph
+		snapPath := l.snapshotPath(gen)
+		switch _, statErr := os.Stat(snapPath); {
+		case statErr == nil:
+			g, err = store.LoadFile(snapPath)
+			if err != nil {
+				return nil, fmt.Errorf("live: generation %d snapshot: %w", gen, err)
+			}
+		case errors.Is(statErr, fs.ErrNotExist):
+			// A generation whose base graph was empty writes no snapshot.
+			g = store.NewGraph()
+		default:
+			// Any other failure (EACCES, EIO, …) must not be mistaken for
+			// "no snapshot": opening with an empty base and later
+			// compacting would silently discard the store's history.
+			return nil, fmt.Errorf("live: generation %d snapshot: %w", gen, statErr)
+		}
+		g.Dict().Share()
+		l.builder = core.NewWeakBuilderWithGraph(g)
+		l.gen = gen
+		good, torn, err := replayWAL(l.walPath(gen), func(triples []rdf.Triple) error {
+			for _, t := range triples {
+				l.builder.Add(t)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		l.RecoveredTorn = torn
+		l.wal, err = openWALForAppend(l.walPath(gen), good, l.sync)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	l.applied = uint64(l.graph().NumEdges())
+	l.mu.Lock()
+	l.publishLocked()
+	l.mu.Unlock()
+	l.removeStaleGenerations()
+	opened = true
+	return l, nil
+}
+
+// graph is the writer-side mutable graph (the builder owns it).
+func (l *Live) graph() *store.Graph { return l.builder.Graph() }
+
+// Durable reports whether the store is backed by a WAL directory.
+func (l *Live) Durable() bool { return l.dir != "" }
+
+// Dir returns the store directory ("" for memory-only).
+func (l *Live) Dir() string { return l.dir }
+
+// Epoch returns the currently published epoch.
+func (l *Live) Epoch() uint64 { return l.cur.Load().Epoch }
+
+// Snapshot returns the current published epoch. The result is immutable
+// and remains valid (and consistent) for as long as the caller holds it,
+// regardless of concurrent ingest or compaction.
+func (l *Live) Snapshot() *Snapshot { return l.cur.Load() }
+
+// Add appends one triple: WAL record, fsync, apply, publish. Equivalent
+// to AddBatch with a single triple — batch writes amortize much better.
+func (l *Live) Add(t rdf.Triple) error { return l.AddBatch([]rdf.Triple{t}) }
+
+// AddBatch appends a batch of triples as one WAL record and one fsync
+// (group commit), applies them to the graph and the incremental weak
+// summary, and publishes a new epoch. When AddBatch returns nil on a
+// durable store, the batch survives a crash.
+func (l *Live) AddBatch(triples []rdf.Triple) error {
+	if len(triples) == 0 {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errors.New("live: store is closed")
+	}
+	if l.wal != nil {
+		if err := l.wal.append(triples); err != nil {
+			return err
+		}
+	}
+	for _, t := range triples {
+		l.builder.Add(t)
+	}
+	l.applied += uint64(len(triples))
+	l.publishLocked()
+	return nil
+}
+
+// publishLocked builds and atomically installs the next epoch. Caller
+// holds l.mu. The graph view shares storage with the writer's graph
+// (copy-on-write: appends land beyond the view's clipped bounds); the
+// index is the previous epoch's index merged with the delta.
+func (l *Live) publishLocked() {
+	g := l.graph()
+	view := g.SnapshotView()
+	var ix *store.Index
+	if prev := l.cur.Load(); prev == nil {
+		ix = store.NewIndex(view)
+	} else {
+		delta := make([]store.Triple, 0,
+			len(g.Data)-l.lastD+len(g.Types)-l.lastT+len(g.Schema)-l.lastS)
+		delta = append(delta, g.Data[l.lastD:]...)
+		delta = append(delta, g.Types[l.lastT:]...)
+		delta = append(delta, g.Schema[l.lastS:]...)
+		ix = prev.Index.Merged(delta)
+	}
+	l.lastD, l.lastT, l.lastS = len(g.Data), len(g.Types), len(g.Schema)
+	l.published++
+	l.cur.Store(&Snapshot{Epoch: l.published, Graph: view, Index: ix})
+}
+
+// Summary returns the summary of the given kind for (at least) the
+// current epoch, along with the epoch it was built at. Weak summaries
+// come from the incremental builder when the builder still matches the
+// published epoch (no full pass over the graph); every other kind — or a
+// weak summary raced by concurrent ingest — is rebuilt from the epoch's
+// frozen view. maxStale permits serving a cached summary up to that many
+// epochs old (0 = always current), the staleness policy a serving layer
+// exposes to its clients.
+func (l *Live) Summary(kind core.Kind, maxStale uint64) (*core.Summary, uint64, error) {
+	if int(kind) < 0 || int(kind) >= len(l.cells) {
+		return nil, 0, fmt.Errorf("core: unknown summary kind %d", int(kind))
+	}
+	snap := l.Snapshot()
+	cell := &l.cells[kind]
+	cell.mu.Lock()
+	defer cell.mu.Unlock()
+	if cell.sum != nil && cell.epoch+maxStale >= snap.Epoch {
+		return cell.sum, cell.epoch, nil
+	}
+	var s *core.Summary
+	if kind == core.Weak {
+		s = l.weakFromBuilder(snap.Epoch)
+	}
+	if s == nil {
+		var err error
+		s, err = core.Summarize(snap.Graph, kind, nil)
+		if err != nil {
+			return nil, 0, err
+		}
+	}
+	cell.sum, cell.epoch = s, snap.Epoch
+	return s, snap.Epoch, nil
+}
+
+// weakFromBuilder materializes the weak summary from the incremental
+// builder, provided no ingest has happened since epoch was published (the
+// builder always reflects the writer's head, which may be ahead of the
+// epoch a reader is entitled to). Returns nil when raced; the caller
+// falls back to a batch build of the frozen view — bit-identical by the
+// builder's construction.
+func (l *Live) weakFromBuilder(epoch uint64) *core.Summary {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.published != epoch {
+		return nil
+	}
+	s := l.builder.Summary()
+	// The builder's summary aliases the writer's mutable graph as its
+	// Input. Freeze Input to the epoch's published view (identical
+	// content while we hold l.mu at the matching epoch) so consumers —
+	// ComputeWeights iterates Input's components — stay safe under
+	// concurrent ingest.
+	s.Input = l.cur.Load().Graph
+	return s
+}
+
+// Stats reports the live store's serving counters.
+type Stats struct {
+	Epoch    uint64 // current published epoch
+	Triples  uint64 // triples applied (graph edges)
+	Gen      uint64 // on-disk generation (0 for memory-only)
+	WALBytes int64  // bytes in the active WAL (0 for memory-only)
+	Durable  bool
+}
+
+// Stats returns current counters.
+func (l *Live) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st := Stats{Epoch: l.published, Triples: l.applied, Durable: l.dir != "", Gen: l.gen}
+	if l.wal != nil {
+		st.WALBytes = l.wal.size
+	}
+	return st
+}
+
+// Compact folds the WAL into a fresh store snapshot and starts an empty
+// log: it writes snapshot-<gen+1>, creates wal-<gen+1>, atomically swaps
+// CURRENT to the new generation, and deletes the old generation's files.
+// A crash at any point leaves either the old generation fully intact or
+// the new one fully current — never a half state. Readers are unaffected:
+// their epochs reference only in-memory state.
+func (l *Live) Compact() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errors.New("live: store is closed")
+	}
+	if l.dir == "" {
+		return errors.New("live: memory-only store cannot compact (no directory)")
+	}
+	newGen := l.gen + 1
+	if err := l.writeSnapshotFile(newGen, l.graph()); err != nil {
+		return err
+	}
+	newWAL, err := createWAL(l.walPath(newGen), l.sync)
+	if err != nil {
+		return err
+	}
+	if err := writeManifest(l.dir, newGen); err != nil {
+		newWAL.close()
+		return err
+	}
+	// The new generation is current; retire the old one.
+	oldGen := l.gen
+	l.wal.close()
+	l.wal, l.gen = newWAL, newGen
+	os.Remove(l.walPath(oldGen))
+	os.Remove(l.snapshotPath(oldGen))
+	return nil
+}
+
+// Close flushes and closes the WAL and releases the directory lock.
+// Published snapshots remain usable; further writes fail.
+func (l *Live) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	var err error
+	if l.wal != nil {
+		err = l.wal.close()
+	}
+	if l.lock != nil {
+		if cerr := l.lock.Close(); err == nil {
+			err = cerr
+		}
+		l.lock = nil
+	}
+	return err
+}
+
+// --- manifest and file layout ---------------------------------------------
+
+func (l *Live) walPath(gen uint64) string {
+	return filepath.Join(l.dir, fmt.Sprintf("wal-%d.log", gen))
+}
+
+func (l *Live) snapshotPath(gen uint64) string {
+	return filepath.Join(l.dir, fmt.Sprintf("snapshot-%d.rdfsum", gen))
+}
+
+// writeSnapshotFile durably writes gen's base snapshot via tmp + fsync +
+// rename, so a crash never leaves a half-written snapshot under the final
+// name.
+func (l *Live) writeSnapshotFile(gen uint64, g *store.Graph) error {
+	path := l.snapshotPath(gen)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := store.WriteSnapshot(f, g); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if l.sync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return err
+		}
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return l.syncDir()
+}
+
+// syncDir fsyncs the store directory so renames and creations are durable.
+func (l *Live) syncDir() error {
+	if !l.sync {
+		return nil
+	}
+	d, err := os.Open(l.dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+const manifestName = "CURRENT"
+
+// HasState reports whether dir already holds an initialized live store
+// (an existing CURRENT manifest). Callers use it to decide whether a
+// seed graph would be adopted or ignored by Open.
+func HasState(dir string) bool {
+	_, err := os.Stat(filepath.Join(dir, manifestName))
+	return err == nil
+}
+
+// readManifest returns the active generation, or os.ErrNotExist for a
+// fresh directory.
+func readManifest(dir string) (uint64, error) {
+	b, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return 0, err
+	}
+	s := strings.TrimSpace(string(b))
+	genStr, ok := strings.CutPrefix(s, "gen ")
+	if !ok {
+		return 0, fmt.Errorf("live: malformed manifest %q", s)
+	}
+	gen, err := strconv.ParseUint(genStr, 10, 64)
+	if err != nil || gen == 0 {
+		return 0, fmt.Errorf("live: malformed manifest generation %q", genStr)
+	}
+	return gen, nil
+}
+
+// writeManifest atomically points CURRENT at gen (tmp + fsync + rename +
+// dir sync). The referenced WAL and snapshot must already be durable.
+// The tmp file's *data* is fsynced before the rename: without it a crash
+// could durably install a CURRENT entry whose blocks never hit the disk,
+// leaving an unopenable store after the old generation is deleted.
+func writeManifest(dir string, gen uint64) error {
+	path := filepath.Join(dir, manifestName)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(f, "gen %d\n", gen); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// removeStaleGenerations deletes snapshot/WAL files of generations other
+// than the current one — leftovers of a crash between manifest swap and
+// cleanup. Best-effort.
+func (l *Live) removeStaleGenerations() {
+	entries, err := os.ReadDir(l.dir)
+	if err != nil {
+		return
+	}
+	keepWAL := filepath.Base(l.walPath(l.gen))
+	keepSnap := filepath.Base(l.snapshotPath(l.gen))
+	for _, e := range entries {
+		name := e.Name()
+		if name == keepWAL || name == keepSnap {
+			continue
+		}
+		if strings.HasPrefix(name, "wal-") || strings.HasPrefix(name, "snapshot-") {
+			os.Remove(filepath.Join(l.dir, name))
+		}
+	}
+}

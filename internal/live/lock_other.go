@@ -1,0 +1,9 @@
+//go:build !unix
+
+package live
+
+import "os"
+
+// lockDir is advisory-lock based on unix; on other platforms concurrent
+// writers to the same store directory are not detected.
+func lockDir(string) (*os.File, error) { return nil, nil }

@@ -1,0 +1,28 @@
+//go:build unix
+
+package live
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// lockDir takes an exclusive advisory lock on dir/LOCK so two processes
+// cannot write the same store (interleaved appends from independent size
+// cursors would corrupt the WAL; a compaction in one process would delete
+// the log the other is appending to). The lock is tied to the returned
+// open file: closing it — or process death, so a crash never leaves a
+// stale lock — releases it.
+func lockDir(dir string) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, "LOCK"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("live: store %s is in use by another process: %w", dir, err)
+	}
+	return f, nil
+}

@@ -16,6 +16,29 @@ type Index struct {
 	osp []Triple // sorted by (O, S, P)
 }
 
+// The three maintained sort orders.
+func lessSPO(a, b Triple) bool { return a.Less(b) }
+
+func lessPOS(a, b Triple) bool {
+	if a.P != b.P {
+		return a.P < b.P
+	}
+	if a.O != b.O {
+		return a.O < b.O
+	}
+	return a.S < b.S
+}
+
+func lessOSP(a, b Triple) bool {
+	if a.O != b.O {
+		return a.O < b.O
+	}
+	if a.S != b.S {
+		return a.S < b.S
+	}
+	return a.P < b.P
+}
+
 // NewIndex builds the three orderings over the graph's current triples.
 // The index does not track later mutations of g.
 func NewIndex(g *Graph) *Index {
@@ -25,28 +48,47 @@ func NewIndex(g *Graph) *Index {
 		pos: append([]Triple(nil), all...),
 		osp: append([]Triple(nil), all...),
 	}
-	sort.Slice(ix.spo, func(i, j int) bool { return ix.spo[i].Less(ix.spo[j]) })
-	sort.Slice(ix.pos, func(i, j int) bool {
-		a, b := ix.pos[i], ix.pos[j]
-		if a.P != b.P {
-			return a.P < b.P
-		}
-		if a.O != b.O {
-			return a.O < b.O
-		}
-		return a.S < b.S
-	})
-	sort.Slice(ix.osp, func(i, j int) bool {
-		a, b := ix.osp[i], ix.osp[j]
-		if a.O != b.O {
-			return a.O < b.O
-		}
-		if a.S != b.S {
-			return a.S < b.S
-		}
-		return a.P < b.P
-	})
+	sort.Slice(ix.spo, func(i, j int) bool { return lessSPO(ix.spo[i], ix.spo[j]) })
+	sort.Slice(ix.pos, func(i, j int) bool { return lessPOS(ix.pos[i], ix.pos[j]) })
+	sort.Slice(ix.osp, func(i, j int) bool { return lessOSP(ix.osp[i], ix.osp[j]) })
 	return ix
+}
+
+// Merged returns a new index over ix's triples plus delta, leaving ix
+// untouched. Instead of re-sorting everything it sorts only the delta
+// (k log k) and merges it with the existing orders (linear) — the
+// incremental path the live subsystem uses to republish its index after an
+// ingest batch. The result equals NewIndex over the combined triples.
+func (ix *Index) Merged(delta []Triple) *Index {
+	if len(delta) == 0 {
+		return &Index{spo: ix.spo, pos: ix.pos, osp: ix.osp}
+	}
+	d := append([]Triple(nil), delta...)
+	out := &Index{}
+	sort.Slice(d, func(i, j int) bool { return lessSPO(d[i], d[j]) })
+	out.spo = mergeSorted(ix.spo, d, lessSPO)
+	sort.Slice(d, func(i, j int) bool { return lessPOS(d[i], d[j]) })
+	out.pos = mergeSorted(ix.pos, d, lessPOS)
+	sort.Slice(d, func(i, j int) bool { return lessOSP(d[i], d[j]) })
+	out.osp = mergeSorted(ix.osp, d, lessOSP)
+	return out
+}
+
+// mergeSorted merges two slices sorted under less into a fresh slice.
+func mergeSorted(a, b []Triple, less func(x, y Triple) bool) []Triple {
+	out := make([]Triple, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if less(b[j], a[i]) {
+			out = append(out, b[j])
+			j++
+		} else {
+			out = append(out, a[i])
+			i++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
 }
 
 // Len reports the number of indexed triples.

@@ -3,6 +3,7 @@ package store
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash"
 	"hash/crc32"
@@ -26,6 +27,39 @@ const (
 	snapshotMagic   = "RDFSUM"
 	snapshotVersion = 1
 )
+
+// Snapshot read failures are classified into distinct sentinel errors so a
+// serving process can tell "wrong file" from "torn write" from "bit rot"
+// in its logs and pick the right reaction (reject the path vs. restore a
+// backup). Every error out of ReadSnapshot wraps exactly one of these;
+// match with errors.Is.
+var (
+	// ErrSnapshotMagic: the file does not start with the snapshot magic —
+	// not a snapshot at all.
+	ErrSnapshotMagic = errors.New("store: not a snapshot file (bad magic)")
+	// ErrSnapshotVersion: a snapshot, but a format version this build does
+	// not read.
+	ErrSnapshotVersion = errors.New("store: unsupported snapshot version")
+	// ErrSnapshotTruncated: the file ended before the format said it
+	// should — typically a torn or incomplete write.
+	ErrSnapshotTruncated = errors.New("store: snapshot truncated")
+	// ErrSnapshotCorrupt: structurally invalid content (impossible term
+	// kinds, dangling triple IDs, oversized lengths) with the length
+	// intact.
+	ErrSnapshotCorrupt = errors.New("store: snapshot corrupt")
+	// ErrSnapshotChecksum: the trailing CRC-32 does not match the payload.
+	ErrSnapshotChecksum = errors.New("store: snapshot checksum mismatch")
+)
+
+// truncatedOr classifies a read error: EOF-family errors mean the file
+// ended early (truncation), anything else is an I/O failure passed
+// through.
+func truncatedOr(err error) error {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return ErrSnapshotTruncated
+	}
+	return err
+}
 
 // WriteSnapshot serializes the graph (dictionary included) to w.
 func WriteSnapshot(w io.Writer, g *Graph) error {
@@ -103,47 +137,48 @@ func ReadSnapshot(r io.Reader) (*Graph, error) {
 
 	magic := make([]byte, len(snapshotMagic)+1)
 	if _, err := io.ReadFull(br, magic); err != nil {
-		return nil, fmt.Errorf("store: snapshot header: %w", err)
+		return nil, fmt.Errorf("snapshot header: %w", truncatedOr(err))
 	}
 	if string(magic[:len(snapshotMagic)]) != snapshotMagic {
-		return nil, fmt.Errorf("store: not a snapshot file (bad magic)")
+		return nil, ErrSnapshotMagic
 	}
 	if magic[len(snapshotMagic)] != snapshotVersion {
-		return nil, fmt.Errorf("store: unsupported snapshot version %d", magic[len(snapshotMagic)])
+		return nil, fmt.Errorf("%w %d (this build reads %d)",
+			ErrSnapshotVersion, magic[len(snapshotMagic)], snapshotVersion)
 	}
 
 	nTerms, err := binary.ReadUvarint(br)
 	if err != nil {
-		return nil, fmt.Errorf("store: snapshot dictionary size: %w", err)
+		return nil, fmt.Errorf("snapshot dictionary size: %w", truncatedOr(err))
 	}
 	d := dict.WithCapacity(int(nTerms))
 	for i := uint64(0); i < nTerms; i++ {
 		kind, err := br.ReadByte()
 		if err != nil {
-			return nil, fmt.Errorf("store: snapshot term %d: %w", i, err)
+			return nil, fmt.Errorf("snapshot term %d: %w", i, truncatedOr(err))
 		}
 		value, err := readString(br)
 		if err != nil {
-			return nil, fmt.Errorf("store: snapshot term %d: %w", i, err)
+			return nil, fmt.Errorf("snapshot term %d: %w", i, truncatedOr(err))
 		}
 		t := rdf.Term{Kind: rdf.TermKind(kind), Value: value}
 		if t.Kind == rdf.Literal {
 			if t.Datatype, err = readString(br); err != nil {
-				return nil, fmt.Errorf("store: snapshot term %d: %w", i, err)
+				return nil, fmt.Errorf("snapshot term %d: %w", i, truncatedOr(err))
 			}
 			if t.Lang, err = readString(br); err != nil {
-				return nil, fmt.Errorf("store: snapshot term %d: %w", i, err)
+				return nil, fmt.Errorf("snapshot term %d: %w", i, truncatedOr(err))
 			}
 		}
 		switch t.Kind {
 		case rdf.IRI, rdf.Blank, rdf.Literal:
 		default:
-			return nil, fmt.Errorf("store: snapshot term %d: invalid kind %d", i, kind)
+			return nil, fmt.Errorf("%w: term %d has invalid kind %d", ErrSnapshotCorrupt, i, kind)
 		}
 		d.Encode(t)
 	}
 	if d.Len() != int(nTerms) {
-		return nil, fmt.Errorf("store: snapshot dictionary holds duplicate terms")
+		return nil, fmt.Errorf("%w: dictionary holds duplicate terms", ErrSnapshotCorrupt)
 	}
 
 	g := NewGraphWithDict(d)
@@ -151,7 +186,7 @@ func ReadSnapshot(r io.Reader) (*Graph, error) {
 	for comp := 0; comp < 3; comp++ {
 		n, err := binary.ReadUvarint(br)
 		if err != nil {
-			return nil, fmt.Errorf("store: snapshot component %d size: %w", comp, err)
+			return nil, fmt.Errorf("snapshot component %d size: %w", comp, truncatedOr(err))
 		}
 		ts := make([]Triple, 0, n)
 		for i := uint64(0); i < n; i++ {
@@ -159,10 +194,10 @@ func ReadSnapshot(r io.Reader) (*Graph, error) {
 			for j := range ids {
 				ids[j], err = binary.ReadUvarint(br)
 				if err != nil {
-					return nil, fmt.Errorf("store: snapshot triple: %w", err)
+					return nil, fmt.Errorf("snapshot component %d triple %d: %w", comp, i, truncatedOr(err))
 				}
 				if ids[j] == 0 || ids[j] > maxID {
-					return nil, fmt.Errorf("store: snapshot triple references unknown term id %d", ids[j])
+					return nil, fmt.Errorf("%w: triple references unknown term id %d", ErrSnapshotCorrupt, ids[j])
 				}
 			}
 			ts = append(ts, Triple{dict.ID(ids[0]), dict.ID(ids[1]), dict.ID(ids[2])})
@@ -180,10 +215,11 @@ func ReadSnapshot(r io.Reader) (*Graph, error) {
 	want := br.crc.Sum32() // checksum of exactly the consumed payload bytes
 	var sum [4]byte
 	if _, err := io.ReadFull(br.src, sum[:]); err != nil {
-		return nil, fmt.Errorf("store: snapshot checksum: %w", err)
+		return nil, fmt.Errorf("snapshot checksum: %w", truncatedOr(err))
 	}
 	if binary.LittleEndian.Uint32(sum[:]) != want {
-		return nil, fmt.Errorf("store: snapshot checksum mismatch (corrupt file)")
+		return nil, fmt.Errorf("%w (want %08x, file carries %08x)",
+			ErrSnapshotChecksum, want, binary.LittleEndian.Uint32(sum[:]))
 	}
 	return g, nil
 }
@@ -228,7 +264,7 @@ func readString(br *crcReader) (string, error) {
 		return "", err
 	}
 	if n > 1<<31 {
-		return "", fmt.Errorf("string length %d too large", n)
+		return "", fmt.Errorf("%w: string length %d too large", ErrSnapshotCorrupt, n)
 	}
 	buf := make([]byte, n)
 	if _, err := io.ReadFull(br, buf); err != nil {

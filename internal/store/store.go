@@ -10,7 +10,6 @@
 package store
 
 import (
-	"slices"
 	"sort"
 
 	"rdfsum/internal/dict"
@@ -138,22 +137,32 @@ func (g *Graph) AddEncoded(s, p, o dict.ID) {
 	}
 }
 
-// Grow reserves capacity for upcoming appends to the three components,
-// so bulk loads pay for at most one reallocation per component.
-func (g *Graph) Grow(data, types, schema int) {
-	g.Data = slices.Grow(g.Data, data)
-	g.Types = slices.Grow(g.Types, types)
-	g.Schema = slices.Grow(g.Schema, schema)
+// Extend lengthens the three components by the given counts and returns
+// the freshly added (zeroed) regions for the caller to fill. The parallel
+// loader sizes the final slices once via prefix-summed per-slab counts and
+// has its workers write translated triples directly into disjoint
+// sub-ranges of the returned regions.
+func (g *Graph) Extend(data, types, schema int) (d, t, s []Triple) {
+	g.Data = append(g.Data, make([]Triple, data)...)
+	g.Types = append(g.Types, make([]Triple, types)...)
+	g.Schema = append(g.Schema, make([]Triple, schema)...)
+	return g.Data[len(g.Data)-data:], g.Types[len(g.Types)-types:], g.Schema[len(g.Schema)-schema:]
 }
 
-// AppendBatch bulk-appends already-encoded, already-partitioned triples.
-// The caller asserts that every triple is routed to the component
-// AddEncoded would have chosen; the parallel loader partitions per slab
-// and lands each batch here in slab order.
-func (g *Graph) AppendBatch(data, types, schema []Triple) {
-	g.Data = append(g.Data, data...)
-	g.Types = append(g.Types, types...)
-	g.Schema = append(g.Schema, schema...)
+// SnapshotView returns an immutable view of g at its current size: a graph
+// sharing g's dictionary and triple storage whose component slices are
+// clipped to the current length and capacity. Later appends to g write
+// beyond the view's bounds (or reallocate), so readers of the view never
+// observe them — the copy-on-write trick behind the live subsystem's epoch
+// snapshots. The view must not be mutated.
+func (g *Graph) SnapshotView() *Graph {
+	return &Graph{
+		dict:   g.dict,
+		vocab:  g.vocab,
+		Data:   g.Data[:len(g.Data):len(g.Data)],
+		Types:  g.Types[:len(g.Types):len(g.Types)],
+		Schema: g.Schema[:len(g.Schema):len(g.Schema)],
+	}
 }
 
 // NumEdges is the total number of triples, |G|e.

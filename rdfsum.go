@@ -35,6 +35,7 @@ import (
 	"rdfsum/internal/bsbm"
 	"rdfsum/internal/core"
 	"rdfsum/internal/dot"
+	"rdfsum/internal/live"
 	"rdfsum/internal/load"
 	"rdfsum/internal/lubm"
 	"rdfsum/internal/ntriples"
@@ -339,3 +340,52 @@ func NewWeakBuilder() *WeakBuilder { return core.NewWeakBuilder() }
 func NewWeakBuilderWithGraph(g *Graph) *WeakBuilder {
 	return core.NewWeakBuilderWithGraph(g)
 }
+
+// Live-update subsystem: a concurrent, durable, mutable graph. Writers
+// append batches (WAL-logged and fsynced before acknowledgment on durable
+// stores); readers hold immutable epoch snapshots, so queries run at full
+// speed during ingest; the weak summary is maintained incrementally and
+// other kinds rebuild lazily per epoch. See internal/live and
+// docs/live-updates.md.
+type (
+	// Live is a mutable graph service (single writer, many readers).
+	Live = live.Live
+	// LiveSnapshot is one published epoch: an immutable graph view plus
+	// its triple index.
+	LiveSnapshot = live.Snapshot
+	// LiveStats reports a live store's serving counters.
+	LiveStats = live.Stats
+)
+
+// LiveOptions tunes OpenLive.
+type LiveOptions struct {
+	// NoSync disables the per-batch fsync: faster ingest, weaker
+	// durability (a crash may lose recently acknowledged batches, but the
+	// log stays consistent).
+	NoSync bool
+	// Seed is adopted as the initial graph when the directory holds no
+	// prior state (it is compacted into the first snapshot); ignored
+	// otherwise. The graph must not be used by the caller afterwards.
+	Seed *Graph
+}
+
+// OpenLive opens (or initializes) a durable live store in dir: the
+// current snapshot is loaded, the write-ahead log replayed over it (a
+// torn tail from a crash is truncated, so exactly the acknowledged
+// batches recover), and the first epoch published.
+func OpenLive(dir string, opts *LiveOptions) (*Live, error) {
+	var o live.Options
+	if opts != nil {
+		o = live.Options{NoSync: opts.NoSync, Seed: opts.Seed}
+	}
+	return live.Open(dir, o)
+}
+
+// NewLive wraps a graph (nil for empty) as a memory-only live store: the
+// same concurrency model — epoch snapshots, incremental weak summary —
+// without durability. The graph is adopted, not copied.
+func NewLive(g *Graph) *Live { return live.New(g) }
+
+// LiveHasState reports whether dir already holds an initialized live
+// store, i.e. whether OpenLive would adopt or ignore a Seed.
+func LiveHasState(dir string) bool { return live.HasState(dir) }
