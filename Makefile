@@ -56,11 +56,12 @@ bench-json:
 
 # Live-subsystem stress under the race detector (mirrored as a CI step):
 # readers query epoch snapshots while a writer ingests batches and
-# compacts; plus the WAL crash-recovery property test. -count=2 reruns
+# compacts; readers materialize every maintained summary kind during
+# ingest; plus the WAL crash-recovery property test. -count=2 reruns
 # with fresh schedules.
 stress:
 	$(GO) test -race -count=2 \
-		-run 'TestLiveStress|TestLiveIngestDuringConcurrentQueries|TestLiveCrashRecoveryPrefix' \
+		-run 'TestLiveStress|TestLiveMaintainedStress|TestLiveIngestDuringConcurrentQueries|TestLiveCrashRecoveryPrefix' \
 		./internal/live ./cmd/rdfsumd
 
 check: build vet fmt-check race bench-smoke

@@ -30,7 +30,9 @@ import (
 	"rdfsum/internal/lubm"
 )
 
-var kinds = []rdfsum.Kind{rdfsum.Strong, rdfsum.Weak, rdfsum.TypedWeak, rdfsum.TypedStrong}
+// kinds are the summaries the paper evaluates (§7), enumerated from the
+// library's kind table.
+var kinds = rdfsum.PaperKinds
 
 // datasetName labels the printed tables with the active workload.
 var datasetName = "BSBM"

@@ -3,6 +3,7 @@
 // Usage:
 //
 //	rdfsum summarize -in data.nt -kind weak [-out summary.nt] [-dot summary.dot]
+//	rdfsum summarize -in data.nt -all [-out summary.nt]   # every kind, one shared pass
 //	rdfsum saturate  -in data.nt [-out saturated.nt]
 //	rdfsum stats     -in data.nt [-kinds weak,strong,typed-weak,typed-strong]
 //	rdfsum query     -in data.nt -q 'SELECT ?x WHERE { ... }' [-saturate] [-explain] [-limit N] [-prune kind|off]
@@ -17,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"text/tabwriter"
 
@@ -63,10 +65,10 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `rdfsum — query-oriented RDF graph summarization
+	fmt.Fprintf(os.Stderr, `rdfsum — query-oriented RDF graph summarization
 
 commands:
-  summarize   build a summary (-kind weak|strong|typed-weak|typed-strong|type-based)
+  summarize   build a summary (-kind %s, or -all for every kind at once)
   saturate    compute the RDFS saturation G∞
   stats       print graph and summary size statistics
   query       evaluate a SPARQL BGP query
@@ -74,7 +76,18 @@ commands:
   ingest      append triples to a WAL-durable live store (-wal dir)
   cliques     print the source/target property cliques (Table 1 style)
   check       verify well-behavedness assumptions
-  profile     print the dataset's entity kinds from its typed-weak summary`)
+  profile     print the dataset's entity kinds from its typed-weak summary
+`, kindList())
+}
+
+// kindList renders the summary kinds for flag help, enumerated from the
+// library's kind table instead of a hand-rolled list.
+func kindList() string {
+	names := make([]string, len(rdfsum.Kinds))
+	for i, k := range rdfsum.Kinds {
+		names[i] = k.String()
+	}
+	return strings.Join(names, "|")
 }
 
 // loadWorkers is the shared -workers setting: 0 loads N-Triples on all
@@ -129,16 +142,21 @@ func save(path string, g *rdfsum.Graph) error {
 func cmdSummarize(args []string) error {
 	fs := flag.NewFlagSet("summarize", flag.ExitOnError)
 	in := fs.String("in", "", "input graph (.nt or snapshot)")
-	kindName := fs.String("kind", "weak", "summary kind")
+	kindName := fs.String("kind", "weak", "summary kind ("+kindList()+")")
+	all := fs.Bool("all", false, "emit every summary kind in one pass (outputs get a per-kind suffix)")
 	out := fs.String("out", "", "write the summary graph (.nt or snapshot)")
 	dotOut := fs.String("dot", "", "write a Graphviz rendering of the summary")
 	saturateFirst := fs.Bool("saturate", false, "summarize the saturation G∞ instead of G")
 	loadFlags(fs)
 	fs.Parse(args) //nolint:errcheck // ExitOnError
 
-	kind, err := rdfsum.ParseKind(*kindName)
-	if err != nil {
-		return err
+	kinds := rdfsum.Kinds
+	if !*all {
+		kind, err := rdfsum.ParseKind(*kindName)
+		if err != nil {
+			return err
+		}
+		kinds = []rdfsum.Kind{kind}
 	}
 	g, err := load(*in)
 	if err != nil {
@@ -147,28 +165,58 @@ func cmdSummarize(args []string) error {
 	if *saturateFirst {
 		g = rdfsum.Saturate(g)
 	}
-	s, err := rdfsum.Summarize(g, kind)
+	summaries, err := summarizeKinds(g, kinds)
 	if err != nil {
 		return err
 	}
-	printStats(os.Stdout, kind.String(), s.Stats)
-	if *out != "" {
-		if err := save(*out, s.Graph); err != nil {
-			return err
+	for _, kind := range kinds {
+		s := summaries[kind]
+		printStats(os.Stdout, kind.String(), s.Stats)
+		if *out != "" {
+			if err := save(kindPath(*out, kind, *all), s.Graph); err != nil {
+				return err
+			}
 		}
-	}
-	if *dotOut != "" {
-		f, err := os.Create(*dotOut)
-		if err != nil {
-			return err
+		if *dotOut != "" {
+			f, err := os.Create(kindPath(*dotOut, kind, *all))
+			if err != nil {
+				return err
+			}
+			if err := rdfsum.ExportDOT(f, s.Graph, kind.String()+" summary"); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
 		}
-		if err := rdfsum.ExportDOT(f, s.Graph, kind.String()+" summary"); err != nil {
-			f.Close()
-			return err
-		}
-		return f.Close()
 	}
 	return nil
+}
+
+// summarizeKinds builds the requested summaries: several kinds share one
+// engine pass (class-set and adjacency state computed once); a single
+// kind takes the leaner batch construction, which needs no engine state.
+func summarizeKinds(g *rdfsum.Graph, kinds []rdfsum.Kind) (map[rdfsum.Kind]*rdfsum.Summary, error) {
+	if len(kinds) == 1 {
+		s, err := rdfsum.Summarize(g, kinds[0])
+		if err != nil {
+			return nil, err
+		}
+		return map[rdfsum.Kind]*rdfsum.Summary{kinds[0]: s}, nil
+	}
+	return rdfsum.SummarizeAll(g, kinds)
+}
+
+// kindPath inserts the kind before the path's extension when emitting
+// several kinds at once (summary.nt -> summary.weak.nt), and returns the
+// path unchanged for a single kind.
+func kindPath(path string, kind rdfsum.Kind, all bool) string {
+	if !all {
+		return path
+	}
+	ext := filepath.Ext(path)
+	return strings.TrimSuffix(path, ext) + "." + kind.String() + ext
 }
 
 func cmdSaturate(args []string) error {
@@ -192,7 +240,7 @@ func cmdSaturate(args []string) error {
 func cmdStats(args []string) error {
 	fs := flag.NewFlagSet("stats", flag.ExitOnError)
 	in := fs.String("in", "", "input graph")
-	kinds := fs.String("kinds", "weak,strong,typed-weak,typed-strong", "summaries to measure")
+	kindsFlag := fs.String("kinds", strings.ReplaceAll(kindList(), "|", ","), "summaries to measure")
 	loadFlags(fs)
 	fs.Parse(args) //nolint:errcheck
 	g, err := load(*in)
@@ -203,16 +251,20 @@ func cmdStats(args []string) error {
 		g.NumEdges(), len(g.Data), len(g.Types), len(g.Schema))
 	fmt.Printf("       %d data nodes, %d class nodes, %d distinct data properties\n",
 		len(g.DataNodes()), len(g.ClassNodes()), len(g.DistinctDataProperties()))
-	for _, name := range strings.Split(*kinds, ",") {
+	var kinds []rdfsum.Kind
+	for _, name := range strings.Split(*kindsFlag, ",") {
 		kind, err := rdfsum.ParseKind(strings.TrimSpace(name))
 		if err != nil {
 			return err
 		}
-		s, err := rdfsum.Summarize(g, kind)
-		if err != nil {
-			return err
-		}
-		printStats(os.Stdout, kind.String(), s.Stats)
+		kinds = append(kinds, kind)
+	}
+	summaries, err := summarizeKinds(g, kinds)
+	if err != nil {
+		return err
+	}
+	for _, kind := range kinds {
+		printStats(os.Stdout, kind.String(), summaries[kind].Stats)
 	}
 	return nil
 }

@@ -3,6 +3,7 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -15,7 +16,7 @@ import (
 // liveTestServer serves a durable live store rooted in a temp directory.
 func liveTestServer(t *testing.T, seed *rdfsum.Graph) (*httptest.Server, *server) {
 	t.Helper()
-	srv, err := newServer("", t.TempDir(), 1, 0, false)
+	srv, err := newServer("", t.TempDir(), 1, 0, false, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -238,7 +239,7 @@ func TestLiveIngestDuringConcurrentQueries(t *testing.T) {
 // tolerance the cached weak summary (and its gate) trails the graph; the
 // server must skip the gate rather than return a wrong empty answer.
 func TestPruningSoundUnderStaleness(t *testing.T) {
-	srv, err := newServer("", t.TempDir(), 1, 1_000_000, false)
+	srv, err := newServer("", t.TempDir(), 1, 1_000_000, false, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -283,7 +284,7 @@ func TestPruningSoundUnderStaleness(t *testing.T) {
 // serving with their build epoch advertised; with none, they track the
 // graph.
 func TestSummaryStaleness(t *testing.T) {
-	srv, err := newServer("", t.TempDir(), 1, 1000, false)
+	srv, err := newServer("", t.TempDir(), 1, 1000, false, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -309,5 +310,76 @@ func TestSummaryStaleness(t *testing.T) {
 	}
 	if second["stale"].(float64) == 0 {
 		t.Fatal("stale summary advertised stale = 0")
+	}
+}
+
+// TestMetricsEndpoint: /metrics exposes the store gauges and per-kind
+// maintenance mode in the Prometheus text format.
+func TestMetricsEndpoint(t *testing.T) {
+	srv, err := newServer("", "", 1, 0, false, []rdfsum.Kind{rdfsum.Weak, rdfsum.TypedStrong})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.live.Close() })
+	ts := httptest.NewServer(srv.handler())
+	t.Cleanup(ts.Close)
+
+	if code, _ := postBody(t, ts.URL+"/triples", ntBody(0, 25)); code != http.StatusOK {
+		t.Fatal("ingest failed")
+	}
+	// Materialize one maintained and one lazy kind so their epochs show.
+	for _, kind := range []string{"weak", "strong"} {
+		resp, err := http.Get(ts.URL + "/summary?kind=" + kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type %q, want text/plain", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	epoch := srv.live.Epoch()
+	for _, want := range []string{
+		fmt.Sprintf("rdfsum_epoch %d", epoch),
+		"rdfsum_triples 25",
+		"rdfsum_durable 0",
+		fmt.Sprintf(`rdfsum_summary_epoch{kind="weak",mode="maintained"} %d`, epoch),
+		fmt.Sprintf(`rdfsum_summary_epoch{kind="strong",mode="lazy"} %d`, epoch),
+		`rdfsum_summary_epoch{kind="typed-strong",mode="maintained"}`,
+		`rdfsum_summary_lazy_builds_total{kind="weak",mode="maintained"} 0`,
+		`rdfsum_summary_lazy_builds_total{kind="strong",mode="lazy"} 1`,
+		`rdfsum_summary_staleness{kind="weak",mode="maintained"} 0`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics body missing %q:\n%s", want, body)
+		}
+	}
+}
+
+// TestParseMaintain: the -maintain flag accepts kind lists, "all" and
+// "none", and rejects unknown names.
+func TestParseMaintain(t *testing.T) {
+	if kinds, err := parseMaintain("all"); err != nil || len(kinds) != rdfsum.NumKinds {
+		t.Errorf("parseMaintain(all) = %v, %v", kinds, err)
+	}
+	if kinds, err := parseMaintain("none"); err != nil || kinds == nil || len(kinds) != 0 {
+		t.Errorf("parseMaintain(none) = %v, %v; want empty non-nil", kinds, err)
+	}
+	kinds, err := parseMaintain("weak, ts")
+	if err != nil || len(kinds) != 2 || kinds[0] != rdfsum.Weak || kinds[1] != rdfsum.TypedStrong {
+		t.Errorf("parseMaintain(weak, ts) = %v, %v", kinds, err)
+	}
+	if _, err := parseMaintain("bogus"); err == nil {
+		t.Error("parseMaintain accepted an unknown kind")
 	}
 }

@@ -9,6 +9,9 @@
 // Endpoints:
 //
 //	GET  /healthz              liveness
+//	GET  /metrics              plain-text gauges: epoch, triple/WAL counts,
+//	                           per-kind summary epoch and maintained/lazy
+//	                           mode — staleness observable in production
 //	GET  /stats                graph size statistics + epoch/WAL counters
 //	GET  /summary?kind=weak    summary statistics (+N-Triples or DOT body
 //	                           with ?format=ntriples | dot); epoch-tagged
@@ -35,6 +38,9 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"strings"
+
+	"rdfsum"
 )
 
 func main() {
@@ -44,12 +50,19 @@ func main() {
 	workers := flag.Int("workers", 0, "N-Triples load workers (0 = all CPUs, 1 = sequential)")
 	maxStale := flag.Uint64("max-stale", 0, "epochs a cached summary/pruner may trail the graph before rebuild")
 	noSync := flag.Bool("no-fsync", false, "skip the per-batch fsync (faster ingest, weaker durability)")
+	maintain := flag.String("maintain", "weak",
+		"summary kinds kept incrementally current during ingest: a comma list of kinds, \"all\", or \"none\"")
 	flag.Parse()
 	if *in == "" && *liveDir == "" {
 		fmt.Fprintln(os.Stderr, "rdfsumd: need -in and/or -live")
 		os.Exit(2)
 	}
-	srv, err := newServer(*in, *liveDir, *workers, *maxStale, *noSync)
+	maintained, err := parseMaintain(*maintain)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rdfsumd:", err)
+		os.Exit(2)
+	}
+	srv, err := newServer(*in, *liveDir, *workers, *maxStale, *noSync, maintained)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rdfsumd:", err)
 		os.Exit(1)
@@ -59,6 +72,40 @@ func main() {
 	if st.Durable {
 		mode = fmt.Sprintf("durable at %s (gen %d)", *liveDir, st.Gen)
 	}
-	log.Printf("rdfsumd: serving %d triples on %s, %s, epoch %d", st.Triples, *addr, mode, st.Epoch)
+	log.Printf("rdfsumd: serving %d triples on %s, %s, epoch %d, maintaining %s",
+		st.Triples, *addr, mode, st.Epoch, maintainNames(srv.live))
 	log.Fatal(http.ListenAndServe(*addr, srv.handler()))
+}
+
+// parseMaintain resolves the -maintain flag: "all" maintains every kind,
+// "none" disables maintenance, and a comma list names individual kinds.
+func parseMaintain(s string) ([]rdfsum.Kind, error) {
+	switch strings.TrimSpace(s) {
+	case "all":
+		return rdfsum.Kinds, nil
+	case "none":
+		return []rdfsum.Kind{}, nil
+	}
+	var kinds []rdfsum.Kind
+	for _, name := range strings.Split(s, ",") {
+		kind, err := rdfsum.ParseKind(strings.TrimSpace(name))
+		if err != nil {
+			return nil, fmt.Errorf("-maintain: %w (or \"all\" / \"none\")", err)
+		}
+		kinds = append(kinds, kind)
+	}
+	return kinds, nil
+}
+
+// maintainNames renders the maintained kinds for the startup log.
+func maintainNames(lv *rdfsum.Live) string {
+	kinds := lv.MaintainedKinds()
+	if len(kinds) == 0 {
+		return "no kinds (all lazy)"
+	}
+	names := make([]string, len(kinds))
+	for i, k := range kinds {
+		names[i] = k.String()
+	}
+	return strings.Join(names, ",")
 }

@@ -47,7 +47,7 @@ type server struct {
 	// stale). Staleness is reported to clients either way.
 	maxStale uint64
 
-	pruners [5]prunerCell // indexed by rdfsum.Kind
+	pruners [rdfsum.NumKinds]prunerCell // indexed by rdfsum.Kind
 
 	satMu    sync.Mutex
 	satEpoch uint64
@@ -63,8 +63,9 @@ type server struct {
 // durable (WAL + snapshots in that directory) and path — if any — seeds a
 // fresh store; otherwise path is loaded into a memory-only live store.
 // N-Triples inputs go through the parallel pipeline with the given worker
-// count (0 = all CPUs, 1 = sequential).
-func newServer(path, liveDir string, workers int, maxStale uint64, noSync bool) (*server, error) {
+// count (0 = all CPUs, 1 = sequential). maintain lists the summary kinds
+// the quotient engine keeps incrementally current (nil = weak only).
+func newServer(path, liveDir string, workers int, maxStale uint64, noSync bool, maintain []rdfsum.Kind) (*server, error) {
 	if path != "" && liveDir != "" && rdfsum.LiveHasState(liveDir) {
 		// A seed only applies to a fresh store; skip the (possibly huge)
 		// load instead of parsing and silently discarding it.
@@ -89,7 +90,7 @@ func newServer(path, liveDir string, workers int, maxStale uint64, noSync bool) 
 	var lv *rdfsum.Live
 	if liveDir != "" {
 		var err error
-		lv, err = rdfsum.OpenLive(liveDir, &rdfsum.LiveOptions{NoSync: noSync, Seed: seed})
+		lv, err = rdfsum.OpenLive(liveDir, &rdfsum.LiveOptions{NoSync: noSync, Seed: seed, Maintain: maintain})
 		if err != nil {
 			return nil, err
 		}
@@ -97,7 +98,7 @@ func newServer(path, liveDir string, workers int, maxStale uint64, noSync bool) 
 			log.Printf("rdfsumd: WAL recovery dropped a torn tail (crash mid-append); acknowledged batches are intact")
 		}
 	} else {
-		lv = rdfsum.NewLive(seed)
+		lv = rdfsum.NewLiveMaintaining(seed, maintain)
 	}
 	return &server{live: lv, maxStale: maxStale}, nil
 }
@@ -114,6 +115,7 @@ func (s *server) mux() *http.ServeMux {
 		w.WriteHeader(http.StatusOK)
 		io.WriteString(w, "ok\n") //nolint:errcheck
 	})
+	m.HandleFunc("GET /metrics", s.handleMetrics)
 	m.HandleFunc("GET /stats", s.handleStats)
 	m.HandleFunc("GET /summary", s.handleSummary)
 	m.HandleFunc("GET /profile", s.handleProfile)
@@ -203,6 +205,51 @@ func (s *server) planStats() *rdfsum.Weights {
 		s.weightsEpoch = epoch
 	}
 	return s.weights
+}
+
+// handleMetrics exposes the serving counters in the Prometheus text
+// exposition format, making staleness observable in production: the store
+// epoch, triple/WAL counts, and — per summary kind — the epoch of the
+// last materialized summary, whether the kind is incrementally maintained
+// or lazily rebuilt, how many full rebuilds it has paid, and how far it
+// currently trails the store.
+func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	st := s.live.Stats()
+	var b strings.Builder
+	durable := 0
+	if st.Durable {
+		durable = 1
+	}
+	fmt.Fprintf(&b, "# TYPE rdfsum_epoch gauge\nrdfsum_epoch %d\n", st.Epoch)
+	fmt.Fprintf(&b, "# TYPE rdfsum_triples gauge\nrdfsum_triples %d\n", st.Triples)
+	fmt.Fprintf(&b, "# TYPE rdfsum_durable gauge\nrdfsum_durable %d\n", durable)
+	fmt.Fprintf(&b, "# TYPE rdfsum_generation gauge\nrdfsum_generation %d\n", st.Gen)
+	fmt.Fprintf(&b, "# TYPE rdfsum_wal_bytes gauge\nrdfsum_wal_bytes %d\n", st.WALBytes)
+	b.WriteString("# TYPE rdfsum_summary_epoch gauge\n")
+	b.WriteString("# TYPE rdfsum_summary_staleness gauge\n")
+	b.WriteString("# TYPE rdfsum_summary_lazy_builds_total counter\n")
+	b.WriteString("# TYPE rdfsum_summary_maintenance_rebuilds_total counter\n")
+	for _, ks := range s.live.Status() {
+		mode := "lazy"
+		if ks.Maintained {
+			mode = "maintained"
+		}
+		labels := fmt.Sprintf("{kind=%q,mode=%q}", ks.Kind.String(), mode)
+		fmt.Fprintf(&b, "rdfsum_summary_epoch%s %d\n", labels, ks.CachedEpoch)
+		// How far the last materialized summary trails the store. Under
+		// -max-stale > 0 even a maintained kind serves its cached build
+		// within the tolerance, so the gauge reports the cache's actual
+		// trail for every mode (0 until a kind is first materialized).
+		staleness := uint64(0)
+		if ks.CachedEpoch > 0 && st.Epoch > ks.CachedEpoch {
+			staleness = st.Epoch - ks.CachedEpoch
+		}
+		fmt.Fprintf(&b, "rdfsum_summary_staleness%s %d\n", labels, staleness)
+		fmt.Fprintf(&b, "rdfsum_summary_lazy_builds_total%s %d\n", labels, ks.LazyBuilds)
+		fmt.Fprintf(&b, "rdfsum_summary_maintenance_rebuilds_total%s %d\n", labels, ks.Rebuilds)
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	io.WriteString(w, b.String()) //nolint:errcheck
 }
 
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {

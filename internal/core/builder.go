@@ -1,5 +1,10 @@
 package core
 
+// builder.go holds the weak driver of the quotient engine — the paper's
+// Algorithms 1–3 as incremental maintenance, the construction PR 3 shipped
+// as WeakBuilder and the engine generalizes to every kind — plus the
+// WeakBuilder facade kept for callers that want the weak kind directly.
+
 import (
 	"rdfsum/internal/dict"
 	"rdfsum/internal/rdf"
@@ -7,12 +12,108 @@ import (
 	"rdfsum/internal/unionfind"
 )
 
+// weakDriver maintains the weak summary: each data triple unifies its
+// subject with the property's unique source representative and its object
+// with the target representative (GETSOURCE / GETTARGET / MERGEDATANODES),
+// at O(α) amortized per triple. Weak equivalence classes only merge, so no
+// migration or rebuild is ever needed; types are attached at snapshot time
+// by Algorithm 3 exactly as in the batch construction.
+type weakDriver struct {
+	bs      *BuilderSet
+	uf      *unionfind.UF
+	elemOf  map[dict.ID]int32 // data node  -> forest element
+	srcElem map[dict.ID]int32 // data property -> source element (dpSrc)
+	tgtElem map[dict.ID]int32 // data property -> target element (dpTarg)
+}
+
+func newWeakDriver(bs *BuilderSet) *weakDriver {
+	return &weakDriver{
+		bs:      bs,
+		uf:      &unionfind.UF{},
+		elemOf:  make(map[dict.ID]int32),
+		srcElem: make(map[dict.ID]int32),
+		tgtElem: make(map[dict.ID]int32),
+	}
+}
+
+func (d *weakDriver) kind() Kind           { return Weak }
+func (d *weakDriver) needsAdjacency() bool { return false }
+func (d *weakDriver) needsClasses() bool   { return false }
+func (d *weakDriver) rebuilds() uint64     { return 0 }
+func (d *weakDriver) typeAdded(typeEvent)  {}
+
+func (d *weakDriver) elem(m map[dict.ID]int32, key dict.ID) int32 {
+	if e, ok := m[key]; ok {
+		return e
+	}
+	e := d.uf.Add()
+	m[key] = e
+	return e
+}
+
+func (d *weakDriver) dataAdded(_ int32, t store.Triple) {
+	d.uf.Union(d.elem(d.elemOf, t.S), d.elem(d.srcElem, t.P))
+	d.uf.Union(d.elem(d.elemOf, t.O), d.elem(d.tgtElem, t.P))
+}
+
+// classCount reports the current number of weak equivalence classes among
+// nodes with data properties (cheap: no summary materialization).
+func (d *weakDriver) classCount() int {
+	roots := map[int32]bool{}
+	for _, e := range d.elemOf {
+		roots[d.uf.Find(e)] = true
+	}
+	return len(roots)
+}
+
+func (d *weakDriver) snapshot() *Summary {
+	g := d.bs.g
+	inProps := make(map[int32][]dict.ID)
+	outProps := make(map[int32][]dict.ID)
+	for p, e := range d.srcElem {
+		root := d.uf.Find(e)
+		outProps[root] = append(outProps[root], p)
+	}
+	for p, e := range d.tgtElem {
+		root := d.uf.Find(e)
+		inProps[root] = append(inProps[root], p)
+	}
+	rep := newRepresenter(g, Weak)
+	nameOf := make(map[int32]dict.ID)
+	name := func(root int32) dict.ID {
+		if id, ok := nameOf[root]; ok {
+			return id
+		}
+		id := rep.node(inProps[root], outProps[root])
+		nameOf[root] = id
+		return id
+	}
+
+	out := store.NewGraphWithDict(g.Dict())
+	copySchema(g, out)
+	props := make([]dict.ID, 0, len(d.srcElem))
+	for p := range d.srcElem {
+		props = append(props, p)
+	}
+	sortIDs(props)
+	for _, p := range props {
+		out.Data = append(out.Data, store.Triple{
+			S: name(d.uf.Find(d.srcElem[p])),
+			P: p,
+			O: name(d.uf.Find(d.tgtElem[p])),
+		})
+	}
+	nodeOf := make(map[dict.ID]dict.ID, len(d.elemOf))
+	for n, e := range d.elemOf {
+		nodeOf[n] = name(d.uf.Find(e))
+	}
+	summarizeTypesWeak(g, out, rep, nodeOf)
+	return &Summary{Graph: out, NodeOf: nodeOf}
+}
+
 // WeakBuilder maintains a weak summary incrementally under triple
-// insertions. The paper's Algorithms 1–3 are one-pass — each data triple
-// only unifies its subject with the property's source representative and
-// its object with the target representative — so the construction extends
-// to a streaming/maintenance API at the same O(α) amortized cost per
-// triple, without ever rebuilding.
+// insertions — the weak kind of the quotient engine (see engine.go), kept
+// as a concrete facade. Use NewBuilder for the kind-generic interface.
 //
 // Usage:
 //
@@ -25,11 +126,7 @@ import (
 // rebuild — merges are not invertible, as the paper's merge-based design
 // implies.
 type WeakBuilder struct {
-	g       *store.Graph // accumulated input
-	uf      *unionfind.UF
-	elemOf  map[dict.ID]int32
-	srcElem map[dict.ID]int32
-	tgtElem map[dict.ID]int32
+	set *BuilderSet
 }
 
 // NewWeakBuilder returns an empty builder with a fresh dictionary.
@@ -40,113 +137,35 @@ func NewWeakBuilder() *WeakBuilder {
 // NewWeakBuilderWithGraph returns a builder seeded with g's triples. The
 // graph is not copied: later Add calls append to it.
 func NewWeakBuilderWithGraph(g *store.Graph) *WeakBuilder {
-	b := &WeakBuilder{
-		g:       g,
-		uf:      &unionfind.UF{},
-		elemOf:  make(map[dict.ID]int32),
-		srcElem: make(map[dict.ID]int32),
-		tgtElem: make(map[dict.ID]int32),
+	set, err := NewBuilderSet(g, []Kind{Weak})
+	if err != nil {
+		panic(err) // unreachable: Weak is always a valid kind
 	}
-	for _, t := range g.Data {
-		b.addData(t)
-	}
-	return b
+	return &WeakBuilder{set: set}
 }
 
 // Add routes one string-level triple into the builder.
-func (b *WeakBuilder) Add(t rdf.Triple) {
-	before := len(b.g.Data)
-	b.g.Add(t)
-	if len(b.g.Data) > before {
-		b.addData(b.g.Data[len(b.g.Data)-1])
-	}
-}
+func (b *WeakBuilder) Add(t rdf.Triple) { b.set.Add(t) }
 
 // AddEncoded routes one encoded triple into the builder. The IDs must
 // come from Graph().Dict().
-func (b *WeakBuilder) AddEncoded(s, p, o dict.ID) {
-	before := len(b.g.Data)
-	b.g.AddEncoded(s, p, o)
-	if len(b.g.Data) > before {
-		b.addData(b.g.Data[len(b.g.Data)-1])
-	}
-}
-
-func (b *WeakBuilder) elem(m map[dict.ID]int32, key dict.ID) int32 {
-	if e, ok := m[key]; ok {
-		return e
-	}
-	e := b.uf.Add()
-	m[key] = e
-	return e
-}
-
-// addData is the incremental heart: GETSOURCE/GETTARGET + MERGEDATANODES
-// of Algorithm 1/2, expressed as two unions.
-func (b *WeakBuilder) addData(t store.Triple) {
-	b.uf.Union(b.elem(b.elemOf, t.S), b.elem(b.srcElem, t.P))
-	b.uf.Union(b.elem(b.elemOf, t.O), b.elem(b.tgtElem, t.P))
-}
+func (b *WeakBuilder) AddEncoded(s, p, o dict.ID) { b.set.AddEncoded(s, p, o) }
 
 // Graph exposes the accumulated input graph.
-func (b *WeakBuilder) Graph() *store.Graph { return b.g }
+func (b *WeakBuilder) Graph() *store.Graph { return b.set.Graph() }
 
 // Classes reports the current number of weak equivalence classes among
 // nodes with data properties (cheap: no summary materialization).
 func (b *WeakBuilder) Classes() int {
-	roots := map[int32]bool{}
-	for _, e := range b.elemOf {
-		roots[b.uf.Find(e)] = true
-	}
-	return len(roots)
+	return b.set.byKind[Weak].(*weakDriver).classCount()
 }
 
 // Summary materializes the current weak summary. The builder remains
 // valid and can keep absorbing triples; snapshots are independent.
 func (b *WeakBuilder) Summary() *Summary {
-	inProps := make(map[int32][]dict.ID)
-	outProps := make(map[int32][]dict.ID)
-	for p, e := range b.srcElem {
-		root := b.uf.Find(e)
-		outProps[root] = append(outProps[root], p)
+	s, err := b.set.Summary(Weak)
+	if err != nil {
+		panic(err) // unreachable: the set maintains Weak by construction
 	}
-	for p, e := range b.tgtElem {
-		root := b.uf.Find(e)
-		inProps[root] = append(inProps[root], p)
-	}
-	rep := newRepresenter(b.g, Weak)
-	nameOf := make(map[int32]dict.ID)
-	name := func(root int32) dict.ID {
-		if id, ok := nameOf[root]; ok {
-			return id
-		}
-		id := rep.node(inProps[root], outProps[root])
-		nameOf[root] = id
-		return id
-	}
-
-	out := store.NewGraphWithDict(b.g.Dict())
-	copySchema(b.g, out)
-	props := make([]dict.ID, 0, len(b.srcElem))
-	for p := range b.srcElem {
-		props = append(props, p)
-	}
-	sortIDs(props)
-	for _, p := range props {
-		out.Data = append(out.Data, store.Triple{
-			S: name(b.uf.Find(b.srcElem[p])),
-			P: p,
-			O: name(b.uf.Find(b.tgtElem[p])),
-		})
-	}
-	nodeOf := make(map[dict.ID]dict.ID, len(b.elemOf))
-	for n, e := range b.elemOf {
-		nodeOf[n] = name(b.uf.Find(e))
-	}
-	summarizeTypesWeak(b.g, out, rep, nodeOf)
-
-	s := &Summary{Kind: Weak, Input: b.g, Graph: out, NodeOf: nodeOf}
-	s.Graph.SortDedup()
-	s.Stats = computeStats(b.g, s.Graph)
 	return s
 }

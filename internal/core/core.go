@@ -25,6 +25,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"rdfsum/internal/dict"
 	"rdfsum/internal/store"
@@ -46,9 +47,26 @@ const (
 	TypedStrong
 )
 
+// NumKinds is the number of summary kinds; Kind values are dense in
+// [0, NumKinds), so arrays indexed by Kind use this as their size.
+const NumKinds = 5
+
 // Kinds lists all summary kinds in presentation order (the paper's W, S,
 // TW, TS plus the helper T).
 var Kinds = []Kind{Weak, Strong, TypedWeak, TypedStrong, TypeBased}
+
+// PaperKinds lists the kinds the paper's evaluation reports (§7): every
+// kind except the helper T_G. Benchmarks and the experiments command
+// enumerate it instead of hand-rolling the filter.
+var PaperKinds = func() []Kind {
+	out := make([]Kind, 0, len(Kinds))
+	for _, k := range Kinds {
+		if k != TypeBased {
+			out = append(out, k)
+		}
+	}
+	return out
+}()
 
 // String returns the paper's name for the kind.
 func (k Kind) String() string {
@@ -68,21 +86,47 @@ func (k Kind) String() string {
 	}
 }
 
-// ParseKind resolves the textual names accepted by the CLI tools.
-func ParseKind(s string) (Kind, error) {
-	switch s {
-	case "weak", "w":
-		return Weak, nil
-	case "strong", "s":
-		return Strong, nil
-	case "type-based", "typebased", "t", "tb":
-		return TypeBased, nil
-	case "typed-weak", "typedweak", "tw":
-		return TypedWeak, nil
-	case "typed-strong", "typedstrong", "ts":
-		return TypedStrong, nil
+// kindNames maps every accepted textual form — canonical names and the
+// short forms the CLI tools take — to its kind. ParseKind resolves
+// through it and its error message enumerates it, so the two can never
+// drift apart.
+var kindNames = map[string]Kind{
+	"weak": Weak, "w": Weak,
+	"strong": Strong, "s": Strong,
+	"type-based": TypeBased, "typebased": TypeBased, "t": TypeBased, "tb": TypeBased,
+	"typed-weak": TypedWeak, "typedweak": TypedWeak, "tw": TypedWeak,
+	"typed-strong": TypedStrong, "typedstrong": TypedStrong, "ts": TypedStrong,
+}
+
+// KindSpellings returns, per kind in Kinds order, the accepted spellings
+// (canonical name first). CLI tools use it for flag help and error text.
+func KindSpellings() [][]string {
+	out := make([][]string, 0, NumKinds)
+	for _, k := range Kinds {
+		forms := []string{k.String()}
+		for name, kk := range kindNames {
+			if kk == k && name != k.String() {
+				forms = append(forms, name)
+			}
+		}
+		sort.Strings(forms[1:])
+		out = append(out, forms)
 	}
-	return 0, fmt.Errorf("core: unknown summary kind %q (want weak|strong|typed-weak|typed-strong|type-based)", s)
+	return out
+}
+
+// ParseKind resolves the textual names accepted by the CLI tools: the
+// canonical names (weak, strong, type-based, typed-weak, typed-strong)
+// and their short forms (w, s, t/tb, tw, ts).
+func ParseKind(s string) (Kind, error) {
+	if k, ok := kindNames[s]; ok {
+		return k, nil
+	}
+	var forms []string
+	for _, spellings := range KindSpellings() {
+		forms = append(forms, strings.Join(spellings, "|"))
+	}
+	return 0, fmt.Errorf("core: unknown summary kind %q (accepted: %s)", s, strings.Join(forms, ", "))
 }
 
 // WeakAlgorithm selects between the two weak-summary constructions, which

@@ -1,0 +1,356 @@
+package core
+
+// engine.go is the unified incremental quotient engine: one Builder
+// interface over five per-kind drivers that maintain their summary under
+// triple insertions, sharing a single accumulated graph, one class-set
+// tracker and one adjacency index when several kinds are built together.
+//
+// The design generalizes the paper's observation behind Algorithms 1–3
+// (the weak summary is maintainable one triple at a time) to every
+// quotient the paper defines:
+//
+//   - Equivalence classes only MERGE under insertion for the weak
+//     relation and for property cliques, so those structures are
+//     union-finds whose stale references are reconciled lazily (Find) at
+//     snapshot time.
+//   - The only non-merge class changes are per-node MIGRATIONS: a node
+//     acquiring its first source/target clique (strong kinds), its first
+//     type (typed kinds take the node out of the untyped partition), or a
+//     grown class set. Migrations re-key exactly the node's incident
+//     edges, using the adjacency index — O(degree), never O(|G|).
+//   - A late-typed node that already related properties inside the
+//     untyped partition (typed-weak/typed-strong) cannot be removed from
+//     a union-find, so the affected driver marks itself dirty and
+//     reconstructs its state on the next snapshot — the one event class
+//     that costs O(|G|), counted and reported via Rebuilds. Streams that
+//     type nodes before giving them data edges never pay it.
+//
+// Snapshots are cheap and non-destructive: Summary() materializes the
+// current summary in O(state) — equivalence structures are read through
+// Find, never recomputed — and the builder keeps absorbing triples, which
+// is what makes the engine epoch-friendly for the live subsystem.
+// Every snapshot is bit-identical to the batch construction of the same
+// triple set (builder_test.go's interleaving oracle), so the batch
+// summarizers double as independent oracles.
+
+import (
+	"fmt"
+
+	"rdfsum/internal/dict"
+	"rdfsum/internal/rdf"
+	"rdfsum/internal/store"
+)
+
+// Builder maintains one summary kind incrementally under triple
+// insertions. Snapshots (Summary) are independent of one another and do
+// not freeze the builder. Deletions are unsupported: quotient maintenance
+// is merge-based and merges are not invertible — removing triples
+// requires a rebuild from a compacted graph.
+type Builder interface {
+	// Kind reports the maintained summary kind.
+	Kind() Kind
+	// Add routes one string-level triple into the builder.
+	Add(t rdf.Triple)
+	// AddEncoded routes one encoded triple (IDs from Graph().Dict()).
+	AddEncoded(s, p, o dict.ID)
+	// Graph exposes the accumulated input graph.
+	Graph() *store.Graph
+	// Summary materializes the current summary; the builder stays usable.
+	Summary() *Summary
+	// Rebuilds counts the internal full reconstructions forced by
+	// late-typing events (0 for kinds that never need one).
+	Rebuilds() uint64
+}
+
+// driver is the per-kind half of the engine: it reacts to appended data
+// and type triples and materializes summaries from its incremental state.
+type driver interface {
+	kind() Kind
+	needsAdjacency() bool
+	needsClasses() bool
+	// dataAdded reacts to g.Data[i] == t, appended just now. The shared
+	// adjacency index does not yet contain t.
+	dataAdded(i int32, t store.Triple)
+	// typeAdded reacts to an appended type triple, after the shared
+	// class-set tracker (if any) absorbed it.
+	typeAdded(ev typeEvent)
+	snapshot() *Summary
+	rebuilds() uint64
+}
+
+// inputStats maintains the input-side size measures incrementally, so a
+// snapshot never scans the accumulated graph just to fill Stats.
+type inputStats struct {
+	dataNodes  map[dict.ID]struct{}
+	classNodes map[dict.ID]struct{}
+	dataProps  map[dict.ID]struct{}
+}
+
+func newInputStats() *inputStats {
+	return &inputStats{
+		dataNodes:  make(map[dict.ID]struct{}),
+		classNodes: make(map[dict.ID]struct{}),
+		dataProps:  make(map[dict.ID]struct{}),
+	}
+}
+
+func (st *inputStats) data(t store.Triple) {
+	st.dataNodes[t.S] = struct{}{}
+	st.dataNodes[t.O] = struct{}{}
+	st.dataProps[t.P] = struct{}{}
+}
+
+func (st *inputStats) typ(t store.Triple) {
+	st.dataNodes[t.S] = struct{}{}
+	st.classNodes[t.O] = struct{}{}
+}
+
+// compute fills Stats from the tracked input counters plus the (small)
+// summary graph; it matches computeStats on the same pair exactly.
+func (st *inputStats) compute(in, out *store.Graph) Stats {
+	return Stats{
+		InputTriples:       in.NumEdges(),
+		InputDataTriples:   len(in.Data),
+		InputTypeTriples:   len(in.Types),
+		InputSchemaTriples: len(in.Schema),
+		InputDataNodes:     len(st.dataNodes),
+		InputClassNodes:    len(st.classNodes),
+		InputDataProps:     len(st.dataProps),
+
+		DataNodes:     len(out.DataNodes()),
+		ClassNodes:    len(out.ClassNodes()),
+		AllNodes:      len(out.DataNodes()) + len(out.ClassNodes()),
+		PropertyNodes: len(out.PropertyNodes()),
+		DataEdges:     len(out.Data),
+		TypeEdges:     len(out.Types),
+		SchemaEdges:   len(out.Schema),
+		AllEdges:      out.NumEdges(),
+	}
+}
+
+// BuilderSet maintains several summary kinds over one shared graph with
+// one pass per inserted triple: the class-set tracker, the adjacency
+// index and the input statistics are computed once and shared by every
+// driver, instead of re-derived per kind.
+type BuilderSet struct {
+	g       *store.Graph
+	adj     *adjacency       // nil unless a driver re-represents nodes
+	classes *classSetTracker // nil unless a typed kind is maintained
+	stats   *inputStats
+	drivers []driver
+	byKind  [NumKinds]driver
+}
+
+// NewBuilderSet returns a builder set over g maintaining the given kinds
+// (deduplicated; the empty set is allowed and maintains nothing). The
+// graph is adopted, not copied: its existing triples seed the drivers —
+// type component first, so pre-typed nodes never look late-typed — and
+// later Add calls append to it.
+func NewBuilderSet(g *store.Graph, kinds []Kind) (*BuilderSet, error) {
+	bs := &BuilderSet{g: g, stats: newInputStats()}
+	for _, k := range kinds {
+		if int(k) < 0 || int(k) >= NumKinds {
+			return nil, fmt.Errorf("core: unknown summary kind %d", int(k))
+		}
+		if bs.byKind[k] != nil {
+			continue
+		}
+		var d driver
+		switch k {
+		case Weak:
+			d = newWeakDriver(bs)
+		case Strong:
+			d = newStrongDriver(bs)
+		case TypeBased:
+			d = newTypeBasedDriver(bs)
+		case TypedWeak:
+			d = newTypedWeakDriver(bs)
+		case TypedStrong:
+			d = newTypedStrongDriver(bs)
+		}
+		bs.drivers = append(bs.drivers, d)
+		bs.byKind[k] = d
+	}
+	for _, d := range bs.drivers {
+		if d.needsAdjacency() && bs.adj == nil {
+			bs.adj = newAdjacency()
+		}
+		if d.needsClasses() && bs.classes == nil {
+			bs.classes = newClassSetTracker()
+		}
+	}
+	for i := range g.Types {
+		bs.feedType(int32(i))
+	}
+	for i := range g.Data {
+		bs.feedData(int32(i))
+	}
+	return bs, nil
+}
+
+// Graph exposes the shared accumulated graph.
+func (bs *BuilderSet) Graph() *store.Graph { return bs.g }
+
+// Kinds lists the maintained kinds in canonical order.
+func (bs *BuilderSet) Kinds() []Kind {
+	out := make([]Kind, 0, len(bs.drivers))
+	for _, k := range Kinds {
+		if bs.byKind[k] != nil {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// Maintains reports whether kind is maintained by this set.
+func (bs *BuilderSet) Maintains(kind Kind) bool {
+	return int(kind) >= 0 && int(kind) < NumKinds && bs.byKind[kind] != nil
+}
+
+// Add routes one string-level triple into the graph and every driver.
+func (bs *BuilderSet) Add(t rdf.Triple) {
+	d, ty := len(bs.g.Data), len(bs.g.Types)
+	bs.g.Add(t)
+	bs.route(d, ty)
+}
+
+// AddEncoded routes one encoded triple (IDs from Graph().Dict()).
+func (bs *BuilderSet) AddEncoded(s, p, o dict.ID) {
+	d, ty := len(bs.g.Data), len(bs.g.Types)
+	bs.g.AddEncoded(s, p, o)
+	bs.route(d, ty)
+}
+
+func (bs *BuilderSet) route(d, ty int) {
+	switch {
+	case len(bs.g.Data) > d:
+		bs.feedData(int32(d))
+	case len(bs.g.Types) > ty:
+		bs.feedType(int32(ty))
+	default:
+		// Schema triples need no driver action: rule SCH copies the
+		// schema component verbatim at snapshot time.
+	}
+}
+
+func (bs *BuilderSet) feedData(i int32) {
+	t := bs.g.Data[i]
+	bs.stats.data(t)
+	for _, d := range bs.drivers {
+		d.dataAdded(i, t)
+	}
+	if bs.adj != nil {
+		bs.adj.add(t, i)
+	}
+}
+
+func (bs *BuilderSet) feedType(i int32) {
+	t := bs.g.Types[i]
+	bs.stats.typ(t)
+	var ev typeEvent
+	if bs.classes != nil {
+		ev = bs.classes.addType(t.S, t.O)
+	}
+	for _, d := range bs.drivers {
+		d.typeAdded(ev)
+	}
+}
+
+// Summary materializes the current summary of one maintained kind. The
+// set stays usable; snapshots are independent.
+func (bs *BuilderSet) Summary(kind Kind) (*Summary, error) {
+	if !bs.Maintains(kind) {
+		return nil, fmt.Errorf("core: kind %v is not maintained by this builder set", kind)
+	}
+	s := bs.byKind[kind].snapshot()
+	s.Kind = kind
+	s.Input = bs.g
+	s.Graph.SortDedup()
+	s.Stats = bs.stats.compute(bs.g, s.Graph)
+	return s, nil
+}
+
+// Summaries materializes every maintained kind.
+func (bs *BuilderSet) Summaries() (map[Kind]*Summary, error) {
+	out := make(map[Kind]*Summary, len(bs.drivers))
+	for _, k := range bs.Kinds() {
+		s, err := bs.Summary(k)
+		if err != nil {
+			return nil, err
+		}
+		out[k] = s
+	}
+	return out, nil
+}
+
+// Rebuilds counts the full state reconstructions kind has paid for
+// late-typing events (always 0 for weak, strong and type-based).
+func (bs *BuilderSet) Rebuilds(kind Kind) uint64 {
+	if !bs.Maintains(kind) {
+		return 0
+	}
+	return bs.byKind[kind].rebuilds()
+}
+
+// rekeyIncident re-keys every data triple incident to n using the
+// driver's key function — the migration primitive. Indexes beyond the
+// tracker's keys are triples not yet re-fed during a rebuild replay;
+// their keys are computed fresh when they are.
+func rekeyIncident(bs *BuilderSet, e *edgeTracker, n dict.ID, key func(store.Triple) edgeKey) {
+	bs.adj.each(n, func(i int32) {
+		if int(i) >= len(e.keys) {
+			return
+		}
+		e.rekey(i, key(bs.g.Data[i]))
+	})
+}
+
+// singleBuilder adapts one kind of a BuilderSet to the Builder interface.
+type singleBuilder struct {
+	set *BuilderSet
+	k   Kind
+}
+
+// NewBuilder returns an empty incremental builder for kind, over a fresh
+// dictionary.
+func NewBuilder(kind Kind) (Builder, error) {
+	return NewBuilderWithGraph(kind, store.NewGraph())
+}
+
+// NewBuilderWithGraph returns an incremental builder for kind seeded with
+// g's triples. The graph is adopted, not copied: later Add calls append
+// to it.
+func NewBuilderWithGraph(kind Kind, g *store.Graph) (Builder, error) {
+	set, err := NewBuilderSet(g, []Kind{kind})
+	if err != nil {
+		return nil, err
+	}
+	return &singleBuilder{set: set, k: kind}, nil
+}
+
+func (b *singleBuilder) Kind() Kind                 { return b.k }
+func (b *singleBuilder) Add(t rdf.Triple)           { b.set.Add(t) }
+func (b *singleBuilder) AddEncoded(s, p, o dict.ID) { b.set.AddEncoded(s, p, o) }
+func (b *singleBuilder) Graph() *store.Graph        { return b.set.Graph() }
+func (b *singleBuilder) Rebuilds() uint64           { return b.set.Rebuilds(b.k) }
+func (b *singleBuilder) Summary() *Summary {
+	s, err := b.set.Summary(b.k)
+	if err != nil {
+		panic(err) // unreachable: the set maintains b.k by construction
+	}
+	return s
+}
+
+// SummarizeAll builds the summaries of every requested kind (all five
+// when kinds is nil) in one shared pass over g: the clique and class-set
+// state feeding the drivers is computed once, not re-derived per kind.
+func SummarizeAll(g *store.Graph, kinds []Kind) (map[Kind]*Summary, error) {
+	if kinds == nil {
+		kinds = Kinds
+	}
+	set, err := NewBuilderSet(g, kinds)
+	if err != nil {
+		return nil, err
+	}
+	return set.Summaries()
+}

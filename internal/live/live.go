@@ -11,10 +11,14 @@
 //     view of the graph, a merged triple index, and the epoch number,
 //     published atomically and never mutated in place. Queries keep
 //     running at full speed against their epoch while ingest proceeds.
-//   - The weak summary is maintained incrementally by core.WeakBuilder
-//     (the paper's Algorithms 1–3 are one-pass, so ingest keeps it
-//     current at O(α) per triple); other summary kinds are rebuilt lazily
-//     per epoch behind per-kind cells, with staleness reported to callers.
+//   - Summaries are maintained incrementally by the quotient engine
+//     (core.BuilderSet): every kind listed in Options.Maintain is kept
+//     current at O(α) amortized per triple, so serving it never pays a
+//     full O(|G|) re-summarization. Kinds not maintained are rebuilt
+//     lazily per epoch behind per-kind cells, with staleness reported to
+//     callers. The default maintains the weak summary only, the cheapest
+//     configuration; -maintain all trades write-side memory for
+//     staleness-free serving of every kind.
 //   - Compact folds the WAL into a store snapshot file and swaps
 //     generations through a CURRENT manifest, so recovery always sees a
 //     consistent (snapshot, log) pair.
@@ -26,8 +30,8 @@
 //	                     for a generation with an empty base)
 //	wal-<n>.log          record-framed WAL of triples since that snapshot
 //
-// Deletions are not supported: weak-summary maintenance is merge-based
-// and merges are not invertible (see core.WeakBuilder) — removing triples
+// Deletions are not supported: summary maintenance is merge-based and
+// merges are not invertible (see core.Builder) — removing triples
 // requires a rebuild from a compacted snapshot.
 package live
 
@@ -58,6 +62,19 @@ type Options struct {
 	// starts empty. Ignored when the store already has state. The graph
 	// is adopted, not copied — the caller must not use it afterwards.
 	Seed *store.Graph
+	// Maintain lists the summary kinds kept incrementally current during
+	// ingest (served with no staleness and no per-epoch rebuild). nil
+	// maintains the weak summary only — the PR-3 behavior; an explicit
+	// empty slice maintains nothing. Unmaintained kinds rebuild lazily.
+	Maintain []core.Kind
+}
+
+// maintainOrDefault resolves the Maintain option: nil means weak-only.
+func maintainOrDefault(kinds []core.Kind) []core.Kind {
+	if kinds == nil {
+		return []core.Kind{core.Weak}
+	}
+	return kinds
 }
 
 // Snapshot is one published epoch: an immutable view served to readers.
@@ -75,11 +92,14 @@ type Snapshot struct {
 
 // summaryCell caches the most recent build of one summary kind, tagged
 // with the epoch it reflects. The mutex singleflights rebuilds of that
-// kind without blocking other kinds.
+// kind without blocking other kinds. lazyBuilds counts the full batch
+// re-summarizations this cell has paid — 0 for a maintained kind under
+// normal operation, the observable "no full rebuild" guarantee.
 type summaryCell struct {
-	mu    sync.Mutex
-	epoch uint64
-	sum   *core.Summary
+	mu         sync.Mutex
+	epoch      uint64
+	sum        *core.Summary
+	lazyBuilds uint64
 }
 
 // Live is a mutable graph service. The zero value is not usable; call
@@ -90,12 +110,14 @@ type Live struct {
 	sync bool
 
 	mu      sync.Mutex // serializes writers (Add/AddBatch/Compact/Close)
-	builder *core.WeakBuilder
+	set     *core.BuilderSet
 	wal     *wal
 	lock    *os.File // exclusive flock on the store directory (nil on non-unix / memory)
 	gen     uint64
 	applied uint64 // triples applied to the in-memory graph (monotonic)
 	closed  bool
+
+	maintained [core.NumKinds]bool
 
 	// published is the epoch counter behind cur; mutated under mu only.
 	published uint64
@@ -105,7 +127,7 @@ type Live struct {
 	// delta extraction when merging the index.
 	lastD, lastT, lastS int
 
-	cells [5]summaryCell // indexed by core.Kind
+	cells [core.NumKinds]summaryCell // indexed by core.Kind
 
 	// RecoveredTorn reports whether Open dropped a torn tail from the WAL
 	// (the crash-recovery path was exercised).
@@ -113,18 +135,41 @@ type Live struct {
 }
 
 // New returns a memory-only live graph over g (nil for empty): the full
-// concurrency model without durability. Compact returns an error; the WAL
-// is absent. The graph is adopted, not copied.
-func New(g *store.Graph) *Live {
+// concurrency model without durability, maintaining the weak summary.
+// Compact returns an error; the WAL is absent. The graph is adopted, not
+// copied.
+func New(g *store.Graph) *Live { return NewMaintaining(g, nil) }
+
+// NewMaintaining is New with an explicit set of incrementally maintained
+// summary kinds (nil = weak only, empty = none). It panics on an invalid
+// kind — callers obtain kinds from core.ParseKind or the Kind constants.
+func NewMaintaining(g *store.Graph, kinds []core.Kind) *Live {
 	if g == nil {
 		g = store.NewGraph()
 	}
 	g.Dict().Share()
-	l := &Live{builder: core.NewWeakBuilderWithGraph(g), sync: false}
+	l := &Live{sync: false}
+	if err := l.initBuilders(g, kinds); err != nil {
+		panic(err)
+	}
+	l.applied = uint64(g.NumEdges())
 	l.mu.Lock()
 	l.publishLocked()
 	l.mu.Unlock()
 	return l
+}
+
+// initBuilders installs the maintained-kind builder set over g.
+func (l *Live) initBuilders(g *store.Graph, kinds []core.Kind) error {
+	set, err := core.NewBuilderSet(g, maintainOrDefault(kinds))
+	if err != nil {
+		return err
+	}
+	l.set = set
+	for _, k := range set.Kinds() {
+		l.maintained[k] = true
+	}
+	return nil
 }
 
 // Open opens (or initializes) a durable live store in dir: it loads the
@@ -156,7 +201,9 @@ func Open(dir string, opts Options) (*Live, error) {
 			g = store.NewGraph()
 		}
 		g.Dict().Share()
-		l.builder = core.NewWeakBuilderWithGraph(g)
+		if err := l.initBuilders(g, opts.Maintain); err != nil {
+			return nil, err
+		}
 		l.gen = 1
 		if opts.Seed != nil && g.NumEdges() > 0 {
 			// Persist the seed as the generation's base snapshot so the
@@ -195,11 +242,13 @@ func Open(dir string, opts Options) (*Live, error) {
 			return nil, fmt.Errorf("live: generation %d snapshot: %w", gen, statErr)
 		}
 		g.Dict().Share()
-		l.builder = core.NewWeakBuilderWithGraph(g)
+		if err := l.initBuilders(g, opts.Maintain); err != nil {
+			return nil, err
+		}
 		l.gen = gen
 		good, torn, err := replayWAL(l.walPath(gen), func(triples []rdf.Triple) error {
 			for _, t := range triples {
-				l.builder.Add(t)
+				l.set.Add(t)
 			}
 			return nil
 		})
@@ -222,8 +271,17 @@ func Open(dir string, opts Options) (*Live, error) {
 	return l, nil
 }
 
-// graph is the writer-side mutable graph (the builder owns it).
-func (l *Live) graph() *store.Graph { return l.builder.Graph() }
+// graph is the writer-side mutable graph (the builder set owns it).
+func (l *Live) graph() *store.Graph { return l.set.Graph() }
+
+// Maintained reports whether kind is kept incrementally current by the
+// quotient engine (served with no staleness and no per-epoch rebuild).
+func (l *Live) Maintained(kind core.Kind) bool {
+	return int(kind) >= 0 && int(kind) < core.NumKinds && l.maintained[kind]
+}
+
+// MaintainedKinds lists the incrementally maintained kinds.
+func (l *Live) MaintainedKinds() []core.Kind { return l.set.Kinds() }
 
 // Durable reports whether the store is backed by a WAL directory.
 func (l *Live) Durable() bool { return l.dir != "" }
@@ -262,7 +320,7 @@ func (l *Live) AddBatch(triples []rdf.Triple) error {
 		}
 	}
 	for _, t := range triples {
-		l.builder.Add(t)
+		l.set.Add(t)
 	}
 	l.applied += uint64(len(triples))
 	l.publishLocked()
@@ -293,13 +351,13 @@ func (l *Live) publishLocked() {
 }
 
 // Summary returns the summary of the given kind for (at least) the
-// current epoch, along with the epoch it was built at. Weak summaries
-// come from the incremental builder when the builder still matches the
+// current epoch, along with the epoch it was built at. Maintained kinds
+// come from the incremental builder set when it still matches the
 // published epoch (no full pass over the graph); every other kind — or a
-// weak summary raced by concurrent ingest — is rebuilt from the epoch's
-// frozen view. maxStale permits serving a cached summary up to that many
-// epochs old (0 = always current), the staleness policy a serving layer
-// exposes to its clients.
+// maintained kind raced by concurrent ingest — is rebuilt from the
+// epoch's frozen view. maxStale permits serving a cached summary up to
+// that many epochs old (0 = always current), the staleness policy a
+// serving layer exposes to its clients.
 func (l *Live) Summary(kind core.Kind, maxStale uint64) (*core.Summary, uint64, error) {
 	if int(kind) < 0 || int(kind) >= len(l.cells) {
 		return nil, 0, fmt.Errorf("core: unknown summary kind %d", int(kind))
@@ -312,8 +370,8 @@ func (l *Live) Summary(kind core.Kind, maxStale uint64) (*core.Summary, uint64, 
 		return cell.sum, cell.epoch, nil
 	}
 	var s *core.Summary
-	if kind == core.Weak {
-		s = l.weakFromBuilder(snap.Epoch)
+	if l.maintained[kind] {
+		s = l.fromBuilders(kind, snap.Epoch)
 	}
 	if s == nil {
 		var err error
@@ -321,31 +379,79 @@ func (l *Live) Summary(kind core.Kind, maxStale uint64) (*core.Summary, uint64, 
 		if err != nil {
 			return nil, 0, err
 		}
+		cell.lazyBuilds++
 	}
 	cell.sum, cell.epoch = s, snap.Epoch
 	return s, snap.Epoch, nil
 }
 
-// weakFromBuilder materializes the weak summary from the incremental
-// builder, provided no ingest has happened since epoch was published (the
-// builder always reflects the writer's head, which may be ahead of the
-// epoch a reader is entitled to). Returns nil when raced; the caller
+// fromBuilders materializes a maintained summary from the incremental
+// builder set, provided no ingest has happened since epoch was published
+// (the builders always reflect the writer's head, which may be ahead of
+// the epoch a reader is entitled to). Returns nil when raced; the caller
 // falls back to a batch build of the frozen view — bit-identical by the
-// builder's construction.
-func (l *Live) weakFromBuilder(epoch uint64) *core.Summary {
+// engine's construction.
+func (l *Live) fromBuilders(kind core.Kind, epoch uint64) *core.Summary {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.published != epoch {
 		return nil
 	}
-	s := l.builder.Summary()
-	// The builder's summary aliases the writer's mutable graph as its
+	s, err := l.set.Summary(kind)
+	if err != nil {
+		return nil
+	}
+	// The engine's summary aliases the writer's mutable graph as its
 	// Input. Freeze Input to the epoch's published view (identical
 	// content while we hold l.mu at the matching epoch) so consumers —
 	// ComputeWeights iterates Input's components — stay safe under
 	// concurrent ingest.
 	s.Input = l.cur.Load().Graph
 	return s
+}
+
+// KindStatus reports one summary kind's maintenance state, the ground
+// truth behind rdfsumd's /metrics endpoint.
+type KindStatus struct {
+	Kind core.Kind
+	// Maintained: kept incrementally current by the quotient engine.
+	Maintained bool
+	// CachedEpoch is the epoch of the last materialized summary (0 when
+	// none was served yet).
+	CachedEpoch uint64
+	// LazyBuilds counts full batch re-summarizations served for this
+	// kind — the cost maintained kinds avoid (they stay at 0 barring a
+	// snapshot raced by concurrent ingest).
+	LazyBuilds uint64
+	// Rebuilds counts the engine-internal state reconstructions forced
+	// by late-typing events (typed kinds only; see core.Builder).
+	Rebuilds uint64
+}
+
+// Status reports, per summary kind, its maintenance mode and rebuild
+// counters.
+func (l *Live) Status() []KindStatus {
+	l.mu.Lock()
+	rebuilds := make(map[core.Kind]uint64, core.NumKinds)
+	for _, k := range l.set.Kinds() {
+		rebuilds[k] = l.set.Rebuilds(k)
+	}
+	l.mu.Unlock()
+	out := make([]KindStatus, 0, core.NumKinds)
+	for _, k := range core.Kinds {
+		cell := &l.cells[k]
+		cell.mu.Lock()
+		st := KindStatus{
+			Kind:        k,
+			Maintained:  l.maintained[k],
+			CachedEpoch: cell.epoch,
+			LazyBuilds:  cell.lazyBuilds,
+			Rebuilds:    rebuilds[k],
+		}
+		cell.mu.Unlock()
+		out = append(out, st)
+	}
+	return out
 }
 
 // Stats reports the live store's serving counters.

@@ -563,3 +563,203 @@ func TestLiveSeed(t *testing.T) {
 		t.Fatal("reopened seeded store diverges (or re-applied the seed)")
 	}
 }
+
+// TestLiveMaintainedAllKinds: a store maintaining every kind serves each
+// of them bit-identical to the batch construction at the current epoch
+// with zero lazy (full) rebuilds — the quotient engine absorbs ingest at
+// O(Δ) and snapshots from its own state.
+func TestLiveMaintainedAllKinds(t *testing.T) {
+	l := NewMaintaining(nil, core.Kinds)
+	defer l.Close()
+	var fed []rdf.Triple
+	ingest := func(start int) {
+		b := mkBatch(start, 40)
+		fed = append(fed, b...)
+		if err := l.AddBatch(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 6; i++ {
+		ingest(i * 64)
+	}
+	check := func() {
+		t.Helper()
+		for _, kind := range core.Kinds {
+			s, epoch, err := l.Summary(kind, 0)
+			if err != nil {
+				t.Fatalf("%v: %v", kind, err)
+			}
+			if epoch != l.Epoch() {
+				t.Fatalf("%v served at epoch %d, want %d", kind, epoch, l.Epoch())
+			}
+			batch := core.MustSummarize(store.FromTriples(fed), kind, nil)
+			if !reflect.DeepEqual(canonical(s.Graph), canonical(batch.Graph)) {
+				t.Fatalf("%v: maintained summary diverges from batch", kind)
+			}
+		}
+	}
+	check()
+	ingest(9000) // keep ingesting after snapshots; re-serve every kind
+	check()
+	for _, st := range l.Status() {
+		if !st.Maintained {
+			t.Errorf("%v: not maintained", st.Kind)
+		}
+		if st.LazyBuilds != 0 {
+			t.Errorf("%v: %d lazy builds, want 0 (maintained kinds never rebuild in full)", st.Kind, st.LazyBuilds)
+		}
+		if st.CachedEpoch != l.Epoch() {
+			t.Errorf("%v: cached at epoch %d, want %d", st.Kind, st.CachedEpoch, l.Epoch())
+		}
+	}
+}
+
+// TestLiveMaintainStatusCounters: the default store maintains weak only;
+// serving another kind is a counted lazy build.
+func TestLiveMaintainStatusCounters(t *testing.T) {
+	l := New(nil)
+	defer l.Close()
+	if err := l.AddBatch(mkBatch(0, 50)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := l.Summary(core.Weak, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := l.Summary(core.Strong, 0); err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range l.Status() {
+		switch st.Kind {
+		case core.Weak:
+			if !st.Maintained || st.LazyBuilds != 0 {
+				t.Errorf("weak: maintained=%v lazyBuilds=%d, want true/0", st.Maintained, st.LazyBuilds)
+			}
+		case core.Strong:
+			if st.Maintained || st.LazyBuilds != 1 {
+				t.Errorf("strong: maintained=%v lazyBuilds=%d, want false/1", st.Maintained, st.LazyBuilds)
+			}
+		}
+	}
+	if l.Maintained(core.Weak) == false || l.Maintained(core.TypedWeak) {
+		t.Error("Maintained() disagrees with the default weak-only configuration")
+	}
+}
+
+// TestLiveMaintainedReplay: WAL replay re-feeds every maintained builder,
+// so a reopened store serves all kinds from maintenance state.
+func TestLiveMaintainedReplay(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{Maintain: core.Kinds}
+	l, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches := [][]rdf.Triple{mkBatch(0, 30), mkBatch(40, 30), mkBatch(80, 30)}
+	for _, b := range batches {
+		if err := l.AddBatch(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	all := flatten(batches)
+	for _, kind := range core.Kinds {
+		s, _, err := re.Summary(kind, 0)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		batch := core.MustSummarize(store.FromTriples(all), kind, nil)
+		if !reflect.DeepEqual(canonical(s.Graph), canonical(batch.Graph)) {
+			t.Fatalf("%v: replayed maintained summary diverges from batch", kind)
+		}
+	}
+	for _, st := range re.Status() {
+		if st.LazyBuilds != 0 {
+			t.Errorf("%v: %d lazy builds after replay, want 0", st.Kind, st.LazyBuilds)
+		}
+	}
+}
+
+// TestLiveMaintainedStress: -race stress over the maintenance path — one
+// writer ingesting batches while readers materialize every maintained
+// kind at full staleness intolerance. A raced materialization may fall
+// back to a batch build (sound either way); the race detector checks the
+// shared engine state is never read outside the writer lock.
+func TestLiveMaintainedStress(t *testing.T) {
+	l := NewMaintaining(nil, core.Kinds)
+	defer l.Close()
+
+	const (
+		batches   = 40
+		batchSize = 30
+		readers   = 3
+	)
+	done := make(chan struct{})
+	errc := make(chan error, readers+1)
+	var wg sync.WaitGroup
+
+	wg.Add(1)
+	go func() { // writer
+		defer wg.Done()
+		defer close(done)
+		for i := 0; i < batches; i++ {
+			if err := l.AddBatch(mkBatch(i*batchSize, batchSize)); err != nil {
+				errc <- err
+				return
+			}
+		}
+	}()
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			kind := core.Kinds[r%len(core.Kinds)]
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				s, epoch, err := l.Summary(kind, 0)
+				if err != nil {
+					errc <- err
+					return
+				}
+				if s.Stats.AllEdges == 0 && epoch > 1 {
+					errc <- fmt.Errorf("%v: empty summary at epoch %d", kind, epoch)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+	for _, kind := range core.Kinds {
+		s, _, err := l.Summary(kind, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch := core.MustSummarize(store.FromTriples(flattenBatches(batches, batchSize)), kind, nil)
+		if !reflect.DeepEqual(canonical(s.Graph), canonical(batch.Graph)) {
+			t.Fatalf("%v: post-stress summary diverges from batch", kind)
+		}
+	}
+}
+
+func flattenBatches(n, size int) []rdf.Triple {
+	var out []rdf.Triple
+	for i := 0; i < n; i++ {
+		out = append(out, mkBatch(i*size, size)...)
+	}
+	return out
+}

@@ -83,8 +83,14 @@ type (
 	// PlanStats feeds summary cardinalities to the query planner;
 	// *Weights implements it.
 	PlanStats = query.PlanStats
+	// Builder maintains one summary kind incrementally under triple
+	// insertions (the unified quotient engine; see NewBuilder).
+	Builder = core.Builder
+	// BuilderSet maintains several summary kinds over one shared graph
+	// with one pass per inserted triple.
+	BuilderSet = core.BuilderSet
 	// WeakBuilder maintains a weak summary incrementally under triple
-	// insertions (streaming construction).
+	// insertions (streaming construction; the weak kind of the engine).
 	WeakBuilder = core.WeakBuilder
 	// Weights are the cardinality statistics of a summary's quotient map,
 	// for query-optimizer use.
@@ -99,6 +105,18 @@ const (
 	TypedWeak   = core.TypedWeak
 	TypedStrong = core.TypedStrong
 )
+
+// NumKinds is the number of summary kinds; Kind values are dense in
+// [0, NumKinds).
+const NumKinds = core.NumKinds
+
+// Kinds lists all summary kinds in presentation order. Tools enumerate
+// it instead of hand-rolling kind lists.
+var Kinds = core.Kinds
+
+// PaperKinds lists the kinds the paper's evaluation reports (§7): every
+// kind except the helper TypeBased.
+var PaperKinds = core.PaperKinds
 
 // Weak-summary construction algorithms (Options.WeakAlgorithm).
 const (
@@ -231,6 +249,14 @@ func SummarizeWithOptions(g *Graph, kind Kind, opts *Options) (*Summary, error) 
 	return core.Summarize(g, kind, opts)
 }
 
+// SummarizeAll builds the summaries of every requested kind (all five
+// when kinds is nil) in one shared pass over g: the class-set and clique
+// state feeding the per-kind drivers is computed once, not re-derived per
+// kind.
+func SummarizeAll(g *Graph, kinds []Kind) (map[Kind]*Summary, error) {
+	return core.SummarizeAll(g, kinds)
+}
+
 // CheckWellBehaved verifies the well-behavedness assumptions the
 // summarizers rely on (no class in property position; classes carry only
 // type/schema properties). It returns nil when the triples are
@@ -331,6 +357,25 @@ func GenerateLUBM(universities int) *Graph {
 	return lubm.GenerateGraph(lubm.DefaultConfig(universities))
 }
 
+// NewBuilder returns an empty incremental builder for any summary kind:
+// feed it triples with Add/AddEncoded and snapshot anytime with Summary.
+// Snapshots are bit-identical to batch Summarize of the same triple set
+// and do not freeze the builder.
+func NewBuilder(kind Kind) (Builder, error) { return core.NewBuilder(kind) }
+
+// NewBuilderWithGraph seeds an incremental builder with an existing
+// graph's triples (the graph is adopted, not copied).
+func NewBuilderWithGraph(kind Kind, g *Graph) (Builder, error) {
+	return core.NewBuilderWithGraph(kind, g)
+}
+
+// NewBuilderSet returns an incremental builder maintaining several kinds
+// over one shared graph, computing the shared clique/class-set state once
+// per inserted triple.
+func NewBuilderSet(g *Graph, kinds []Kind) (*BuilderSet, error) {
+	return core.NewBuilderSet(g, kinds)
+}
+
 // NewWeakBuilder returns an empty streaming weak-summary builder; feed it
 // triples with Add/AddEncoded and snapshot anytime with Summary.
 func NewWeakBuilder() *WeakBuilder { return core.NewWeakBuilder() }
@@ -355,6 +400,9 @@ type (
 	LiveSnapshot = live.Snapshot
 	// LiveStats reports a live store's serving counters.
 	LiveStats = live.Stats
+	// LiveKindStatus reports one summary kind's maintenance mode and
+	// rebuild counters on a live store.
+	LiveKindStatus = live.KindStatus
 )
 
 // LiveOptions tunes OpenLive.
@@ -367,6 +415,11 @@ type LiveOptions struct {
 	// prior state (it is compacted into the first snapshot); ignored
 	// otherwise. The graph must not be used by the caller afterwards.
 	Seed *Graph
+	// Maintain lists the summary kinds the quotient engine keeps
+	// incrementally current during ingest: they serve with no staleness
+	// and no per-epoch rebuild. nil maintains Weak only; an explicit
+	// empty slice maintains nothing (every kind rebuilds lazily).
+	Maintain []Kind
 }
 
 // OpenLive opens (or initializes) a durable live store in dir: the
@@ -376,7 +429,7 @@ type LiveOptions struct {
 func OpenLive(dir string, opts *LiveOptions) (*Live, error) {
 	var o live.Options
 	if opts != nil {
-		o = live.Options{NoSync: opts.NoSync, Seed: opts.Seed}
+		o = live.Options{NoSync: opts.NoSync, Seed: opts.Seed, Maintain: opts.Maintain}
 	}
 	return live.Open(dir, o)
 }
@@ -385,6 +438,12 @@ func OpenLive(dir string, opts *LiveOptions) (*Live, error) {
 // same concurrency model — epoch snapshots, incremental weak summary —
 // without durability. The graph is adopted, not copied.
 func NewLive(g *Graph) *Live { return live.New(g) }
+
+// NewLiveMaintaining is NewLive with an explicit set of incrementally
+// maintained summary kinds (nil = weak only, empty = none).
+func NewLiveMaintaining(g *Graph, kinds []Kind) *Live {
+	return live.NewMaintaining(g, kinds)
+}
 
 // LiveHasState reports whether dir already holds an initialized live
 // store, i.e. whether OpenLive would adopt or ignore a Seed.

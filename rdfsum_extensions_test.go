@@ -181,3 +181,59 @@ func TestGenerateLUBMFacade(t *testing.T) {
 		t.Error("representativeness violated on LUBM")
 	}
 }
+
+// TestQuotientEngineFacade: the kind-generic incremental builder and the
+// one-pass SummarizeAll match batch summarization through the public API.
+func TestQuotientEngineFacade(t *testing.T) {
+	g := rdfsum.GenerateBSBM(40)
+	all, err := rdfsum.SummarizeAll(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != rdfsum.NumKinds {
+		t.Fatalf("SummarizeAll built %d kinds, want %d", len(all), rdfsum.NumKinds)
+	}
+	for _, kind := range rdfsum.Kinds {
+		batch, err := rdfsum.Summarize(g, kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(batch.Graph.CanonicalStrings(), all[kind].Graph.CanonicalStrings()) {
+			t.Errorf("%v: SummarizeAll differs from Summarize", kind)
+		}
+		b, err := rdfsum.NewBuilder(kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tr := range g.Decode() {
+			b.Add(tr)
+		}
+		inc := b.Summary()
+		if !reflect.DeepEqual(batch.Graph.CanonicalStrings(), inc.Graph.CanonicalStrings()) {
+			t.Errorf("%v: incremental builder differs from batch", kind)
+		}
+	}
+}
+
+// TestLiveMaintainingFacade: a live store maintaining every kind serves
+// each one current with no lazy rebuilds.
+func TestLiveMaintainingFacade(t *testing.T) {
+	lv := rdfsum.NewLiveMaintaining(nil, rdfsum.Kinds)
+	defer lv.Close()
+	if err := lv.AddBatch(rdfsum.GenerateBSBM(20).Decode()); err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range rdfsum.Kinds {
+		if !lv.Maintained(kind) {
+			t.Errorf("%v: not maintained", kind)
+		}
+		if _, epoch, err := lv.Summary(kind, 0); err != nil || epoch != lv.Epoch() {
+			t.Errorf("%v: epoch %d err %v, want current %d", kind, epoch, err, lv.Epoch())
+		}
+	}
+	for _, st := range lv.Status() {
+		if st.LazyBuilds != 0 {
+			t.Errorf("%v: %d lazy builds, want 0", st.Kind, st.LazyBuilds)
+		}
+	}
+}
