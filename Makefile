@@ -3,7 +3,15 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint fmt fmt-check bench bench-smoke bench-json stress check clean
+# Fuzz smoke duration per target (CI uses the default; raise locally for
+# real fuzzing sessions: make fuzz FUZZTIME=10m).
+FUZZTIME ?= 30s
+
+# Coverage-gated packages and the minimum total coverage each must hold.
+COVER_PKGS = ./internal/store ./internal/live ./internal/core
+COVER_MIN  = 70
+
+.PHONY: all build test race vet lint fmt fmt-check bench bench-smoke bench-json stress fuzz cover cover-check check clean
 
 all: build
 
@@ -57,14 +65,45 @@ bench-json:
 # Live-subsystem stress under the race detector (mirrored as a CI step):
 # readers query epoch snapshots while a writer ingests batches and
 # compacts; readers materialize every maintained summary kind during
-# ingest; plus the WAL crash-recovery property test. -count=2 reruns
-# with fresh schedules.
+# ingest; snapshot iterators are held across concurrent Compact calls
+# while deletes land (tiered-index generation swaps); plus the WAL
+# crash-recovery property test. -count=2 reruns with fresh schedules.
 stress:
 	$(GO) test -race -count=2 \
-		-run 'TestLiveStress|TestLiveMaintainedStress|TestLiveIngestDuringConcurrentQueries|TestLiveCrashRecoveryPrefix' \
+		-run 'TestLiveStress|TestLiveMaintainedStress|TestLiveIngestDuringConcurrentQueries|TestLiveCrashRecoveryPrefix|TestLiveSnapshotAcrossCompactStress' \
 		./internal/live ./cmd/rdfsumd
 
-check: build vet fmt-check race bench-smoke
+# Fuzz smoke (mirrored as a CI job): the N-Triples parser and the WAL
+# record decoder/replayer, each seeded from the committed corpus under
+# the package's testdata/fuzz/ directory.
+fuzz:
+	$(GO) test -fuzz=FuzzParse -fuzztime=$(FUZZTIME) -run='^$$' ./internal/ntriples
+	$(GO) test -fuzz=FuzzWALReplay -fuzztime=$(FUZZTIME) -run='^$$' ./internal/live
+	$(GO) test -fuzz=FuzzWALRecordDecode -fuzztime=$(FUZZTIME) -run='^$$' ./internal/live
+
+# Per-package coverage table for the storage/live/engine core.
+cover:
+	@for p in $(COVER_PKGS); do \
+		$(GO) test -count=1 -coverprofile=.cover.tmp $$p > /dev/null || exit 1; \
+		pct=$$($(GO) tool cover -func=.cover.tmp | awk '/^total:/ {gsub(/%/,"",$$3); print $$3}'); \
+		printf "%-24s %6s%%\n" $$p $$pct; \
+	done; rm -f .cover.tmp
+
+# The CI coverage gate: fail when any gated package drops below
+# $(COVER_MIN)% total statement coverage.
+cover-check:
+	@fail=0; for p in $(COVER_PKGS); do \
+		$(GO) test -count=1 -coverprofile=.cover.tmp $$p > /dev/null || exit 1; \
+		pct=$$($(GO) tool cover -func=.cover.tmp | awk '/^total:/ {gsub(/%/,"",$$3); print $$3}'); \
+		printf "%-24s %6s%%" $$p $$pct; \
+		if awk -v p=$$pct -v min=$(COVER_MIN) 'BEGIN{exit !(p+0 < min)}'; then \
+			printf "  FAIL (< $(COVER_MIN)%%)\n"; fail=1; \
+		else \
+			printf "  ok\n"; \
+		fi; \
+	done; rm -f .cover.tmp; exit $$fail
+
+check: build vet fmt-check race bench-smoke cover-check
 
 clean:
 	$(GO) clean ./...

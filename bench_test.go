@@ -645,6 +645,69 @@ func BenchmarkLiveIngest(b *testing.B) {
 	})
 }
 
+// BenchmarkLiveIngestTiered isolates the publish cost the tiered index
+// bounds: a memory-only live store is pre-loaded to 1x/10x/100x the base
+// size, then the benchmark measures AddBatch of a fixed 1k-triple batch.
+// Under the PR-3 linear index merge this grew with the total graph
+// (O(n + k log k) per batch); with tiered delta runs it is ~flat across
+// the three sizes — per-batch work depends on the batch, not the store.
+func BenchmarkLiveIngestTiered(b *testing.B) {
+	const (
+		batchSize = 1024
+		baseSize  = 10_000
+	)
+	for _, mult := range []int{1, 10, 100} {
+		preload := baseSize * mult
+		b.Run(fmt.Sprintf("preloaded=%d", preload), func(b *testing.B) {
+			lv := rdfsum.NewLive(nil)
+			defer lv.Close()
+			fed := 0
+			for batchNo := 0; fed < preload; batchNo++ {
+				batch := incBatch(batchNo, batchSize)
+				if err := lv.AddBatch(batch); err != nil {
+					b.Fatal(err)
+				}
+				fed += len(batch)
+			}
+			// Measure with one fixed batch whose terms are interned up
+			// front, so the loop times the apply+publish path (graph
+			// append, summary maintenance, delta-run publish) rather
+			// than dictionary growth.
+			batch := incBatch(1_000_000, batchSize)
+			if err := lv.AddBatch(batch); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := lv.AddBatch(batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(batchSize), "triples/batch")
+			b.ReportMetric(float64(lv.Stats().IndexRuns), "index-runs")
+		})
+	}
+}
+
+// BenchmarkLiveDelete measures a 64-triple delete batch against a ~58k
+// store: the WAL record, the copy-on-write component compaction, the
+// exact summary decrements and the tombstone-run publish.
+func BenchmarkLiveDelete(b *testing.B) {
+	decoded := bsbmGraph(b, 1000).Decode()
+	lv := rdfsum.NewLive(rdfsum.NewGraph(decoded))
+	defer lv.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := (i * 64) % (len(decoded) - 64)
+		if _, err := lv.DeleteBatch(decoded[start : start+64]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(64, "triples/batch")
+}
+
 // BenchmarkWALReplay measures crash-recovery speed: reopening a store
 // whose state lives entirely in the WAL (~12k triples), which replays
 // every record into the graph, the incremental weak summary, and the

@@ -8,7 +8,7 @@
 //	rdfsum stats     -in data.nt [-kinds weak,strong,typed-weak,typed-strong]
 //	rdfsum query     -in data.nt -q 'SELECT ?x WHERE { ... }' [-saturate] [-explain] [-limit N] [-prune kind|off]
 //	rdfsum convert   -in data.nt -out data.snapshot
-//	rdfsum ingest    -wal ./store -in data.nt [-batch N] [-compact] [-nosync]
+//	rdfsum ingest    -wal ./store -in data.nt [-batch N] [-delete] [-compact] [-nosync] [-index-fanout N]
 //
 // Inputs and outputs ending in .nt are N-Triples; anything else is the
 // library's binary snapshot format.
@@ -73,7 +73,7 @@ commands:
   stats       print graph and summary size statistics
   query       evaluate a SPARQL BGP query
   convert     convert between N-Triples and snapshot formats
-  ingest      append triples to a WAL-durable live store (-wal dir)
+  ingest      append (or -delete) triples in a WAL-durable live store (-wal dir)
   cliques     print the source/target property cliques (Table 1 style)
   check       verify well-behavedness assumptions
   profile     print the dataset's entity kinds from its typed-weak summary
@@ -358,17 +358,20 @@ func cmdQuery(args []string) error {
 
 // cmdIngest streams an N-Triples file into a WAL-durable live store in
 // batches (one WAL record + one fsync per batch — the group-commit
-// unit). The store is single-writer: if an rdfsumd -live is serving the
-// same directory, the store's lock makes this command fail fast instead
-// of corrupting the log — stop the server (or POST /triples to it)
-// instead.
+// unit); with -delete the file's triples are removed instead of added
+// (every stored copy, journaled as opDelete records). The store is
+// single-writer: if an rdfsumd -live is serving the same directory, the
+// store's lock makes this command fail fast instead of corrupting the
+// log — stop the server (or POST/DELETE /triples to it) instead.
 func cmdIngest(args []string) error {
 	fs := flag.NewFlagSet("ingest", flag.ExitOnError)
 	walDir := fs.String("wal", "", "live store directory (created if absent)")
-	in := fs.String("in", "", "N-Triples file to append")
+	in := fs.String("in", "", "N-Triples file to append (or remove, with -delete)")
 	batch := fs.Int("batch", 8192, "triples per WAL record / fsync")
+	del := fs.Bool("delete", false, "remove the file's triples instead of adding them")
 	compact := fs.Bool("compact", false, "fold the WAL into a snapshot after ingest")
 	nosync := fs.Bool("nosync", false, "skip per-batch fsync (faster, weaker durability)")
+	fanout := fs.Int("index-fanout", 0, "tiered-index fold width (0 = default 8)")
 	fs.Parse(args) //nolint:errcheck
 	if *walDir == "" {
 		return fmt.Errorf("missing -wal directory")
@@ -379,7 +382,7 @@ func cmdIngest(args []string) error {
 	if *batch <= 0 {
 		return fmt.Errorf("-batch must be positive")
 	}
-	lv, err := rdfsum.OpenLive(*walDir, &rdfsum.LiveOptions{NoSync: *nosync})
+	lv, err := rdfsum.OpenLive(*walDir, &rdfsum.LiveOptions{NoSync: *nosync, IndexFanout: *fanout})
 	if err != nil {
 		return err
 	}
@@ -395,7 +398,13 @@ func cmdIngest(args []string) error {
 		if len(buf) == 0 {
 			return nil
 		}
-		if err := lv.AddBatch(buf); err != nil {
+		var err error
+		if *del {
+			_, err = lv.DeleteBatch(buf)
+		} else {
+			err = lv.AddBatch(buf)
+		}
+		if err != nil {
 			return err
 		}
 		buf = buf[:0]
@@ -414,8 +423,13 @@ func cmdIngest(args []string) error {
 		return err
 	}
 	st := lv.Stats()
-	fmt.Printf("ingested %d triples (%d -> %d), epoch %d, wal %d bytes\n",
-		st.Triples-before.Triples, before.Triples, st.Triples, st.Epoch, st.WALBytes)
+	if *del {
+		fmt.Printf("deleted %d triples (%d -> %d), epoch %d, wal %d bytes\n",
+			st.Deleted-before.Deleted, before.Triples, st.Triples, st.Epoch, st.WALBytes)
+	} else {
+		fmt.Printf("ingested %d triples (%d -> %d), epoch %d, wal %d bytes\n",
+			st.Triples-before.Triples, before.Triples, st.Triples, st.Epoch, st.WALBytes)
+	}
 	if *compact {
 		if err := lv.Compact(); err != nil {
 			return err

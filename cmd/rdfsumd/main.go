@@ -18,7 +18,10 @@
 //	GET  /profile              entity-kind profile (typed-weak based)
 //	POST /triples              N-Triples body appended as one acknowledged
 //	                           batch (WAL-durable with -live)
+//	DELETE /triples            N-Triples body removed as one acknowledged
+//	                           batch (every stored copy; WAL-durable)
 //	POST /compact              fold the WAL into a snapshot generation
+//	                           and the tiered index into a single run
 //	POST /query                SPARQL BGP text in the body;
 //	                           ?saturate=true evaluates against G∞,
 //	                           ?limit=N caps rows (default 10000),
@@ -52,6 +55,8 @@ func main() {
 	noSync := flag.Bool("no-fsync", false, "skip the per-batch fsync (faster ingest, weaker durability)")
 	maintain := flag.String("maintain", "weak",
 		"summary kinds kept incrementally current during ingest: a comma list of kinds, \"all\", or \"none\"")
+	indexFanout := flag.Int("index-fanout", 0,
+		"tiered-index fold width: delta runs merge once this many share a level (0 = default 8)")
 	flag.Parse()
 	if *in == "" && *liveDir == "" {
 		fmt.Fprintln(os.Stderr, "rdfsumd: need -in and/or -live")
@@ -62,7 +67,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "rdfsumd:", err)
 		os.Exit(2)
 	}
-	srv, err := newServer(*in, *liveDir, *workers, *maxStale, *noSync, maintained)
+	srv, err := newServer(*in, *liveDir, *workers, *maxStale, *noSync, maintained, *indexFanout)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rdfsumd:", err)
 		os.Exit(1)

@@ -64,8 +64,9 @@ type server struct {
 // fresh store; otherwise path is loaded into a memory-only live store.
 // N-Triples inputs go through the parallel pipeline with the given worker
 // count (0 = all CPUs, 1 = sequential). maintain lists the summary kinds
-// the quotient engine keeps incrementally current (nil = weak only).
-func newServer(path, liveDir string, workers int, maxStale uint64, noSync bool, maintain []rdfsum.Kind) (*server, error) {
+// the quotient engine keeps incrementally current (nil = weak only);
+// indexFanout tunes the tiered index's fold width (0 = default).
+func newServer(path, liveDir string, workers int, maxStale uint64, noSync bool, maintain []rdfsum.Kind, indexFanout int) (*server, error) {
 	if path != "" && liveDir != "" && rdfsum.LiveHasState(liveDir) {
 		// A seed only applies to a fresh store; skip the (possibly huge)
 		// load instead of parsing and silently discarding it.
@@ -87,10 +88,11 @@ func newServer(path, liveDir string, workers int, maxStale uint64, noSync bool, 
 			return nil, err
 		}
 	}
+	opts := &rdfsum.LiveOptions{NoSync: noSync, Seed: seed, Maintain: maintain, IndexFanout: indexFanout}
 	var lv *rdfsum.Live
 	if liveDir != "" {
 		var err error
-		lv, err = rdfsum.OpenLive(liveDir, &rdfsum.LiveOptions{NoSync: noSync, Seed: seed, Maintain: maintain})
+		lv, err = rdfsum.OpenLive(liveDir, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -98,7 +100,7 @@ func newServer(path, liveDir string, workers int, maxStale uint64, noSync bool, 
 			log.Printf("rdfsumd: WAL recovery dropped a torn tail (crash mid-append); acknowledged batches are intact")
 		}
 	} else {
-		lv = rdfsum.NewLiveMaintaining(seed, maintain)
+		lv = rdfsum.NewLiveWithOptions(seed, opts)
 	}
 	return &server{live: lv, maxStale: maxStale}, nil
 }
@@ -121,6 +123,7 @@ func (s *server) mux() *http.ServeMux {
 	m.HandleFunc("GET /profile", s.handleProfile)
 	m.HandleFunc("POST /query", s.handleQuery)
 	m.HandleFunc("POST /triples", s.handleTriples)
+	m.HandleFunc("DELETE /triples", s.handleDeleteTriples)
 	m.HandleFunc("POST /compact", s.handleCompact)
 	return m
 }
@@ -222,9 +225,13 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	}
 	fmt.Fprintf(&b, "# TYPE rdfsum_epoch gauge\nrdfsum_epoch %d\n", st.Epoch)
 	fmt.Fprintf(&b, "# TYPE rdfsum_triples gauge\nrdfsum_triples %d\n", st.Triples)
+	fmt.Fprintf(&b, "# TYPE rdfsum_added_total counter\nrdfsum_added_total %d\n", st.Added)
+	fmt.Fprintf(&b, "# TYPE rdfsum_deleted_total counter\nrdfsum_deleted_total %d\n", st.Deleted)
 	fmt.Fprintf(&b, "# TYPE rdfsum_durable gauge\nrdfsum_durable %d\n", durable)
 	fmt.Fprintf(&b, "# TYPE rdfsum_generation gauge\nrdfsum_generation %d\n", st.Gen)
 	fmt.Fprintf(&b, "# TYPE rdfsum_wal_bytes gauge\nrdfsum_wal_bytes %d\n", st.WALBytes)
+	fmt.Fprintf(&b, "# TYPE rdfsum_index_runs gauge\nrdfsum_index_runs %d\n", st.IndexRuns)
+	fmt.Fprintf(&b, "# TYPE rdfsum_index_tombstones gauge\nrdfsum_index_tombstones %d\n", st.IndexTombs)
 	b.WriteString("# TYPE rdfsum_summary_epoch gauge\n")
 	b.WriteString("# TYPE rdfsum_summary_staleness gauge\n")
 	b.WriteString("# TYPE rdfsum_summary_lazy_builds_total counter\n")
@@ -257,17 +264,20 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	st := s.live.Stats()
 	g := snap.Graph
 	writeJSON(w, map[string]any{
-		"triples":        g.NumEdges(),
-		"data_triples":   len(g.Data),
-		"type_triples":   len(g.Types),
-		"schema_triples": len(g.Schema),
-		"data_nodes":     len(g.DataNodes()),
-		"class_nodes":    len(g.ClassNodes()),
-		"properties":     len(g.DistinctDataProperties()),
-		"epoch":          snap.Epoch,
-		"durable":        st.Durable,
-		"wal_bytes":      st.WALBytes,
-		"generation":     st.Gen,
+		"triples":          g.NumEdges(),
+		"data_triples":     len(g.Data),
+		"type_triples":     len(g.Types),
+		"schema_triples":   len(g.Schema),
+		"data_nodes":       len(g.DataNodes()),
+		"class_nodes":      len(g.ClassNodes()),
+		"properties":       len(g.DistinctDataProperties()),
+		"epoch":            snap.Epoch,
+		"durable":          st.Durable,
+		"wal_bytes":        st.WALBytes,
+		"generation":       st.Gen,
+		"deleted":          st.Deleted,
+		"index_runs":       st.IndexRuns,
+		"index_tombstones": st.IndexTombs,
 	})
 }
 
@@ -339,14 +349,11 @@ func (s *server) handleProfile(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleTriples ingests an N-Triples body as one acknowledged batch: the
-// triples are WAL-logged and fsynced (durable stores), applied to the
-// graph and the incremental weak summary, and published as a new epoch —
-// all while concurrent queries keep reading their snapshots.
-func (s *server) handleTriples(w http.ResponseWriter, r *http.Request) {
-	// Parse straight off the wire — no body buffering — with a limited
-	// reader enforcing the cap. Nothing is applied until the whole body
-	// parsed, so a rejected request changes no state.
+// parseTriplesBody parses an N-Triples request body straight off the wire
+// — no body buffering — with a limited reader enforcing the ingest cap.
+// Nothing is applied until the whole body parsed, so a rejected request
+// changes no state. On failure the response has been written.
+func parseTriplesBody(w http.ResponseWriter, r *http.Request) ([]rdfsum.Triple, bool) {
 	lr := &io.LimitedReader{R: r.Body, N: maxIngestBody + 1}
 	var triples []rdfsum.Triple
 	parseErr := rdfsum.ParseStream(lr, func(t rdfsum.Triple) error {
@@ -354,14 +361,26 @@ func (s *server) handleTriples(w http.ResponseWriter, r *http.Request) {
 		return nil
 	})
 	if lr.N == 0 { // the cap (plus its sentinel byte) was consumed
-		// Refuse rather than ingest a silently truncated prefix (the
+		// Refuse rather than apply a silently truncated prefix (the
 		// parse error, if any, is an artifact of the cut).
 		httpError(w, http.StatusRequestEntityTooLarge,
-			fmt.Errorf("body exceeds %d bytes; split the ingest into smaller batches", maxIngestBody))
-		return
+			fmt.Errorf("body exceeds %d bytes; split the request into smaller batches", maxIngestBody))
+		return nil, false
 	}
 	if parseErr != nil {
 		httpError(w, http.StatusBadRequest, parseErr)
+		return nil, false
+	}
+	return triples, true
+}
+
+// handleTriples ingests an N-Triples body as one acknowledged batch: the
+// triples are WAL-logged and fsynced (durable stores), applied to the
+// graph and the incremental weak summary, and published as a new epoch —
+// all while concurrent queries keep reading their snapshots.
+func (s *server) handleTriples(w http.ResponseWriter, r *http.Request) {
+	triples, ok := parseTriplesBody(w, r)
+	if !ok {
 		return
 	}
 	if err := s.live.AddBatch(triples); err != nil {
@@ -371,6 +390,31 @@ func (s *server) handleTriples(w http.ResponseWriter, r *http.Request) {
 	snap := s.live.Snapshot()
 	writeJSON(w, map[string]any{
 		"added":   len(triples),
+		"triples": snap.Graph.NumEdges(),
+		"epoch":   snap.Epoch,
+		"durable": s.live.Durable(),
+	})
+}
+
+// handleDeleteTriples removes every stored copy of the triples in an
+// N-Triples body as one acknowledged batch: the deletion is WAL-logged
+// and fsynced (durable stores), the graph and maintained summaries
+// shrink, and a tombstone run publishes in the tiered index. Concurrent
+// queries on earlier epochs are unaffected. Triples not present are
+// ignored; "removed" reports the copies actually deleted.
+func (s *server) handleDeleteTriples(w http.ResponseWriter, r *http.Request) {
+	triples, ok := parseTriplesBody(w, r)
+	if !ok {
+		return
+	}
+	removed, err := s.live.DeleteBatch(triples)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	snap := s.live.Snapshot()
+	writeJSON(w, map[string]any{
+		"removed": removed,
 		"triples": snap.Graph.NumEdges(),
 		"epoch":   snap.Epoch,
 		"durable": s.live.Durable(),

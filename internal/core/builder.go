@@ -16,31 +16,42 @@ import (
 // subject with the property's unique source representative and its object
 // with the target representative (GETSOURCE / GETTARGET / MERGEDATANODES),
 // at O(α) amortized per triple. Weak equivalence classes only merge, so no
-// migration or rebuild is ever needed; types are attached at snapshot time
-// by Algorithm 3 exactly as in the batch construction.
+// migration is ever needed under insertion; types are attached at snapshot
+// time by Algorithm 3 exactly as in the batch construction. A data
+// deletion, however, can split a class — unions are not invertible — so it
+// marks the driver dirty and the next snapshot pays one counted rebuild
+// over the surviving data triples (type and schema deletions are free).
 type weakDriver struct {
-	bs      *BuilderSet
-	uf      *unionfind.UF
-	elemOf  map[dict.ID]int32 // data node  -> forest element
-	srcElem map[dict.ID]int32 // data property -> source element (dpSrc)
-	tgtElem map[dict.ID]int32 // data property -> target element (dpTarg)
+	bs       *BuilderSet
+	uf       *unionfind.UF
+	elemOf   map[dict.ID]int32 // data node  -> forest element
+	srcElem  map[dict.ID]int32 // data property -> source element (dpSrc)
+	tgtElem  map[dict.ID]int32 // data property -> target element (dpTarg)
+	dirty    bool
+	nRebuild uint64
 }
 
 func newWeakDriver(bs *BuilderSet) *weakDriver {
-	return &weakDriver{
-		bs:      bs,
-		uf:      &unionfind.UF{},
-		elemOf:  make(map[dict.ID]int32),
-		srcElem: make(map[dict.ID]int32),
-		tgtElem: make(map[dict.ID]int32),
-	}
+	d := &weakDriver{bs: bs}
+	d.resetState()
+	return d
 }
 
-func (d *weakDriver) kind() Kind           { return Weak }
-func (d *weakDriver) needsAdjacency() bool { return false }
-func (d *weakDriver) needsClasses() bool   { return false }
-func (d *weakDriver) rebuilds() uint64     { return 0 }
-func (d *weakDriver) typeAdded(typeEvent)  {}
+func (d *weakDriver) resetState() {
+	d.uf = &unionfind.UF{}
+	d.elemOf = make(map[dict.ID]int32)
+	d.srcElem = make(map[dict.ID]int32)
+	d.tgtElem = make(map[dict.ID]int32)
+}
+
+func (d *weakDriver) kind() Kind                      { return Weak }
+func (d *weakDriver) needsAdjacency() bool            { return false }
+func (d *weakDriver) needsClasses() bool              { return false }
+func (d *weakDriver) rebuilds() uint64                { return d.nRebuild }
+func (d *weakDriver) typeAdded(typeEvent)             {}
+func (d *weakDriver) typeDeleted(typeEvent)           {}
+func (d *weakDriver) dataDeleted(int32, store.Triple) { d.dirty = true }
+func (d *weakDriver) dataCompacted([]int32)           {}
 
 func (d *weakDriver) elem(m map[dict.ID]int32, key dict.ID) int32 {
 	if e, ok := m[key]; ok {
@@ -51,14 +62,36 @@ func (d *weakDriver) elem(m map[dict.ID]int32, key dict.ID) int32 {
 	return e
 }
 
-func (d *weakDriver) dataAdded(_ int32, t store.Triple) {
+func (d *weakDriver) feed(t store.Triple) {
 	d.uf.Union(d.elem(d.elemOf, t.S), d.elem(d.srcElem, t.P))
 	d.uf.Union(d.elem(d.elemOf, t.O), d.elem(d.tgtElem, t.P))
+}
+
+func (d *weakDriver) dataAdded(_ int32, t store.Triple) {
+	if d.dirty {
+		return // the pending rebuild re-feeds every surviving triple
+	}
+	d.feed(t)
+}
+
+// rebuild reconstructs the union-find over the surviving data triples —
+// the deferred cost of a non-invertible deletion, paid at most once per
+// snapshot no matter how many deletions batched up before it.
+func (d *weakDriver) rebuild() {
+	d.nRebuild++
+	d.resetState()
+	for _, t := range d.bs.g.Data {
+		d.feed(t)
+	}
+	d.dirty = false
 }
 
 // classCount reports the current number of weak equivalence classes among
 // nodes with data properties (cheap: no summary materialization).
 func (d *weakDriver) classCount() int {
+	if d.dirty {
+		d.rebuild()
+	}
 	roots := map[int32]bool{}
 	for _, e := range d.elemOf {
 		roots[d.uf.Find(e)] = true
@@ -67,6 +100,9 @@ func (d *weakDriver) classCount() int {
 }
 
 func (d *weakDriver) snapshot() *Summary {
+	if d.dirty {
+		d.rebuild()
+	}
 	g := d.bs.g
 	inProps := make(map[int32][]dict.ID)
 	outProps := make(map[int32][]dict.ID)
@@ -150,6 +186,11 @@ func (b *WeakBuilder) Add(t rdf.Triple) { b.set.Add(t) }
 // AddEncoded routes one encoded triple into the builder. The IDs must
 // come from Graph().Dict().
 func (b *WeakBuilder) AddEncoded(s, p, o dict.ID) { b.set.AddEncoded(s, p, o) }
+
+// Delete removes every stored copy of t, reporting how many copies
+// existed. A data deletion defers one counted rebuild to the next
+// Summary/Classes call (weak merges are not invertible).
+func (b *WeakBuilder) Delete(t rdf.Triple) int { return b.set.Delete(t) }
 
 // Graph exposes the accumulated input graph.
 func (b *WeakBuilder) Graph() *store.Graph { return b.set.Graph() }

@@ -17,20 +17,34 @@ import (
 )
 
 type strongDriver struct {
-	bs    *BuilderSet
-	ct    *cliqueTracker
-	edges *edgeTracker
+	bs       *BuilderSet
+	ct       *cliqueTracker
+	edges    *edgeTracker
+	dirty    bool
+	nRebuild uint64
 }
 
 func newStrongDriver(bs *BuilderSet) *strongDriver {
 	return &strongDriver{bs: bs, ct: newCliqueTracker(), edges: newEdgeTracker()}
 }
 
-func (d *strongDriver) kind() Kind           { return Strong }
-func (d *strongDriver) needsAdjacency() bool { return true }
-func (d *strongDriver) needsClasses() bool   { return false }
-func (d *strongDriver) rebuilds() uint64     { return 0 }
-func (d *strongDriver) typeAdded(typeEvent)  {}
+func (d *strongDriver) kind() Kind            { return Strong }
+func (d *strongDriver) needsAdjacency() bool  { return true }
+func (d *strongDriver) needsClasses() bool    { return false }
+func (d *strongDriver) rebuilds() uint64      { return d.nRebuild }
+func (d *strongDriver) typeAdded(typeEvent)   {}
+func (d *strongDriver) typeDeleted(typeEvent) {}
+
+// dataDeleted: removing a data triple can split a clique (the union that
+// linked its properties is not invertible), so the driver defers a counted
+// rebuild to the next snapshot.
+func (d *strongDriver) dataDeleted(int32, store.Triple) { d.dirty = true }
+
+func (d *strongDriver) dataCompacted([]int32) {
+	if d.dirty {
+		d.edges.keys = d.edges.keys[:0] // the rebuild re-derives every key
+	}
+}
 
 func (d *strongDriver) ref(n dict.ID) classRef {
 	st := d.ct.nodes[n]
@@ -41,7 +55,7 @@ func (d *strongDriver) key(t store.Triple) edgeKey {
 	return edgeKey{s: d.ref(t.S), p: t.P, o: d.ref(t.O)}
 }
 
-func (d *strongDriver) dataAdded(_ int32, t store.Triple) {
+func (d *strongDriver) feed(t store.Triple) {
 	firstOut := d.ct.noteSubject(t.S, t.P)
 	firstIn := d.ct.noteObject(t.O, t.P)
 	if firstOut {
@@ -53,7 +67,27 @@ func (d *strongDriver) dataAdded(_ int32, t store.Triple) {
 	d.edges.append(d.key(t))
 }
 
+func (d *strongDriver) dataAdded(_ int32, t store.Triple) {
+	if d.dirty {
+		return
+	}
+	d.feed(t)
+}
+
+func (d *strongDriver) rebuild() {
+	d.nRebuild++
+	d.ct = newCliqueTracker()
+	d.edges.reset(len(d.bs.g.Data))
+	for _, t := range d.bs.g.Data {
+		d.feed(t)
+	}
+	d.dirty = false
+}
+
 func (d *strongDriver) snapshot() *Summary {
+	if d.dirty {
+		d.rebuild()
+	}
 	g := d.bs.g
 	rep := newRepresenter(g, Strong)
 	srcM, tgtM := d.ct.memberLists()

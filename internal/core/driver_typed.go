@@ -62,6 +62,22 @@ func (d *typeBasedDriver) typeAdded(ev typeEvent) {
 	rekeyIncident(d.bs, d.edges, ev.node, d.key)
 }
 
+// dataDeleted decrements the refcounted summary edge the triple
+// contributes — the type-based summary is exactly decremental, so this
+// driver never rebuilds under deletions either.
+func (d *typeBasedDriver) dataDeleted(i int32, _ store.Triple) { d.edges.remove(i) }
+
+func (d *typeBasedDriver) dataCompacted(remap []int32) { d.edges.compact(remap) }
+
+// typeDeleted mirrors typeAdded: a shrunk (or emptied) class set is a
+// per-node migration, re-keying exactly the node's incident edges.
+func (d *typeBasedDriver) typeDeleted(ev typeEvent) {
+	if !ev.changed {
+		return
+	}
+	rekeyIncident(d.bs, d.edges, ev.node, d.key)
+}
+
 func (d *typeBasedDriver) snapshot() *Summary {
 	g := d.bs.g
 	rep := newRepresenter(g, TypeBased)
@@ -212,6 +228,50 @@ func (d *typedWeakDriver) typeAdded(ev typeEvent) {
 	rekeyIncident(d.bs, d.edges, n, d.key)
 }
 
+// dataDeleted is exact when both endpoints are typed — the edge's key is
+// refcounted and the untyped partition never saw it. An untyped endpoint
+// means the edge contributed a union that cannot be carved back out, so
+// the driver defers a counted rebuild.
+func (d *typedWeakDriver) dataDeleted(i int32, t store.Triple) {
+	if d.dirty {
+		return
+	}
+	if d.bs.classes.isTyped(t.S) && d.bs.classes.isTyped(t.O) {
+		d.edges.remove(i)
+		return
+	}
+	d.dirty = true
+}
+
+func (d *typedWeakDriver) dataCompacted(remap []int32) {
+	if d.dirty {
+		d.edges.keys = d.edges.keys[:0] // the rebuild re-derives every key
+		return
+	}
+	d.edges.compact(remap)
+}
+
+// typeDeleted handles the class-set shrink exactly: a node still typed
+// after the shrink just re-keys its incident edges; a node losing its
+// last class re-enters the untyped partition by feeding its surviving
+// incident edges into the weak structure (unions only merge, so adding a
+// node is exact — unlike removing one).
+func (d *typedWeakDriver) typeDeleted(ev typeEvent) {
+	if d.dirty || !ev.changed {
+		return
+	}
+	n := ev.node
+	if !d.bs.classes.isTyped(n) {
+		for _, i := range d.bs.adj.out[n] {
+			d.noteUntyped(n, d.bs.g.Data[i].P, 0, d.srcElem)
+		}
+		for _, i := range d.bs.adj.in[n] {
+			d.noteUntyped(n, d.bs.g.Data[i].P, 1, d.tgtElem)
+		}
+	}
+	rekeyIncident(d.bs, d.edges, n, d.key)
+}
+
 func (d *typedWeakDriver) rebuild() {
 	d.nRebuild++
 	d.resetState(len(d.bs.g.Data))
@@ -338,6 +398,48 @@ func (d *typedStrongDriver) typeAdded(ev typeEvent) {
 		if !d.ct.drop(n) {
 			d.dirty = true
 			return
+		}
+	}
+	rekeyIncident(d.bs, d.edges, n, d.key)
+}
+
+// dataDeleted: exact refcounted decrement when both endpoints are typed
+// (the untyped-restricted cliques never saw the edge); otherwise a clique
+// may split, so the driver defers a counted rebuild.
+func (d *typedStrongDriver) dataDeleted(i int32, t store.Triple) {
+	if d.dirty {
+		return
+	}
+	if d.bs.classes.isTyped(t.S) && d.bs.classes.isTyped(t.O) {
+		d.edges.remove(i)
+		return
+	}
+	d.dirty = true
+}
+
+func (d *typedStrongDriver) dataCompacted(remap []int32) {
+	if d.dirty {
+		d.edges.keys = d.edges.keys[:0] // the rebuild re-derives every key
+		return
+	}
+	d.edges.compact(remap)
+}
+
+// typeDeleted mirrors typedWeak's: still-typed nodes just re-key; a node
+// losing its last class re-enters the untyped-restricted cliques by
+// replaying its surviving incidences (cliques only merge, so insertion is
+// exact).
+func (d *typedStrongDriver) typeDeleted(ev typeEvent) {
+	if d.dirty || !ev.changed {
+		return
+	}
+	n := ev.node
+	if !d.bs.classes.isTyped(n) {
+		for _, i := range d.bs.adj.out[n] {
+			d.ct.noteSubject(n, d.bs.g.Data[i].P)
+		}
+		for _, i := range d.bs.adj.in[n] {
+			d.ct.noteObject(n, d.bs.g.Data[i].P)
 		}
 	}
 	rekeyIncident(d.bs, d.edges, n, d.key)

@@ -35,6 +35,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"rdfsum/internal/dict"
 	"rdfsum/internal/rdf"
@@ -42,10 +43,13 @@ import (
 )
 
 // Builder maintains one summary kind incrementally under triple
-// insertions. Snapshots (Summary) are independent of one another and do
-// not freeze the builder. Deletions are unsupported: quotient maintenance
-// is merge-based and merges are not invertible — removing triples
-// requires a rebuild from a compacted graph.
+// insertions and deletions. Snapshots (Summary) are independent of one
+// another and do not freeze the builder. Insertions cost O(α) amortized;
+// deletions are exact and O(degree) where the kind's bookkeeping is
+// refcounted (type-based always; typed kinds when only typed nodes are
+// involved) and otherwise mark the kind dirty for a counted rebuild that
+// is deferred to the next Summary call — quotient merges (union-finds)
+// are not invertible.
 type Builder interface {
 	// Kind reports the maintained summary kind.
 	Kind() Kind
@@ -53,17 +57,23 @@ type Builder interface {
 	Add(t rdf.Triple)
 	// AddEncoded routes one encoded triple (IDs from Graph().Dict()).
 	AddEncoded(s, p, o dict.ID)
+	// Delete removes every stored copy of t, reporting how many copies
+	// existed. The summary state shrinks exactly or defers a rebuild to
+	// the next Summary call (see Rebuilds).
+	Delete(t rdf.Triple) int
 	// Graph exposes the accumulated input graph.
 	Graph() *store.Graph
 	// Summary materializes the current summary; the builder stays usable.
 	Summary() *Summary
 	// Rebuilds counts the internal full reconstructions forced by
-	// late-typing events (0 for kinds that never need one).
+	// late-typing events or non-invertible deletions (0 for kinds that
+	// never need one).
 	Rebuilds() uint64
 }
 
-// driver is the per-kind half of the engine: it reacts to appended data
-// and type triples and materializes summaries from its incremental state.
+// driver is the per-kind half of the engine: it reacts to appended and
+// deleted data and type triples and materializes summaries from its
+// incremental state.
 type driver interface {
 	kind() Kind
 	needsAdjacency() bool
@@ -74,35 +84,68 @@ type driver interface {
 	// typeAdded reacts to an appended type triple, after the shared
 	// class-set tracker (if any) absorbed it.
 	typeAdded(ev typeEvent)
+	// dataDeleted reacts to the pending removal of g.Data[i] == t: the
+	// driver either decrements its refcounted bookkeeping exactly or
+	// marks itself dirty. Positions are pre-compaction; the shared
+	// adjacency index still contains t.
+	dataDeleted(i int32, t store.Triple)
+	// dataCompacted runs after the data component dropped the deleted
+	// positions (remap[i] = new index or -1): per-position bookkeeping
+	// must renumber. The shared adjacency index is already remapped.
+	dataCompacted(remap []int32)
+	// typeDeleted reacts to a deleted type triple, after the shared
+	// class-set tracker shrank the node's set.
+	typeDeleted(ev typeEvent)
 	snapshot() *Summary
 	rebuilds() uint64
 }
 
 // inputStats maintains the input-side size measures incrementally, so a
-// snapshot never scans the accumulated graph just to fill Stats.
+// snapshot never scans the accumulated graph just to fill Stats. The sets
+// are refcounted per triple incidence, which makes them exactly
+// decrementable under deletions.
 type inputStats struct {
-	dataNodes  map[dict.ID]struct{}
-	classNodes map[dict.ID]struct{}
-	dataProps  map[dict.ID]struct{}
+	dataNodes  map[dict.ID]int
+	classNodes map[dict.ID]int
+	dataProps  map[dict.ID]int
 }
 
 func newInputStats() *inputStats {
 	return &inputStats{
-		dataNodes:  make(map[dict.ID]struct{}),
-		classNodes: make(map[dict.ID]struct{}),
-		dataProps:  make(map[dict.ID]struct{}),
+		dataNodes:  make(map[dict.ID]int),
+		classNodes: make(map[dict.ID]int),
+		dataProps:  make(map[dict.ID]int),
+	}
+}
+
+func bump(m map[dict.ID]int, id dict.ID, by int) {
+	if c := m[id] + by; c > 0 {
+		m[id] = c
+	} else {
+		delete(m, id)
 	}
 }
 
 func (st *inputStats) data(t store.Triple) {
-	st.dataNodes[t.S] = struct{}{}
-	st.dataNodes[t.O] = struct{}{}
-	st.dataProps[t.P] = struct{}{}
+	bump(st.dataNodes, t.S, 1)
+	bump(st.dataNodes, t.O, 1)
+	bump(st.dataProps, t.P, 1)
+}
+
+func (st *inputStats) dataRemoved(t store.Triple) {
+	bump(st.dataNodes, t.S, -1)
+	bump(st.dataNodes, t.O, -1)
+	bump(st.dataProps, t.P, -1)
 }
 
 func (st *inputStats) typ(t store.Triple) {
-	st.dataNodes[t.S] = struct{}{}
-	st.classNodes[t.O] = struct{}{}
+	bump(st.dataNodes, t.S, 1)
+	bump(st.classNodes, t.O, 1)
+}
+
+func (st *inputStats) typRemoved(t store.Triple) {
+	bump(st.dataNodes, t.S, -1)
+	bump(st.classNodes, t.O, -1)
 }
 
 // compute fills Stats from the tracked input counters plus the (small)
@@ -256,6 +299,158 @@ func (bs *BuilderSet) feedType(i int32) {
 	}
 }
 
+// Delete removes every stored copy of one string-level triple, reporting
+// how many copies existed.
+func (bs *BuilderSet) Delete(t rdf.Triple) int {
+	n, _ := bs.DeleteBatch([]rdf.Triple{t})
+	return n
+}
+
+// DeleteBatch removes every stored copy of each listed triple from the
+// graph and every driver's state. It returns the number of triple copies
+// removed and the distinct encoded triples that were actually present —
+// the tombstone set an index overlay needs.
+//
+// The graph's affected components are compacted into fresh slices
+// (copy-on-write: live-store snapshot views of the old slices are
+// unaffected), an O(component) scan. Driver state shrinks exactly where
+// the bookkeeping is refcounted — type-based always; class-set shrink for
+// every typed kind; typed-weak/typed-strong when only typed nodes are
+// involved — and otherwise the driver marks itself dirty and defers a
+// counted rebuild to its next snapshot, because quotient merges
+// (union-finds) are not invertible.
+func (bs *BuilderSet) DeleteBatch(triples []rdf.Triple) (int, []store.Triple) {
+	d := bs.g.Dict()
+	v := bs.g.Vocab()
+	var delData, delTypes, delSchema map[store.Triple]bool
+	for _, tr := range triples {
+		s, okS := d.Lookup(tr.S)
+		p, okP := d.Lookup(tr.P)
+		o, okO := d.Lookup(tr.O)
+		if !okS || !okP || !okO {
+			continue // an unseen term cannot be part of a stored triple
+		}
+		t := store.Triple{S: s, P: p, O: o}
+		switch v.ComponentOf(p) {
+		case store.CompTypes:
+			if delTypes == nil {
+				delTypes = make(map[store.Triple]bool)
+			}
+			delTypes[t] = true
+		case store.CompSchema:
+			if delSchema == nil {
+				delSchema = make(map[store.Triple]bool)
+			}
+			delSchema[t] = true
+		default:
+			if delData == nil {
+				delData = make(map[store.Triple]bool)
+			}
+			delData[t] = true
+		}
+	}
+
+	removed := 0
+	var tombs []store.Triple
+
+	// Data deletions first, so the adjacency index and per-position keys
+	// reflect the surviving data triples before type events re-key.
+	if len(delData) > 0 {
+		remap := make([]int32, len(bs.g.Data))
+		kept := make([]store.Triple, 0, len(bs.g.Data))
+		hit := make(map[store.Triple]bool, len(delData))
+		for i, t := range bs.g.Data {
+			if delData[t] {
+				remap[i] = -1
+				removed++
+				hit[t] = true
+				bs.stats.dataRemoved(t)
+				for _, dr := range bs.drivers {
+					dr.dataDeleted(int32(i), t)
+				}
+			} else {
+				remap[i] = int32(len(kept))
+				kept = append(kept, t)
+			}
+		}
+		if len(hit) > 0 {
+			bs.g.Data = kept
+			if bs.adj != nil {
+				bs.adj.remap(remap)
+			}
+			for _, dr := range bs.drivers {
+				dr.dataCompacted(remap)
+			}
+			tombs = appendSortedTriples(tombs, hit)
+		}
+	}
+
+	// Type deletions: compact the component, then shrink the class sets
+	// pair by pair (deterministically ordered) and let drivers migrate.
+	if len(delTypes) > 0 {
+		kept := make([]store.Triple, 0, len(bs.g.Types))
+		hit := make(map[store.Triple]bool, len(delTypes))
+		for _, t := range bs.g.Types {
+			if delTypes[t] {
+				removed++
+				hit[t] = true
+				bs.stats.typRemoved(t)
+			} else {
+				kept = append(kept, t)
+			}
+		}
+		if len(hit) > 0 {
+			bs.g.Types = kept
+			pairs := make([]store.Triple, 0, len(hit))
+			for t := range hit {
+				pairs = append(pairs, t)
+			}
+			sort.Slice(pairs, func(i, j int) bool { return pairs[i].Less(pairs[j]) })
+			for _, t := range pairs {
+				var ev typeEvent
+				if bs.classes != nil {
+					ev = bs.classes.removeType(t.S, t.O)
+				}
+				for _, dr := range bs.drivers {
+					dr.typeDeleted(ev)
+				}
+			}
+			tombs = appendSortedTriples(tombs, hit)
+		}
+	}
+
+	// Schema deletions need no driver action: rule SCH copies the schema
+	// component verbatim at snapshot time, and it just shrank.
+	if len(delSchema) > 0 {
+		kept := make([]store.Triple, 0, len(bs.g.Schema))
+		hit := make(map[store.Triple]bool, len(delSchema))
+		for _, t := range bs.g.Schema {
+			if delSchema[t] {
+				removed++
+				hit[t] = true
+			} else {
+				kept = append(kept, t)
+			}
+		}
+		if len(hit) > 0 {
+			bs.g.Schema = kept
+			tombs = appendSortedTriples(tombs, hit)
+		}
+	}
+	return removed, tombs
+}
+
+// appendSortedTriples appends set's members to out in (S, P, O) order.
+func appendSortedTriples(out []store.Triple, set map[store.Triple]bool) []store.Triple {
+	start := len(out)
+	for t := range set {
+		out = append(out, t)
+	}
+	added := out[start:]
+	sort.Slice(added, func(i, j int) bool { return added[i].Less(added[j]) })
+	return out
+}
+
 // Summary materializes the current summary of one maintained kind. The
 // set stays usable; snapshots are independent.
 func (bs *BuilderSet) Summary(kind Kind) (*Summary, error) {
@@ -331,6 +526,7 @@ func NewBuilderWithGraph(kind Kind, g *store.Graph) (Builder, error) {
 func (b *singleBuilder) Kind() Kind                 { return b.k }
 func (b *singleBuilder) Add(t rdf.Triple)           { b.set.Add(t) }
 func (b *singleBuilder) AddEncoded(s, p, o dict.ID) { b.set.AddEncoded(s, p, o) }
+func (b *singleBuilder) Delete(t rdf.Triple) int    { return b.set.Delete(t) }
 func (b *singleBuilder) Graph() *store.Graph        { return b.set.Graph() }
 func (b *singleBuilder) Rebuilds() uint64           { return b.set.Rebuilds(b.k) }
 func (b *singleBuilder) Summary() *Summary {

@@ -80,13 +80,34 @@ func (e *edgeTracker) rekey(i int32, k edgeKey) {
 	if old == k {
 		return
 	}
-	if c := e.counts[old]; c <= 1 {
-		delete(e.counts, old)
-	} else {
-		e.counts[old] = c - 1
-	}
+	e.decrement(old)
 	e.counts[k]++
 	e.keys[i] = k
+}
+
+// remove decrements the key data triple i contributes — the exact
+// decremental path a deletion takes when the driver's bookkeeping is
+// refcounted. The stale keys[i] entry dies in the following compact.
+func (e *edgeTracker) remove(i int32) { e.decrement(e.keys[i]) }
+
+func (e *edgeTracker) decrement(k edgeKey) {
+	if c := e.counts[k]; c <= 1 {
+		delete(e.counts, k)
+	} else {
+		e.counts[k] = c - 1
+	}
+}
+
+// compact renumbers keys after the graph's data component dropped the
+// positions mapped to -1: keys[remap[i]] = keys[i] for survivors.
+func (e *edgeTracker) compact(remap []int32) {
+	out := e.keys[:0]
+	for i, k := range e.keys {
+		if remap[i] >= 0 {
+			out = append(out, k)
+		}
+	}
+	e.keys = out
 }
 
 // adjacency indexes the accumulated data triples by endpoint, so drivers
@@ -114,6 +135,28 @@ func (a *adjacency) each(n dict.ID, fn func(i int32)) {
 	}
 	for _, i := range a.in[n] {
 		fn(i)
+	}
+}
+
+// remap rewrites every stored index through remap after the data component
+// compacted away deleted positions (-1 = deleted). Nodes whose last
+// incident edge died leave the maps entirely, so "appears in the
+// adjacency" keeps meaning "is an endpoint of a live data triple".
+func (a *adjacency) remap(remap []int32) {
+	for _, m := range []map[dict.ID][]int32{a.out, a.in} {
+		for n, list := range m {
+			kept := list[:0]
+			for _, i := range list {
+				if ni := remap[i]; ni >= 0 {
+					kept = append(kept, ni)
+				}
+			}
+			if len(kept) == 0 {
+				delete(m, n)
+			} else {
+				m[n] = kept
+			}
+		}
 	}
 }
 
@@ -174,6 +217,39 @@ func (c *classSetTracker) addType(n, cls dict.ID) typeEvent {
 	c.members[sid]++
 	c.setOf[n] = sid
 	ev.changed = true
+	return ev
+}
+
+// removeType applies the deletion of the type triple (n, τ, cls): n's
+// class set shrinks (sets are refcount-free because the graph stores type
+// triples set-wise per pair after a delete removes every copy). Exact and
+// invertible — the one quotient-relevant structure deletions never force a
+// rebuild of. The returned event mirrors addType's; when the node loses
+// its last class it leaves the typed partition entirely (setOf drops it).
+func (c *classSetTracker) removeType(n, cls dict.ID) typeEvent {
+	ev := typeEvent{node: n, old: -1}
+	old, typed := c.setOf[n]
+	if !typed {
+		return ev
+	}
+	ev.old = old
+	set := c.classes[old]
+	i := sort.Search(len(set), func(i int) bool { return set[i] >= cls })
+	if i >= len(set) || set[i] != cls {
+		return ev
+	}
+	ev.changed = true
+	c.members[old]--
+	if len(set) == 1 {
+		delete(c.setOf, n)
+		return ev
+	}
+	shrunk := make([]dict.ID, 0, len(set)-1)
+	shrunk = append(shrunk, set[:i]...)
+	shrunk = append(shrunk, set[i+1:]...)
+	sid := c.intern(shrunk)
+	c.members[sid]++
+	c.setOf[n] = sid
 	return ev
 }
 

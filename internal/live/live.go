@@ -19,6 +19,19 @@
 //     callers. The default maintains the weak summary only, the cheapest
 //     configuration; -maintain all trades write-side memory for
 //     staleness-free serving of every kind.
+//   - Deletions are first-class: Delete/DeleteBatch journal an opDelete
+//     WAL record, remove every stored copy of the listed triples, and
+//     publish a tombstone run in the tiered index (the graph components
+//     compact copy-on-write, so held snapshots are unaffected). Summary
+//     maintenance shrinks exactly where the engine's bookkeeping is
+//     refcounted and otherwise defers one counted rebuild to the next
+//     Summary call — amortized across delete batches by the same maxStale
+//     staleness policy that paces lazy rebuilds.
+//   - The published index is tiered (see store.Index): each epoch appends
+//     one immutable delta run, so publishing costs O(batch), not
+//     O(graph); trailing same-level runs fold at Options.IndexFanout
+//     width to bound read amplification, and Compact folds everything
+//     back into a single run.
 //   - Compact folds the WAL into a store snapshot file and swaps
 //     generations through a CURRENT manifest, so recovery always sees a
 //     consistent (snapshot, log) pair.
@@ -28,11 +41,8 @@
 //	CURRENT            "gen <n>\n" — the active generation (atomic rename)
 //	snapshot-<n>.rdfsum  store snapshot the generation starts from (absent
 //	                     for a generation with an empty base)
-//	wal-<n>.log          record-framed WAL of triples since that snapshot
-//
-// Deletions are not supported: summary maintenance is merge-based and
-// merges are not invertible (see core.Builder) — removing triples
-// requires a rebuild from a compacted snapshot.
+//	wal-<n>.log          record-framed WAL of add/delete batches since
+//	                     that snapshot
 package live
 
 import (
@@ -67,6 +77,11 @@ type Options struct {
 	// maintains the weak summary only — the PR-3 behavior; an explicit
 	// empty slice maintains nothing. Unmaintained kinds rebuild lazily.
 	Maintain []core.Kind
+	// IndexFanout is the tiered index's fold width: once this many
+	// trailing runs share a level they merge into one run of the next
+	// level. 0 selects store.DefaultIndexFanout (8). Smaller values trade
+	// ingest throughput for fewer runs on the query path.
+	IndexFanout int
 }
 
 // maintainOrDefault resolves the Maintain option: nil means weak-only.
@@ -109,12 +124,14 @@ type Live struct {
 	dir  string // "" = memory-only (no WAL, Compact unavailable)
 	sync bool
 
-	mu      sync.Mutex // serializes writers (Add/AddBatch/Compact/Close)
+	mu      sync.Mutex // serializes writers (Add/AddBatch/Delete/Compact/Close)
 	set     *core.BuilderSet
 	wal     *wal
 	lock    *os.File // exclusive flock on the store directory (nil on non-unix / memory)
 	gen     uint64
-	applied uint64 // triples applied to the in-memory graph (monotonic)
+	applied uint64 // triples added to the in-memory graph (monotonic)
+	deleted uint64 // triple copies removed (monotonic)
+	fanout  int    // tiered-index fold width (0 = store default)
 	closed  bool
 
 	maintained [core.NumKinds]bool
@@ -144,12 +161,19 @@ func New(g *store.Graph) *Live { return NewMaintaining(g, nil) }
 // summary kinds (nil = weak only, empty = none). It panics on an invalid
 // kind — callers obtain kinds from core.ParseKind or the Kind constants.
 func NewMaintaining(g *store.Graph, kinds []core.Kind) *Live {
+	return NewWithOptions(g, Options{Maintain: kinds})
+}
+
+// NewWithOptions is the memory-only constructor honoring Maintain and
+// IndexFanout (NoSync and Seed are meaningless without a directory and
+// are ignored). It panics on an invalid kind.
+func NewWithOptions(g *store.Graph, opts Options) *Live {
 	if g == nil {
 		g = store.NewGraph()
 	}
 	g.Dict().Share()
-	l := &Live{sync: false}
-	if err := l.initBuilders(g, kinds); err != nil {
+	l := &Live{sync: false, fanout: opts.IndexFanout}
+	if err := l.initBuilders(g, opts.Maintain); err != nil {
 		panic(err)
 	}
 	l.applied = uint64(g.NumEdges())
@@ -190,7 +214,7 @@ func Open(dir string, opts Options) (*Live, error) {
 			lock.Close()
 		}
 	}()
-	l := &Live{dir: dir, sync: !opts.NoSync, lock: lock}
+	l := &Live{dir: dir, sync: !opts.NoSync, lock: lock, fanout: opts.IndexFanout}
 
 	gen, err := readManifest(dir)
 	switch {
@@ -246,7 +270,12 @@ func Open(dir string, opts Options) (*Live, error) {
 			return nil, err
 		}
 		l.gen = gen
-		good, torn, err := replayWAL(l.walPath(gen), func(triples []rdf.Triple) error {
+		good, version, torn, err := replayWAL(l.walPath(gen), func(op walOp, triples []rdf.Triple) error {
+			if op == opDelete {
+				removed, _ := l.set.DeleteBatch(triples)
+				l.deleted += uint64(removed)
+				return nil
+			}
 			for _, t := range triples {
 				l.set.Add(t)
 			}
@@ -256,16 +285,25 @@ func Open(dir string, opts Options) (*Live, error) {
 			return nil, err
 		}
 		l.RecoveredTorn = torn
-		l.wal, err = openWALForAppend(l.walPath(gen), good, l.sync)
+		l.wal, err = openWALForAppend(l.walPath(gen), good, l.sync, version)
 		if err != nil {
 			return nil, err
 		}
 	}
 
-	l.applied = uint64(l.graph().NumEdges())
+	l.applied = uint64(l.graph().NumEdges()) + l.deleted
 	l.mu.Lock()
 	l.publishLocked()
 	l.mu.Unlock()
+	if l.wal != nil && l.wal.version < walVersion {
+		// Upgrade path: a generation logged in the v1 format cannot
+		// record deletions. Fold it into a fresh snapshot + v2 WAL now;
+		// Compact's manifest swap keeps the upgrade crash-safe.
+		if err := l.Compact(); err != nil {
+			l.Close()
+			return nil, fmt.Errorf("live: upgrading v1 WAL generation: %w", err)
+		}
+	}
 	l.removeStaleGenerations()
 	opened = true
 	return l, nil
@@ -327,24 +365,104 @@ func (l *Live) AddBatch(triples []rdf.Triple) error {
 	return nil
 }
 
-// publishLocked builds and atomically installs the next epoch. Caller
-// holds l.mu. The graph view shares storage with the writer's graph
-// (copy-on-write: appends land beyond the view's clipped bounds); the
-// index is the previous epoch's index merged with the delta.
+// Delete removes every stored copy of one triple; see DeleteBatch.
+func (l *Live) Delete(t rdf.Triple) (int, error) { return l.DeleteBatch([]rdf.Triple{t}) }
+
+// DeleteBatch removes every stored copy of each listed triple as one
+// acknowledged batch: an opDelete WAL record is written and fsynced
+// (durable stores), the graph and every maintained summary shrink —
+// exactly where the engine's bookkeeping is refcounted, else via a
+// counted rebuild deferred to the next Summary call — and a new epoch
+// publishes with a tombstone run in the index. Readers holding earlier
+// epochs are unaffected: their graph views and index runs are immutable.
+// Triples not present are ignored; the count of removed copies is
+// returned. When DeleteBatch returns nil error on a durable store, the
+// deletion survives a crash.
+func (l *Live) DeleteBatch(triples []rdf.Triple) (int, error) {
+	if len(triples) == 0 {
+		return 0, nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, errors.New("live: store is closed")
+	}
+	if !l.anyPresentLocked(triples) {
+		// Nothing to remove: skip the WAL record, the component scan and
+		// — crucially — the epoch publish, which would needlessly
+		// invalidate every cached summary and pruner.
+		return 0, nil
+	}
+	if l.wal != nil {
+		if err := l.wal.appendOp(opDelete, triples); err != nil {
+			return 0, err
+		}
+	}
+	removed, tombs := l.set.DeleteBatch(triples)
+	l.deleted += uint64(removed)
+	l.publishDeletesLocked(tombs)
+	return removed, nil
+}
+
+// anyPresentLocked probes the published index (which matches the writer's
+// state under l.mu) for any stored copy of the listed triples — an
+// O(batch · log n) pre-check that lets a no-op delete return without side
+// effects.
+func (l *Live) anyPresentLocked(triples []rdf.Triple) bool {
+	d := l.graph().Dict()
+	ix := l.cur.Load().Index
+	for _, t := range triples {
+		s, okS := d.Lookup(t.S)
+		p, okP := d.Lookup(t.P)
+		o, okO := d.Lookup(t.O)
+		if okS && okP && okO && ix.Contains(store.Triple{S: s, P: p, O: o}) {
+			return true
+		}
+	}
+	return false
+}
+
+// publishLocked builds and atomically installs the next epoch after an
+// append (or at open). Caller holds l.mu. The graph view shares storage
+// with the writer's graph (copy-on-write: appends land beyond the view's
+// clipped bounds); the index gains one delta run holding only the batch,
+// so publish cost is O(batch), independent of the graph size.
 func (l *Live) publishLocked() {
 	g := l.graph()
 	view := g.SnapshotView()
 	var ix *store.Index
 	if prev := l.cur.Load(); prev == nil {
-		ix = store.NewIndex(view)
+		ix = store.NewIndexFanout(view, l.fanout)
 	} else {
 		delta := make([]store.Triple, 0,
 			len(g.Data)-l.lastD+len(g.Types)-l.lastT+len(g.Schema)-l.lastS)
 		delta = append(delta, g.Data[l.lastD:]...)
 		delta = append(delta, g.Types[l.lastT:]...)
 		delta = append(delta, g.Schema[l.lastS:]...)
-		ix = prev.Index.Merged(delta)
+		ix = prev.Index.Applied(delta, nil)
 	}
+	l.installLocked(view, ix)
+}
+
+// publishDeletesLocked installs the epoch after a delete batch: the
+// writer's components were compacted into fresh slices (held views keep
+// the old ones), and the index gains one tombstone run suppressing the
+// removed triples — O(batch) again, no index rebuild.
+func (l *Live) publishDeletesLocked(tombs []store.Triple) {
+	view := l.graph().SnapshotView()
+	ix := l.cur.Load().Index.Applied(nil, tombs)
+	l.installLocked(view, ix)
+}
+
+// publishCompactedLocked installs an epoch whose index is folded into a
+// single run with all tombstones dropped (the graph is unchanged).
+func (l *Live) publishCompactedLocked() {
+	cur := l.cur.Load()
+	l.installLocked(cur.Graph, cur.Index.Compacted())
+}
+
+func (l *Live) installLocked(view *store.Graph, ix *store.Index) {
+	g := l.graph()
 	l.lastD, l.lastT, l.lastS = len(g.Data), len(g.Types), len(g.Schema)
 	l.published++
 	l.cur.Store(&Snapshot{Epoch: l.published, Graph: view, Index: ix})
@@ -456,18 +574,33 @@ func (l *Live) Status() []KindStatus {
 
 // Stats reports the live store's serving counters.
 type Stats struct {
-	Epoch    uint64 // current published epoch
-	Triples  uint64 // triples applied (graph edges)
-	Gen      uint64 // on-disk generation (0 for memory-only)
-	WALBytes int64  // bytes in the active WAL (0 for memory-only)
-	Durable  bool
+	Epoch      uint64 // current published epoch
+	Triples    uint64 // triples currently in the graph
+	Added      uint64 // triples ever added (monotonic)
+	Deleted    uint64 // triple copies ever removed (monotonic)
+	Gen        uint64 // on-disk generation (0 for memory-only)
+	WALBytes   int64  // bytes in the active WAL (0 for memory-only)
+	IndexRuns  int    // runs in the published tiered index (read amplification)
+	IndexTombs int    // tombstones retained across those runs
+	Durable    bool
 }
 
 // Stats returns current counters.
 func (l *Live) Stats() Stats {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	st := Stats{Epoch: l.published, Triples: l.applied, Durable: l.dir != "", Gen: l.gen}
+	st := Stats{
+		Epoch:   l.published,
+		Triples: uint64(l.graph().NumEdges()),
+		Added:   l.applied,
+		Deleted: l.deleted,
+		Durable: l.dir != "",
+		Gen:     l.gen,
+	}
+	if snap := l.cur.Load(); snap != nil {
+		st.IndexRuns = snap.Index.Runs()
+		st.IndexTombs = snap.Index.Tombstones()
+	}
 	if l.wal != nil {
 		st.WALBytes = l.wal.size
 	}
@@ -478,8 +611,11 @@ func (l *Live) Stats() Stats {
 // log: it writes snapshot-<gen+1>, creates wal-<gen+1>, atomically swaps
 // CURRENT to the new generation, and deletes the old generation's files.
 // A crash at any point leaves either the old generation fully intact or
-// the new one fully current — never a half state. Readers are unaffected:
-// their epochs reference only in-memory state.
+// the new one fully current — never a half state. It also publishes an
+// epoch whose index is folded into a single run with every tombstone
+// dropped, resetting read amplification. Readers are unaffected: their
+// epochs reference only in-memory state, and index runs are immutable —
+// a snapshot held across a Compact keeps its exact contents.
 func (l *Live) Compact() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -507,6 +643,20 @@ func (l *Live) Compact() error {
 	l.wal, l.gen = newWAL, newGen
 	os.Remove(l.walPath(oldGen))
 	os.Remove(l.snapshotPath(oldGen))
+	l.publishCompactedLocked()
+	return nil
+}
+
+// CompactIndex folds the published index into a single run, dropping all
+// tombstones, and publishes the result as a new epoch — the in-memory
+// half of Compact, available on memory-only stores.
+func (l *Live) CompactIndex() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errors.New("live: store is closed")
+	}
+	l.publishCompactedLocked()
 	return nil
 }
 

@@ -22,16 +22,23 @@ import (
 //	record  uint32 LE payload length
 //	        uint32 LE CRC-32 (IEEE) of the payload
 //	        payload
-//	payload uvarint triple count, then per triple three terms:
+//	payload (v2) op byte: 0 = add batch, 1 = delete batch
+//	        uvarint triple count, then per triple three terms:
 //	        kind byte, uvarint-length-prefixed value
 //	        [, datatype, lang for literals]
+//
+// Version 1 payloads lack the op byte (every record is an add batch);
+// replay still reads them, so stores written before deletions existed
+// open cleanly — Open then upgrades the generation via a compaction, and
+// new records are always written in the v2 framing.
 //
 // Records hold string-level triples (not dictionary IDs): the dictionary
 // is rebuilt deterministically on replay, so the log stays valid across
 // compactions and across processes with different ID assignments.
 const (
-	walMagic   = "RDFSUMWAL"
-	walVersion = 1
+	walMagic     = "RDFSUMWAL"
+	walVersion   = 2
+	walVersionV1 = 1
 	// maxWALRecordBytes bounds a single record; larger length prefixes are
 	// treated as corruption rather than allocation requests.
 	maxWALRecordBytes = 1 << 30
@@ -40,6 +47,14 @@ const (
 	// maxWALRecordBytes so no acknowledged record can ever be mistaken
 	// for corruption at replay.
 	walChunkBytes = 16 << 20
+)
+
+// walOp tags a record's effect on the graph.
+type walOp byte
+
+const (
+	opAdd    walOp = 0
+	opDelete walOp = 1
 )
 
 // WAL read failures, classified like store's snapshot errors.
@@ -55,10 +70,11 @@ const walHeaderLen = len(walMagic) + 1
 
 // wal is the append side of one write-ahead log file.
 type wal struct {
-	f      *os.File
-	size   int64 // bytes written and (if sync) durable
-	sync   bool  // fsync after every append (group commit per batch)
-	broken bool  // a failed append could not be rolled back; no more writes
+	f       *os.File
+	size    int64 // bytes written and (if sync) durable
+	sync    bool  // fsync after every append (group commit per batch)
+	broken  bool  // a failed append could not be rolled back; no more writes
+	version byte  // header format version; records are framed accordingly
 }
 
 // createWAL creates path with a fresh header, synced to disk.
@@ -81,14 +97,14 @@ func createWAL(path string, sync bool) (*wal, error) {
 			return nil, err
 		}
 	}
-	return &wal{f: f, size: int64(walHeaderLen), sync: sync}, nil
+	return &wal{f: f, size: int64(walHeaderLen), sync: sync, version: walVersion}, nil
 }
 
 // openWALForAppend opens an existing WAL whose valid prefix ends at size
-// (as reported by replayWAL) and positions the write cursor there. Any
-// torn tail beyond size is truncated away first, so the next append starts
-// on a clean record boundary.
-func openWALForAppend(path string, size int64, sync bool) (*wal, error) {
+// (as reported by replayWAL, which also reports the header version) and
+// positions the write cursor there. Any torn tail beyond size is truncated
+// away first, so the next append starts on a clean record boundary.
+func openWALForAppend(path string, size int64, sync bool, version byte) (*wal, error) {
 	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, err
@@ -114,21 +130,29 @@ func openWALForAppend(path string, size int64, sync bool) (*wal, error) {
 		f.Close()
 		return nil, err
 	}
-	return &wal{f: f, size: size, sync: sync}, nil
+	return &wal{f: f, size: size, sync: sync, version: version}, nil
 }
 
-// append frames and writes one batch; with sync enabled the batch is
-// durable (acknowledged) when append returns. A batch normally occupies
-// one record, but batches whose payload would exceed walChunkBytes are
-// cut at triple boundaries into several records — every record must stay
-// decodable below maxWALRecordBytes, or replay would misread an
-// acknowledged record as tail corruption. One fsync covers all records
-// of the batch (the group-commit unit); a crash mid-batch can recover a
-// prefix of the (unacknowledged) batch's records, never lose an
-// acknowledged one.
-func (w *wal) append(triples []rdf.Triple) error {
+// append frames and writes one add batch; see appendOp.
+func (w *wal) append(triples []rdf.Triple) error { return w.appendOp(opAdd, triples) }
+
+// appendOp frames and writes one batch under the given op; with sync
+// enabled the batch is durable (acknowledged) when appendOp returns. A
+// batch normally occupies one record, but batches whose payload would
+// exceed walChunkBytes are cut at triple boundaries into several records —
+// every record must stay decodable below maxWALRecordBytes, or replay
+// would misread an acknowledged record as tail corruption. One fsync
+// covers all records of the batch (the group-commit unit); a crash
+// mid-batch can recover a prefix of the (unacknowledged) batch's records,
+// never lose an acknowledged one.
+func (w *wal) appendOp(op walOp, triples []rdf.Triple) error {
 	if w.broken {
 		return errors.New("live: wal is broken after a failed append; reopen the store")
+	}
+	if w.version < walVersion && op != opAdd {
+		// Unreachable in practice: Open upgrades v1 generations via a
+		// compaction before handing out the store.
+		return fmt.Errorf("live: wal format v%d cannot record deletions; compact the store first", w.version)
 	}
 	written := int64(0)
 	var body []byte
@@ -137,7 +161,13 @@ func (w *wal) append(triples []rdf.Triple) error {
 		if count == 0 {
 			return nil
 		}
-		payload := append(binary.AppendUvarint(nil, uint64(count)), body...)
+		var payload []byte
+		if w.version >= walVersion {
+			payload = binary.AppendUvarint([]byte{byte(op)}, uint64(count))
+		} else {
+			payload = binary.AppendUvarint(nil, uint64(count))
+		}
+		payload = append(payload, body...)
 		body, count = body[:0], 0
 		var frame [8]byte
 		binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
@@ -225,34 +255,47 @@ func appendTerm(buf []byte, t rdf.Term) []byte {
 	return buf
 }
 
-// decodeBatch parses one record payload back into triples.
-func decodeBatch(payload []byte) ([]rdf.Triple, error) {
+// decodeBatch parses one record payload back into its op and triples,
+// according to the file's header version (v1 payloads carry no op byte
+// and are always adds).
+func decodeBatch(payload []byte, version byte) (walOp, []rdf.Triple, error) {
 	r := payloadCursor{b: payload}
+	op := opAdd
+	if version >= walVersion {
+		if len(r.b) == 0 {
+			return 0, nil, errShortRecord
+		}
+		op = walOp(r.b[0])
+		r.b = r.b[1:]
+		if op != opAdd && op != opDelete {
+			return 0, nil, fmt.Errorf("live: wal record has invalid op %d", op)
+		}
+	}
 	n, err := r.uvarint()
 	if err != nil {
-		return nil, err
+		return 0, nil, err
 	}
 	if n > uint64(len(payload)) { // 3 terms * >=2 bytes each per triple
-		return nil, fmt.Errorf("live: wal record claims %d triples in %d bytes", n, len(payload))
+		return 0, nil, fmt.Errorf("live: wal record claims %d triples in %d bytes", n, len(payload))
 	}
 	out := make([]rdf.Triple, 0, n)
 	for i := uint64(0); i < n; i++ {
 		var t rdf.Triple
 		if t.S, err = r.term(); err != nil {
-			return nil, err
+			return 0, nil, err
 		}
 		if t.P, err = r.term(); err != nil {
-			return nil, err
+			return 0, nil, err
 		}
 		if t.O, err = r.term(); err != nil {
-			return nil, err
+			return 0, nil, err
 		}
 		out = append(out, t)
 	}
 	if len(r.b) != 0 {
-		return nil, fmt.Errorf("live: wal record has %d trailing bytes", len(r.b))
+		return 0, nil, fmt.Errorf("live: wal record has %d trailing bytes", len(r.b))
 	}
-	return out, nil
+	return op, out, nil
 }
 
 // payloadCursor is a tiny cursor over a record payload.
@@ -310,17 +353,19 @@ func (r *payloadCursor) term() (rdf.Term, error) {
 }
 
 // replayWAL reads records from path, calling apply once per complete,
-// checksummed batch. It returns the byte offset just past the last good
-// record and whether a torn or corrupt tail was dropped — the
-// truncation-tolerant recovery contract: a crash mid-append loses exactly
-// the unacknowledged suffix, never an acknowledged batch.
+// checksummed batch with its operation (add or delete). It returns the
+// byte offset just past the last good record, the file's header version
+// (v1 logs — written before deletions existed — replay fine), and whether
+// a torn or corrupt tail was dropped — the truncation-tolerant recovery
+// contract: a crash mid-append loses exactly the unacknowledged suffix,
+// never an acknowledged batch.
 //
-// A bad header (wrong magic or version) is a hard error: it means the file
-// is not ours, which truncation must not "repair".
-func replayWAL(path string, apply func([]rdf.Triple) error) (good int64, torn bool, err error) {
+// A bad header (wrong magic or unknown version) is a hard error: it means
+// the file is not ours, which truncation must not "repair".
+func replayWAL(path string, apply func(walOp, []rdf.Triple) error) (good int64, version byte, torn bool, err error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return 0, false, err
+		return 0, 0, false, err
 	}
 	defer f.Close()
 
@@ -331,13 +376,15 @@ func replayWAL(path string, apply func([]rdf.Triple) error) (good int64, torn bo
 		// creation before the manifest referenced it, or external
 		// truncation; surface it as a hard error (Open never hits this on
 		// files it created, because headers are synced before CURRENT).
-		return 0, false, fmt.Errorf("live: wal header: %w", err)
+		return 0, 0, false, fmt.Errorf("live: wal header: %w", err)
 	}
 	if string(header[:len(walMagic)]) != walMagic {
-		return 0, false, ErrWALMagic
+		return 0, 0, false, ErrWALMagic
 	}
-	if header[len(walMagic)] != walVersion {
-		return 0, false, fmt.Errorf("%w %d (this build reads %d)", ErrWALVersion, header[len(walMagic)], walVersion)
+	version = header[len(walMagic)]
+	if version != walVersion && version != walVersionV1 {
+		return 0, 0, false, fmt.Errorf("%w %d (this build reads %d and %d)",
+			ErrWALVersion, version, walVersionV1, walVersion)
 	}
 
 	good = int64(walHeaderLen)
@@ -346,28 +393,28 @@ func replayWAL(path string, apply func([]rdf.Triple) error) (good int64, torn bo
 		if _, err := io.ReadFull(br, frame[:]); err != nil {
 			// Clean EOF: the log ends on a record boundary. Anything
 			// else mid-frame is a torn tail.
-			return good, !errors.Is(err, io.EOF), nil
+			return good, version, !errors.Is(err, io.EOF), nil
 		}
 		length := binary.LittleEndian.Uint32(frame[0:4])
 		sum := binary.LittleEndian.Uint32(frame[4:8])
 		if length > maxWALRecordBytes {
-			return good, true, nil
+			return good, version, true, nil
 		}
 		payload := make([]byte, length)
 		if _, err := io.ReadFull(br, payload); err != nil {
-			return good, true, nil
+			return good, version, true, nil
 		}
 		if crc32.ChecksumIEEE(payload) != sum {
-			return good, true, nil
+			return good, version, true, nil
 		}
-		triples, err := decodeBatch(payload)
+		op, triples, err := decodeBatch(payload, version)
 		if err != nil {
 			// The checksum matched but the payload is structurally
 			// invalid: treat like any other tail corruption.
-			return good, true, nil
+			return good, version, true, nil
 		}
-		if err := apply(triples); err != nil {
-			return good, false, err
+		if err := apply(op, triples); err != nil {
+			return good, version, false, err
 		}
 		good += int64(8 + length)
 	}

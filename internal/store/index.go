@@ -10,10 +10,50 @@ import (
 // graph, supporting triple-pattern matching with any combination of bound
 // positions. It materializes three sort orders — SPO, POS and OSP — the
 // classical access-path set for triple stores.
+//
+// Internally the index is tiered, LSM-style: the triples live in a
+// sequence of immutable sorted runs (oldest first). A batch load produces
+// a single base run; each live-ingest epoch appends one small delta run
+// holding only that batch (sorted in the three orders), so publishing an
+// epoch costs O(Δ log Δ) instead of re-merging the whole index. Deletions
+// append a run carrying only a tombstone set: a tombstone suppresses every
+// equal triple in strictly older runs, so a later re-add of the same
+// triple is visible again. Readers iterate a k-way merge across the runs
+// with tombstone suppression; to keep the run count (read amplification)
+// bounded, whenever `fanout` consecutive trailing runs reach the same
+// level they are folded into one run of the next level — the classical
+// logarithmic-method amortization, O(log n / log fanout) merge work per
+// inserted triple. Compacted folds everything into a single run and drops
+// all tombstones.
+//
+// An Index and its runs are immutable: Applied/Merged/Compacted return new
+// Index values sharing unchanged runs, so snapshots held by old epochs
+// stay valid (and keep their exact contents) across later ingest, deletes
+// and compactions.
 type Index struct {
+	runs   []*run // oldest → newest; immutable after construction
+	fanout int    // trailing same-level runs folded at this width
+	live   int    // triples visible to readers (with multiplicity)
+	tombs  int    // total tombstones across runs (0 ⇒ fast paths)
+}
+
+// DefaultIndexFanout is the tier width used when no explicit fanout is
+// configured: merges trigger once 8 trailing runs share a level, bounding
+// read amplification at 8 runs per level.
+const DefaultIndexFanout = 8
+
+// run is one immutable sorted segment of the index: the adds of one epoch
+// (or of a fold of several epochs) in all three orders, plus the tombstones
+// that suppress equal triples in strictly older runs.
+type run struct {
 	spo []Triple // sorted by (S, P, O)
 	pos []Triple // sorted by (P, O, S)
 	osp []Triple // sorted by (O, S, P)
+
+	dels   []Triple            // sorted SPO, deduplicated
+	delSet map[Triple]struct{} // same content, for O(1) suppression checks
+
+	level int // fold generation; `fanout` trailing equal levels merge
 }
 
 // The three maintained sort orders.
@@ -39,147 +79,436 @@ func lessOSP(a, b Triple) bool {
 	return a.P < b.P
 }
 
-// NewIndex builds the three orderings over the graph's current triples.
-// The index does not track later mutations of g.
-func NewIndex(g *Graph) *Index {
-	all := g.All()
-	ix := &Index{
-		spo: all,
-		pos: append([]Triple(nil), all...),
-		osp: append([]Triple(nil), all...),
+// newRun sorts adds into the three orders and attaches the tombstone set.
+// adds and dels are adopted (not copied); dels must already be sorted and
+// deduplicated.
+func newRun(adds, dels []Triple, level int) *run {
+	r := &run{spo: adds, dels: dels, level: level}
+	sort.Slice(r.spo, func(i, j int) bool { return lessSPO(r.spo[i], r.spo[j]) })
+	r.pos = append([]Triple(nil), r.spo...)
+	sort.Slice(r.pos, func(i, j int) bool { return lessPOS(r.pos[i], r.pos[j]) })
+	r.osp = append([]Triple(nil), r.spo...)
+	sort.Slice(r.osp, func(i, j int) bool { return lessOSP(r.osp[i], r.osp[j]) })
+	if len(dels) > 0 {
+		r.delSet = make(map[Triple]struct{}, len(dels))
+		for _, t := range dels {
+			r.delSet[t] = struct{}{}
+		}
 	}
-	sort.Slice(ix.spo, func(i, j int) bool { return lessSPO(ix.spo[i], ix.spo[j]) })
-	sort.Slice(ix.pos, func(i, j int) bool { return lessPOS(ix.pos[i], ix.pos[j]) })
-	sort.Slice(ix.osp, func(i, j int) bool { return lessOSP(ix.osp[i], ix.osp[j]) })
+	return r
+}
+
+// NewIndex builds a single-run index over the graph's current triples.
+// The index does not track later mutations of g.
+func NewIndex(g *Graph) *Index { return NewIndexFanout(g, 0) }
+
+// NewIndexFanout is NewIndex with an explicit tier fanout (0 or 1 selects
+// DefaultIndexFanout). Smaller fanouts fold delta runs sooner (fewer runs
+// for readers to merge, more write amplification); larger ones favor
+// ingest throughput.
+func NewIndexFanout(g *Graph, fanout int) *Index {
+	if fanout <= 1 {
+		fanout = DefaultIndexFanout
+	}
+	all := g.All()
+	ix := &Index{fanout: fanout, live: len(all)}
+	ix.runs = []*run{newRun(all, nil, levelFor(len(all), fanout))}
 	return ix
 }
 
-// Merged returns a new index over ix's triples plus delta, leaving ix
-// untouched. Instead of re-sorting everything it sorts only the delta
-// (k log k) and merges it with the existing orders (linear) — the
-// incremental path the live subsystem uses to republish its index after an
-// ingest batch. The result equals NewIndex over the combined triples.
-func (ix *Index) Merged(delta []Triple) *Index {
-	if len(delta) == 0 {
-		return &Index{spo: ix.spo, pos: ix.pos, osp: ix.osp}
+// levelFor places a freshly built run of n triples at the level a cascade
+// of fanout-width folds would have produced, so a large base run is not
+// swept into the first small delta fold.
+func levelFor(n, fanout int) int {
+	level := 0
+	for n >= fanout {
+		n /= fanout
+		level++
 	}
-	d := append([]Triple(nil), delta...)
-	out := &Index{}
-	sort.Slice(d, func(i, j int) bool { return lessSPO(d[i], d[j]) })
-	out.spo = mergeSorted(ix.spo, d, lessSPO)
-	sort.Slice(d, func(i, j int) bool { return lessPOS(d[i], d[j]) })
-	out.pos = mergeSorted(ix.pos, d, lessPOS)
-	sort.Slice(d, func(i, j int) bool { return lessOSP(d[i], d[j]) })
-	out.osp = mergeSorted(ix.osp, d, lessOSP)
+	return level
+}
+
+// Merged returns a new index over ix's triples plus delta, leaving ix
+// untouched — the incremental publish path for insert-only batches.
+// Equivalent to Applied(delta, nil).
+func (ix *Index) Merged(delta []Triple) *Index { return ix.Applied(delta, nil) }
+
+// Applied returns a new index with one epoch's changes applied: adds become
+// a fresh delta run and dels become tombstones suppressing every currently
+// visible copy of those triples. The receiver is untouched and any snapshot
+// holding it keeps its exact contents. Cost is O(Δ log Δ) for the delta
+// plus amortized fold work — never a function of the total index size.
+// The result equals NewIndex over the surviving triples.
+func (ix *Index) Applied(adds, dels []Triple) *Index {
+	// Keep only tombstones that suppress something: a delete of an absent
+	// triple must not grow the tombstone set (Count consults it forever).
+	var kept []Triple
+	killed := 0
+	if len(dels) > 0 {
+		kept = make([]Triple, 0, len(dels))
+		seen := make(map[Triple]struct{}, len(dels))
+		for _, t := range dels {
+			if _, dup := seen[t]; dup {
+				continue
+			}
+			seen[t] = struct{}{}
+			if n := ix.Count(t.S, t.P, t.O); n > 0 {
+				killed += n
+				kept = append(kept, t)
+			}
+		}
+		sort.Slice(kept, func(i, j int) bool { return lessSPO(kept[i], kept[j]) })
+	}
+	if len(adds) == 0 && len(kept) == 0 {
+		// Nothing changes; share the run list wholesale.
+		return &Index{runs: ix.runs, fanout: ix.fanout, live: ix.live, tombs: ix.tombs}
+	}
+	out := &Index{
+		runs:   append(append(make([]*run, 0, len(ix.runs)+1), ix.runs...), nil),
+		fanout: ix.fanout,
+		live:   ix.live + len(adds) - killed,
+	}
+	// Size-based level placement, like NewIndexFanout's base run: a bulk
+	// batch lands at the level its size warrants, so it is not swept into
+	// the next small-delta fold (which would re-merge it O(size) almost
+	// immediately).
+	out.runs[len(out.runs)-1] = newRun(append([]Triple(nil), adds...), kept, levelFor(len(adds), ix.fanout))
+	out.fold()
+	out.tombs = 0
+	for _, r := range out.runs {
+		out.tombs += len(r.dels)
+	}
 	return out
 }
 
-// mergeSorted merges two slices sorted under less into a fresh slice.
-func mergeSorted(a, b []Triple, less func(x, y Triple) bool) []Triple {
-	out := make([]Triple, 0, len(a)+len(b))
-	i, j := 0, 0
-	for i < len(a) && j < len(b) {
-		if less(b[j], a[i]) {
-			out = append(out, b[j])
-			j++
-		} else {
-			out = append(out, a[i])
-			i++
+// fold restores the two invariants that bound read amplification at
+// O(fanout · log_fanout n), cascading until both hold:
+//
+//   - levels are non-increasing oldest → newest. A bulk batch lands at
+//     the level its size warrants (see Applied), which can exceed the
+//     levels of older trailing runs; those are swallowed into it, or
+//     they would be buried where no trailing fold can ever reach them.
+//   - at most fanout-1 trailing runs share a level: the fanout-th fold
+//     merges the block into one run of the next level (the classical
+//     logarithmic-method amortization).
+func (ix *Index) fold() {
+	for {
+		n := len(ix.runs)
+		if n < 2 {
+			return
 		}
+		last := ix.runs[n-1].level
+		if ix.runs[n-2].level < last {
+			start := n - 1
+			for start > 0 && ix.runs[start-1].level < last {
+				start--
+			}
+			ix.foldTail(start, last)
+			continue
+		}
+		start := n
+		for start > 0 && ix.runs[start-1].level == last {
+			start--
+		}
+		if n-start < ix.fanout {
+			return
+		}
+		// last+1 guarantees strict progress even for empty (dels-only)
+		// blocks, whose size-based level would not grow.
+		ix.foldTail(start, last+1)
 	}
-	out = append(out, a[i:]...)
-	return append(out, b[j:]...)
 }
 
-// Len reports the number of indexed triples.
-func (ix *Index) Len() int { return len(ix.spo) }
+// foldTail merges runs[start:] into one run, placed at minLevel or the
+// level its merged size warrants, whichever is higher.
+func (ix *Index) foldTail(start, minLevel int) {
+	merged := mergeRuns(ix.runs[start:], start == 0, minLevel)
+	if lf := levelFor(len(merged.spo), ix.fanout); lf > merged.level {
+		merged.level = lf
+	}
+	ix.runs = append(ix.runs[:start:start], merged)
+}
 
-// ForEach calls fn for every triple matching the pattern, where dict.None
-// in a position acts as a wildcard. Iteration stops early when fn returns
-// false.
+// Compacted returns a single-run index over ix's visible triples with all
+// tombstones dropped — the full fold a store compaction performs. The
+// receiver is untouched.
+func (ix *Index) Compacted() *Index {
+	out := &Index{fanout: ix.fanout, live: ix.live}
+	out.runs = []*run{mergeRuns(ix.runs, true, levelFor(ix.live, ix.fanout))}
+	return out
+}
+
+// mergeRuns folds a window of consecutive runs (oldest first) into one:
+// adds are merged in SPO order with window-internal tombstone suppression
+// applied, and the tombstones themselves are retained (union) unless the
+// window starts at the oldest run of the index, in which case they have
+// nothing left to suppress. Runs newer than the window keep suppressing
+// the merged run's triples at read time exactly as before.
+func mergeRuns(window []*run, oldest bool, level int) *run {
+	pos := make([]int, len(window))
+	total := 0
+	for _, r := range window {
+		total += len(r.spo)
+	}
+	adds := make([]Triple, 0, total)
+	for {
+		best := -1
+		for i, r := range window {
+			if pos[i] >= len(r.spo) {
+				continue
+			}
+			if best < 0 || lessSPO(r.spo[pos[i]], window[best].spo[pos[best]]) {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		t := window[best].spo[pos[best]]
+		pos[best]++
+		alive := true
+		for j := best + 1; j < len(window); j++ {
+			if _, dead := window[j].delSet[t]; dead {
+				alive = false
+				break
+			}
+		}
+		if alive {
+			adds = append(adds, t)
+		}
+	}
+	var dels []Triple
+	if !oldest {
+		set := make(map[Triple]struct{})
+		for _, r := range window {
+			for _, t := range r.dels {
+				set[t] = struct{}{}
+			}
+		}
+		if len(set) > 0 {
+			dels = make([]Triple, 0, len(set))
+			for t := range set {
+				dels = append(dels, t)
+			}
+			sort.Slice(dels, func(i, j int) bool { return lessSPO(dels[i], dels[j]) })
+		}
+	}
+	out := &run{spo: adds, dels: dels, level: level}
+	out.pos = append([]Triple(nil), adds...)
+	sort.Slice(out.pos, func(i, j int) bool { return lessPOS(out.pos[i], out.pos[j]) })
+	out.osp = append([]Triple(nil), adds...)
+	sort.Slice(out.osp, func(i, j int) bool { return lessOSP(out.osp[i], out.osp[j]) })
+	if len(dels) > 0 {
+		out.delSet = make(map[Triple]struct{}, len(dels))
+		for _, t := range dels {
+			out.delSet[t] = struct{}{}
+		}
+	}
+	return out
+}
+
+// Len reports the number of triples visible to readers.
+func (ix *Index) Len() int { return ix.live }
+
+// Runs reports the current number of runs — the read amplification a
+// pattern scan pays. 1 after a batch load or a compaction.
+func (ix *Index) Runs() int { return len(ix.runs) }
+
+// Tombstones reports the total tombstones retained across runs (0 after a
+// compaction).
+func (ix *Index) Tombstones() int { return ix.tombs }
+
+// Fanout reports the configured tier fanout.
+func (ix *Index) Fanout() int { return ix.fanout }
+
+// suppressed reports whether a triple surfaced by run ri is deleted by a
+// tombstone in any newer run. Tombstones never apply to their own run:
+// within one epoch deletes are processed before adds, so that epoch's adds
+// are post-deletion state.
+func (ix *Index) suppressed(t Triple, ri int) bool {
+	for j := ri + 1; j < len(ix.runs); j++ {
+		if _, dead := ix.runs[j].delSet[t]; dead {
+			return true
+		}
+	}
+	return false
+}
+
+// ForEach calls fn for every visible triple matching the pattern, where
+// dict.None in a position acts as a wildcard, in the sort order serving
+// the pattern (equal triples surface oldest run first). Iteration stops
+// early when fn returns false.
 func (ix *Index) ForEach(s, p, o dict.ID, fn func(Triple) bool) {
-	arr, lo, hi := ix.rangeFor(s, p, o)
-	for _, t := range arr[lo:hi] {
-		if (s == dict.None || t.S == s) &&
-			(p == dict.None || t.P == p) &&
-			(o == dict.None || t.O == o) {
+	if len(ix.runs) == 1 && ix.tombs == 0 {
+		arr, lo, hi := ix.runs[0].rangeFor(s, p, o)
+		for _, t := range arr[lo:hi] {
 			if !fn(t) {
 				return
 			}
 		}
+		return
+	}
+	ix.merge(s, p, o, fn)
+}
+
+// merge is the k-way tombstone-suppressing iterator across runs.
+func (ix *Index) merge(s, p, o dict.ID, fn func(Triple) bool) {
+	type cursor struct {
+		ri      int
+		arr     []Triple
+		pos, hi int
+	}
+	less := lessForPattern(s, p, o)
+	cursors := make([]cursor, 0, len(ix.runs))
+	for ri, r := range ix.runs {
+		arr, lo, hi := r.rangeFor(s, p, o)
+		if lo < hi {
+			cursors = append(cursors, cursor{ri: ri, arr: arr, pos: lo, hi: hi})
+		}
+	}
+	for {
+		best := -1
+		for ci := range cursors {
+			c := &cursors[ci]
+			if c.pos >= c.hi {
+				continue
+			}
+			// Strict less keeps the earliest (oldest-run) cursor on ties.
+			if best < 0 || less(c.arr[c.pos], cursors[best].arr[cursors[best].pos]) {
+				best = ci
+			}
+		}
+		if best < 0 {
+			return
+		}
+		c := &cursors[best]
+		t := c.arr[c.pos]
+		c.pos++
+		if ix.tombs > 0 && ix.suppressed(t, c.ri) {
+			continue
+		}
+		if !fn(t) {
+			return
+		}
 	}
 }
 
-// Count returns the number of triples matching the pattern. Every bound
-// combination is a prefix of one of the three maintained orders — (), (s),
-// (s,p), (s,p,o) on SPO; (p), (p,o) on POS; (o), (o,s) on OSP — so the
-// count is always an exact range width.
+// Count returns the number of visible triples matching the pattern. Every
+// bound combination is a prefix of one of the three maintained orders, so
+// the gross count is a sum of exact range widths (O(runs · log n)).
+// Outstanding tombstones are subtracted exactly without enumerating the
+// range: a stored copy of t is dead iff some newer run tombstones t, so
+// the dead copies of t are precisely its copies in runs older than its
+// newest tombstone — O(tombstones · runs · log n), independent of the
+// match size (the query executor probes Count at every backtracking
+// step, so a broad pattern must not cost O(matches) after a delete).
 func (ix *Index) Count(s, p, o dict.ID) int {
-	_, lo, hi := ix.rangeFor(s, p, o)
-	return hi - lo
+	n := 0
+	for _, r := range ix.runs {
+		_, lo, hi := r.rangeFor(s, p, o)
+		n += hi - lo
+	}
+	if ix.tombs == 0 || n == 0 {
+		return n
+	}
+	// Newest tombstone run per pattern-matching triple (later runs win).
+	newest := make(map[Triple]int)
+	for j, r := range ix.runs {
+		for _, t := range r.dels {
+			if (s == dict.None || t.S == s) && (p == dict.None || t.P == p) && (o == dict.None || t.O == o) {
+				newest[t] = j
+			}
+		}
+	}
+	for t, jmax := range newest {
+		for i := 0; i < jmax; i++ {
+			_, lo, hi := ix.runs[i].rangeFor(t.S, t.P, t.O)
+			n -= hi - lo
+		}
+	}
+	return n
 }
 
-// Contains reports whether the exact triple is present.
+// Contains reports whether the exact triple is visible.
 func (ix *Index) Contains(t Triple) bool {
 	found := false
 	ix.ForEach(t.S, t.P, t.O, func(Triple) bool { found = true; return false })
 	return found
 }
 
+// lessForPattern returns the comparator of the sort order rangeFor selects
+// for the bound positions — the order the k-way merge must preserve.
+func lessForPattern(s, p, o dict.ID) func(a, b Triple) bool {
+	switch {
+	case s != dict.None: // (s,p,o), (s,p), (s) on SPO; (s,o) on OSP
+		if p == dict.None && o != dict.None {
+			return lessOSP
+		}
+		return lessSPO
+	case p != dict.None: // (p), (p,o) on POS
+		return lessPOS
+	case o != dict.None: // (o) on OSP
+		return lessOSP
+	default:
+		return lessSPO
+	}
+}
+
 // rangeFor selects the best order for the bound positions and returns the
-// array and half-open range of candidate triples.
-func (ix *Index) rangeFor(s, p, o dict.ID) ([]Triple, int, int) {
+// run's array and half-open range of candidate triples. Every case is an
+// exact prefix range: all triples in it match the pattern.
+func (r *run) rangeFor(s, p, o dict.ID) ([]Triple, int, int) {
 	switch {
 	case s != dict.None && p != dict.None && o != dict.None:
-		lo := sort.Search(len(ix.spo), func(i int) bool { return !ix.spo[i].Less(Triple{s, p, o}) })
+		lo := sort.Search(len(r.spo), func(i int) bool { return !r.spo[i].Less(Triple{s, p, o}) })
 		hi := lo
-		for hi < len(ix.spo) && ix.spo[hi] == (Triple{s, p, o}) {
+		for hi < len(r.spo) && r.spo[hi] == (Triple{s, p, o}) {
 			hi++
 		}
-		return ix.spo, lo, hi
+		return r.spo, lo, hi
 	case s != dict.None && p != dict.None:
-		lo := sort.Search(len(ix.spo), func(i int) bool {
-			t := ix.spo[i]
+		lo := sort.Search(len(r.spo), func(i int) bool {
+			t := r.spo[i]
 			return t.S > s || (t.S == s && t.P >= p)
 		})
-		hi := sort.Search(len(ix.spo), func(i int) bool {
-			t := ix.spo[i]
+		hi := sort.Search(len(r.spo), func(i int) bool {
+			t := r.spo[i]
 			return t.S > s || (t.S == s && t.P > p)
 		})
-		return ix.spo, lo, hi
+		return r.spo, lo, hi
 	case s != dict.None && o != dict.None:
-		lo := sort.Search(len(ix.osp), func(i int) bool {
-			t := ix.osp[i]
+		lo := sort.Search(len(r.osp), func(i int) bool {
+			t := r.osp[i]
 			return t.O > o || (t.O == o && t.S >= s)
 		})
-		hi := sort.Search(len(ix.osp), func(i int) bool {
-			t := ix.osp[i]
+		hi := sort.Search(len(r.osp), func(i int) bool {
+			t := r.osp[i]
 			return t.O > o || (t.O == o && t.S > s)
 		})
-		return ix.osp, lo, hi
+		return r.osp, lo, hi
 	case p != dict.None && o != dict.None:
-		lo := sort.Search(len(ix.pos), func(i int) bool {
-			t := ix.pos[i]
+		lo := sort.Search(len(r.pos), func(i int) bool {
+			t := r.pos[i]
 			return t.P > p || (t.P == p && t.O >= o)
 		})
-		hi := sort.Search(len(ix.pos), func(i int) bool {
-			t := ix.pos[i]
+		hi := sort.Search(len(r.pos), func(i int) bool {
+			t := r.pos[i]
 			return t.P > p || (t.P == p && t.O > o)
 		})
-		return ix.pos, lo, hi
+		return r.pos, lo, hi
 	case s != dict.None:
-		lo := sort.Search(len(ix.spo), func(i int) bool { return ix.spo[i].S >= s })
-		hi := sort.Search(len(ix.spo), func(i int) bool { return ix.spo[i].S > s })
-		return ix.spo, lo, hi
+		lo := sort.Search(len(r.spo), func(i int) bool { return r.spo[i].S >= s })
+		hi := sort.Search(len(r.spo), func(i int) bool { return r.spo[i].S > s })
+		return r.spo, lo, hi
 	case p != dict.None:
-		lo := sort.Search(len(ix.pos), func(i int) bool { return ix.pos[i].P >= p })
-		hi := sort.Search(len(ix.pos), func(i int) bool { return ix.pos[i].P > p })
-		return ix.pos, lo, hi
+		lo := sort.Search(len(r.pos), func(i int) bool { return r.pos[i].P >= p })
+		hi := sort.Search(len(r.pos), func(i int) bool { return r.pos[i].P > p })
+		return r.pos, lo, hi
 	case o != dict.None:
-		lo := sort.Search(len(ix.osp), func(i int) bool { return ix.osp[i].O >= o })
-		hi := sort.Search(len(ix.osp), func(i int) bool { return ix.osp[i].O > o })
-		return ix.osp, lo, hi
+		lo := sort.Search(len(r.osp), func(i int) bool { return r.osp[i].O >= o })
+		hi := sort.Search(len(r.osp), func(i int) bool { return r.osp[i].O > o })
+		return r.osp, lo, hi
 	default:
-		return ix.spo, 0, len(ix.spo)
+		return r.spo, 0, len(r.spo)
 	}
 }

@@ -141,10 +141,8 @@ func TestIndexMerged(t *testing.T) {
 	if merged.Len() != want.Len() {
 		t.Fatalf("merged index has %d triples, want %d", merged.Len(), want.Len())
 	}
-	for i := range want.spo {
-		if merged.spo[i] != want.spo[i] || merged.pos[i] != want.pos[i] || merged.osp[i] != want.osp[i] {
-			t.Fatalf("merged index order diverges from rebuilt index at %d", i)
-		}
+	if !sameIterationOrder(merged, want) {
+		t.Fatal("merged index iteration diverges from rebuilt index")
 	}
 	// The base index must be untouched.
 	if base.Len() != 2 {

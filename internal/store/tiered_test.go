@@ -1,0 +1,293 @@
+package store
+
+import (
+	"math/rand/v2"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"rdfsum/internal/dict"
+)
+
+// idUniverse is the small ID pool the tiered-index property tests draw
+// from — small enough that duplicate adds, re-adds after deletion and
+// dense pattern collisions all happen constantly.
+const idUniverse = 6
+
+func randTriple(rng *rand.Rand) Triple {
+	return Triple{
+		S: dict.ID(1 + rng.IntN(idUniverse)),
+		P: dict.ID(1 + rng.IntN(idUniverse)),
+		O: dict.ID(1 + rng.IntN(idUniverse)),
+	}
+}
+
+// survivors applies set-delete semantics: delete removes every copy.
+func deleteAll(ts []Triple, dead []Triple) []Triple {
+	set := make(map[Triple]bool, len(dead))
+	for _, t := range dead {
+		set[t] = true
+	}
+	out := ts[:0:0]
+	for _, t := range ts {
+		if !set[t] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// scanAll collects a full wildcard scan (SPO order).
+func scanAll(ix *Index) []Triple {
+	var out []Triple
+	ix.ForEach(dict.None, dict.None, dict.None, func(t Triple) bool {
+		out = append(out, t)
+		return true
+	})
+	return out
+}
+
+// scanPattern collects the triples ForEach yields for one pattern.
+func scanPattern(ix *Index, s, p, o dict.ID) []Triple {
+	var out []Triple
+	ix.ForEach(s, p, o, func(t Triple) bool {
+		out = append(out, t)
+		return true
+	})
+	return out
+}
+
+// sortedBy returns a copy of ts sorted under less.
+func sortedBy(ts []Triple, less func(a, b Triple) bool) []Triple {
+	out := append([]Triple(nil), ts...)
+	sort.Slice(out, func(i, j int) bool { return less(out[i], out[j]) })
+	return out
+}
+
+// naiveMatch filters ts by the pattern.
+func naiveMatch(ts []Triple, s, p, o dict.ID) []Triple {
+	var out []Triple
+	for _, t := range ts {
+		if (s == dict.None || t.S == s) && (p == dict.None || t.P == p) && (o == dict.None || t.O == o) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// sameIterationOrder reports whether two indexes yield identical triple
+// sequences for a representative set of patterns covering all three
+// maintained orders.
+func sameIterationOrder(a, b *Index) bool {
+	if !reflect.DeepEqual(scanAll(a), scanAll(b)) {
+		return false
+	}
+	for id := dict.ID(1); id <= idUniverse; id++ {
+		if !reflect.DeepEqual(scanPattern(a, id, dict.None, dict.None), scanPattern(b, id, dict.None, dict.None)) ||
+			!reflect.DeepEqual(scanPattern(a, dict.None, id, dict.None), scanPattern(b, dict.None, id, dict.None)) ||
+			!reflect.DeepEqual(scanPattern(a, dict.None, dict.None, id), scanPattern(b, dict.None, dict.None, id)) {
+			return false
+		}
+	}
+	return true
+}
+
+// checkAgainstOracle verifies every read path of ix against the surviving
+// multiset: Len, full-order iteration for all three orders, Count and
+// ForEach for every bound-position combination over the universe, and
+// Contains.
+func checkAgainstOracle(t *testing.T, ix *Index, surviving []Triple) bool {
+	t.Helper()
+	if ix.Len() != len(surviving) {
+		t.Logf("Len = %d, want %d", ix.Len(), len(surviving))
+		return false
+	}
+	if got, want := scanAll(ix), sortedBy(surviving, lessSPO); !reflect.DeepEqual(got, want) {
+		t.Logf("full scan = %v, want %v", got, want)
+		return false
+	}
+	wildcards := []dict.ID{dict.None, 1, 2, 3, 4, 5, 6}
+	for _, s := range wildcards {
+		for _, p := range wildcards {
+			for _, o := range wildcards {
+				want := naiveMatch(surviving, s, p, o)
+				if n := ix.Count(s, p, o); n != len(want) {
+					t.Logf("Count(%d,%d,%d) = %d, want %d", s, p, o, n, len(want))
+					return false
+				}
+				got := scanPattern(ix, s, p, o)
+				if !reflect.DeepEqual(sortedBy(got, lessSPO), sortedBy(want, lessSPO)) {
+					t.Logf("ForEach(%d,%d,%d) = %v, want %v", s, p, o, got, want)
+					return false
+				}
+				// The yielded sequence must follow the serving order.
+				less := lessForPattern(s, p, o)
+				for i := 1; i < len(got); i++ {
+					if less(got[i], got[i-1]) {
+						t.Logf("ForEach(%d,%d,%d) out of order at %d: %v", s, p, o, i, got)
+						return false
+					}
+				}
+			}
+		}
+	}
+	return true
+}
+
+// TestTieredIndexOracle is the tiered index's property test: a random
+// interleaving of add batches, delete batches (tombstones) and full
+// compactions must read bit-identically — triples, iteration order,
+// counts — to an index built from scratch over the surviving multiset.
+// Snapshots taken mid-stream are re-verified at the end: later deletes,
+// folds and compactions must not disturb an already-published index.
+func TestTieredIndexOracle(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 0x7ee5))
+		fanout := 2 + rng.IntN(4) // small fanouts fold constantly
+		ix := NewIndexFanout(NewGraph(), fanout)
+		var oracle []Triple
+
+		type held struct {
+			ix        *Index
+			surviving []Triple
+		}
+		var snapshots []held
+
+		ops := 30 + rng.IntN(30)
+		for i := 0; i < ops; i++ {
+			switch rng.IntN(10) {
+			case 0: // full compaction
+				ix = ix.Compacted()
+				if ix.Runs() != 1 || ix.Tombstones() != 0 {
+					t.Logf("compacted index has %d runs, %d tombstones", ix.Runs(), ix.Tombstones())
+					return false
+				}
+			case 1, 2, 3: // delete batch (often of absent triples)
+				dead := make([]Triple, 1+rng.IntN(4))
+				for j := range dead {
+					dead[j] = randTriple(rng)
+				}
+				ix = ix.Applied(nil, dead)
+				oracle = deleteAll(oracle, dead)
+			default: // add batch (duplicates welcome)
+				adds := make([]Triple, 1+rng.IntN(6))
+				for j := range adds {
+					adds[j] = randTriple(rng)
+				}
+				ix = ix.Applied(adds, nil)
+				oracle = append(oracle, adds...)
+			}
+			if !checkAgainstOracle(t, ix, oracle) {
+				t.Logf("seed %d: divergence after op %d", seed, i)
+				return false
+			}
+			if rng.IntN(8) == 0 {
+				snapshots = append(snapshots, held{ix: ix, surviving: append([]Triple(nil), oracle...)})
+			}
+		}
+		for si, h := range snapshots {
+			if !checkAgainstOracle(t, h.ix, h.surviving) {
+				t.Logf("seed %d: held snapshot %d was disturbed by later operations", seed, si)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTieredIndexMatchesFromScratch: after an op sequence, the index must
+// iterate identically to NewIndex over a graph holding exactly the
+// surviving multiset.
+func TestTieredIndexMatchesFromScratch(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 9))
+	ix := NewIndexFanout(NewGraph(), 3)
+	var oracle []Triple
+	for i := 0; i < 200; i++ {
+		if rng.IntN(4) == 0 && len(oracle) > 0 {
+			dead := []Triple{oracle[rng.IntN(len(oracle))]}
+			ix = ix.Applied(nil, dead)
+			oracle = deleteAll(oracle, dead)
+		} else {
+			adds := []Triple{randTriple(rng)}
+			ix = ix.Applied(adds, nil)
+			oracle = append(oracle, adds...)
+		}
+	}
+	fresh := &Index{fanout: DefaultIndexFanout, live: len(oracle)}
+	fresh.runs = []*run{newRun(append([]Triple(nil), oracle...), nil, 0)}
+	if !sameIterationOrder(ix, fresh) {
+		t.Fatal("tiered index diverges from a from-scratch index over the survivors")
+	}
+	if ix.Len() != fresh.Len() {
+		t.Fatalf("Len %d vs fresh %d", ix.Len(), fresh.Len())
+	}
+}
+
+// TestIndexRunsBounded: sustained small batches keep the run count
+// logarithmic (bounded by fanout per level), not linear in the batch
+// count — the read-amplification guarantee behind the fold policy.
+func TestIndexRunsBounded(t *testing.T) {
+	ix := NewIndexFanout(NewGraph(), 4)
+	rng := rand.New(rand.NewPCG(1, 2))
+	batches := 500
+	maxRuns := 0
+	for i := 0; i < batches; i++ {
+		adds := make([]Triple, 4)
+		for j := range adds {
+			adds[j] = randTriple(rng)
+		}
+		ix = ix.Applied(adds, nil)
+		if ix.Runs() > maxRuns {
+			maxRuns = ix.Runs()
+		}
+	}
+	// 4 levels of fanout 4 cover 4^5 runs; anything near `batches` means
+	// the fold policy is broken.
+	if maxRuns > 24 {
+		t.Fatalf("run count reached %d over %d batches; folds are not happening", maxRuns, batches)
+	}
+}
+
+// TestIndexRunsBoundedMixedSizes drives the trap behind the level-order
+// invariant: alternating bulk and tiny batches place runs at different
+// levels, and without the swallow rule the tiny runs would be buried
+// under each bulk run where no trailing fold could ever reach them —
+// unbounded run growth. Delete-only (tombstone) batches join the mix.
+func TestIndexRunsBoundedMixedSizes(t *testing.T) {
+	ix := NewIndexFanout(NewGraph(), 4)
+	rng := rand.New(rand.NewPCG(3, 4))
+	maxRuns := 0
+	var recent []Triple
+	for i := 0; i < 300; i++ {
+		size := 1
+		if i%2 == 0 {
+			size = 64 // two levels above a 1-triple run at fanout 4
+		}
+		adds := make([]Triple, size)
+		for j := range adds {
+			adds[j] = randTriple(rng)
+		}
+		ix = ix.Applied(adds, nil)
+		recent = adds
+		if i%7 == 0 && len(recent) > 0 {
+			ix = ix.Applied(nil, recent[:1])
+		}
+		if ix.Runs() > maxRuns {
+			maxRuns = ix.Runs()
+		}
+	}
+	if maxRuns > 30 {
+		t.Fatalf("mixed-size batches reached %d runs; level ordering is broken", maxRuns)
+	}
+	// The level invariant itself: non-increasing oldest -> newest.
+	for i := 1; i < len(ix.runs); i++ {
+		if ix.runs[i].level > ix.runs[i-1].level {
+			t.Fatalf("run %d (level %d) outranks its older neighbor (level %d)",
+				i, ix.runs[i].level, ix.runs[i-1].level)
+		}
+	}
+}

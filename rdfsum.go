@@ -267,7 +267,13 @@ func CheckWellBehaved(triples []Triple) []rdf.WellBehavedViolation {
 }
 
 // NewIndex builds the SPO/POS/OSP access paths used by query evaluation.
+// The index is tiered (see NewIndexFanout); a batch build yields a single
+// run.
 func NewIndex(g *Graph) *Index { return store.NewIndex(g) }
+
+// NewIndexFanout is NewIndex with an explicit tier fanout for the
+// LSM-style delta runs live updates append (0 = default 8).
+func NewIndexFanout(g *Graph, fanout int) *Index { return store.NewIndexFanout(g, fanout) }
 
 // ParseQuery parses a SPARQL-subset BGP query (PREFIX, SELECT, ASK).
 func ParseQuery(text string) (*Query, error) { return query.Parse(text) }
@@ -387,9 +393,10 @@ func NewWeakBuilderWithGraph(g *Graph) *WeakBuilder {
 }
 
 // Live-update subsystem: a concurrent, durable, mutable graph. Writers
-// append batches (WAL-logged and fsynced before acknowledgment on durable
-// stores); readers hold immutable epoch snapshots, so queries run at full
-// speed during ingest; the weak summary is maintained incrementally and
+// append and delete batches (WAL-logged and fsynced before acknowledgment
+// on durable stores); readers hold immutable epoch snapshots, so queries
+// run at full speed during ingest; the index is tiered, so publishing an
+// epoch costs O(batch); the weak summary is maintained incrementally and
 // other kinds rebuild lazily per epoch. See internal/live and
 // docs/live-updates.md.
 type (
@@ -420,6 +427,11 @@ type LiveOptions struct {
 	// and no per-epoch rebuild. nil maintains Weak only; an explicit
 	// empty slice maintains nothing (every kind rebuilds lazily).
 	Maintain []Kind
+	// IndexFanout is the tiered index's fold width: once this many
+	// trailing delta runs share a level they merge into one run of the
+	// next level. 0 selects the default (8). Smaller values trade ingest
+	// throughput for fewer runs on the query path.
+	IndexFanout int
 }
 
 // OpenLive opens (or initializes) a durable live store in dir: the
@@ -427,11 +439,19 @@ type LiveOptions struct {
 // torn tail from a crash is truncated, so exactly the acknowledged
 // batches recover), and the first epoch published.
 func OpenLive(dir string, opts *LiveOptions) (*Live, error) {
-	var o live.Options
-	if opts != nil {
-		o = live.Options{NoSync: opts.NoSync, Seed: opts.Seed, Maintain: opts.Maintain}
+	return live.Open(dir, internalLiveOptions(opts))
+}
+
+func internalLiveOptions(opts *LiveOptions) live.Options {
+	if opts == nil {
+		return live.Options{}
 	}
-	return live.Open(dir, o)
+	return live.Options{
+		NoSync:      opts.NoSync,
+		Seed:        opts.Seed,
+		Maintain:    opts.Maintain,
+		IndexFanout: opts.IndexFanout,
+	}
 }
 
 // NewLive wraps a graph (nil for empty) as a memory-only live store: the
@@ -443,6 +463,12 @@ func NewLive(g *Graph) *Live { return live.New(g) }
 // maintained summary kinds (nil = weak only, empty = none).
 func NewLiveMaintaining(g *Graph, kinds []Kind) *Live {
 	return live.NewMaintaining(g, kinds)
+}
+
+// NewLiveWithOptions is the memory-only constructor honoring Maintain and
+// IndexFanout (NoSync and Seed are ignored without a directory).
+func NewLiveWithOptions(g *Graph, opts *LiveOptions) *Live {
+	return live.NewWithOptions(g, internalLiveOptions(opts))
 }
 
 // LiveHasState reports whether dir already holds an initialized live
