@@ -67,11 +67,23 @@ bench-json:
 # compacts; readers materialize every maintained summary kind during
 # ingest; snapshot iterators are held across concurrent Compact calls
 # while deletes land (tiered-index generation swaps); plus the WAL
-# crash-recovery property test. -count=2 reruns with fresh schedules.
-stress:
+# crash-recovery property test and the replication suite (bootstrap,
+# tail, re-bootstrap across compaction). -count=2 reruns with fresh
+# schedules. replication-smoke then boots a real leader + follower pair
+# as separate processes and asserts catch-up, identical /v1/query
+# results and post-delete convergence.
+stress: replication-smoke
 	$(GO) test -race -count=2 \
-		-run 'TestLiveStress|TestLiveMaintainedStress|TestLiveIngestDuringConcurrentQueries|TestLiveCrashRecoveryPrefix|TestLiveSnapshotAcrossCompactStress' \
-		./internal/live ./cmd/rdfsumd
+		-run 'TestLiveStress|TestLiveMaintainedStress|TestLiveIngestDuringConcurrentQueries|TestLiveCrashRecoveryPrefix|TestLiveSnapshotAcrossCompactStress|TestFollower' \
+		./internal/live ./cmd/rdfsumd ./internal/repl
+
+# Two-process replication smoke (mirrored as a CI step): leader ingests,
+# follower bootstraps + tails to lag 0, query results match on both
+# sides, deletes and a compaction converge.
+replication-smoke:
+	$(GO) test -race -count=1 -run 'TestE2EReplication' ./cmd/rdfsumd
+
+.PHONY: replication-smoke
 
 # Fuzz smoke (mirrored as a CI job): the N-Triples parser and the WAL
 # record decoder/replayer, each seeded from the committed corpus under

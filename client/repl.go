@@ -1,0 +1,130 @@
+package client
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+)
+
+// Replication wire protocol — the follower side of WAL shipping. A
+// follower bootstraps from ReplManifest + ReplSnapshot, then tails
+// ReplWAL resumably by (generation, offset). The leader serves these
+// under /v1/repl/; see docs/http-api.md for the protocol contract.
+
+// Replication response headers. Every /v1/repl/wal response (200 and 204
+// alike) carries the leader's state at capture time, so a caught-up
+// follower keeps its lag gauges fresh even when no bytes flow.
+const (
+	HeaderGeneration = "X-Rdfsum-Generation"
+	HeaderEpoch      = "X-Rdfsum-Epoch"
+	HeaderWALSize    = "X-Rdfsum-Wal-Size"
+	HeaderWALRecords = "X-Rdfsum-Wal-Records"
+)
+
+// ReplManifest mirrors GET /v1/repl/manifest: the leader's current
+// generation and how to bootstrap from it.
+type ReplManifest struct {
+	Generation   uint64 `json:"generation"`
+	Epoch        uint64 `json:"epoch"`
+	WALVersion   byte   `json:"wal_version"`
+	WALSize      int64  `json:"wal_size"`
+	WALRecords   int64  `json:"wal_records"`
+	WALDataStart int64  `json:"wal_data_start"` // offset of the first record
+	HasSnapshot  bool   `json:"has_snapshot"`
+	SnapshotSize int64  `json:"snapshot_size"`
+}
+
+// ReplManifest fetches the leader's replication manifest.
+func (c *Client) ReplManifest(ctx context.Context) (*ReplManifest, error) {
+	var out ReplManifest
+	if err := c.do(ctx, http.MethodGet, "/repl/manifest", nil, "", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// ReplSnapshot streams the base snapshot of the given generation (the
+// caller must Close it). Fails with code "gone" when the generation was
+// pruned and "not_found" when it has no base snapshot (empty base).
+func (c *Client) ReplSnapshot(ctx context.Context, gen uint64) (io.ReadCloser, error) {
+	q := url.Values{"gen": {strconv.FormatUint(gen, 10)}}
+	resp, err := c.send(ctx, http.MethodGet, "/repl/snapshot", q, "", nil)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Body, nil
+}
+
+// ReplWALInfo is the leader state captured in a /v1/repl/wal response's
+// headers.
+type ReplWALInfo struct {
+	Generation uint64
+	Epoch      uint64
+	WALSize    int64 // acknowledged bytes at capture (upper end of the stream)
+	WALRecords int64
+}
+
+// ReplWAL requests WAL bytes of generation gen from the given absolute
+// offset. With wait > 0 the leader long-polls: a caught-up request blocks
+// server-side until new records are acknowledged or the wait elapses. The
+// returned reader (nil when the leader had nothing new — HTTP 204) streams
+// complete records only; decode it with the live package's
+// WALRecordReader. Fails with code "gone" when gen was pruned by a
+// compaction — re-bootstrap from the manifest.
+func (c *Client) ReplWAL(ctx context.Context, gen uint64, offset int64, wait time.Duration) (io.ReadCloser, *ReplWALInfo, error) {
+	q := url.Values{
+		"gen":    {strconv.FormatUint(gen, 10)},
+		"offset": {strconv.FormatInt(offset, 10)},
+	}
+	if wait > 0 {
+		q.Set("wait", wait.String())
+	}
+	resp, err := c.send(ctx, http.MethodGet, "/repl/wal", q, "", nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	info, err := parseWALInfo(resp.Header)
+	if err != nil {
+		resp.Body.Close()
+		return nil, nil, err
+	}
+	if resp.StatusCode == http.StatusNoContent {
+		resp.Body.Close()
+		return nil, info, nil
+	}
+	return resp.Body, info, nil
+}
+
+// parseWALInfo decodes the replication headers.
+func parseWALInfo(h http.Header) (*ReplWALInfo, error) {
+	var info ReplWALInfo
+	for _, f := range []struct {
+		name string
+		dst  any
+	}{
+		{HeaderGeneration, &info.Generation},
+		{HeaderEpoch, &info.Epoch},
+		{HeaderWALSize, &info.WALSize},
+		{HeaderWALRecords, &info.WALRecords},
+	} {
+		raw := h.Get(f.name)
+		if raw == "" {
+			return nil, fmt.Errorf("client: wal response missing %s header", f.name)
+		}
+		var err error
+		switch dst := f.dst.(type) {
+		case *uint64:
+			*dst, err = strconv.ParseUint(raw, 10, 64)
+		case *int64:
+			*dst, err = strconv.ParseInt(raw, 10, 64)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("client: wal response header %s=%q: %v", f.name, raw, err)
+		}
+	}
+	return &info, nil
+}

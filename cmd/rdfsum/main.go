@@ -10,6 +10,14 @@
 //	rdfsum convert   -in data.nt -out data.snapshot
 //	rdfsum ingest    -wal ./store -in data.nt [-batch N] [-delete] [-compact] [-nosync] [-index-fanout N]
 //
+// The query, stats and ingest subcommands also run against a live
+// rdfsumd with -server URL (through the typed /v1 client) instead of a
+// local graph:
+//
+//	rdfsum query  -server http://localhost:8176 -q 'SELECT ?x WHERE { ... }'
+//	rdfsum stats  -server http://localhost:8176 -kinds weak
+//	rdfsum ingest -server http://localhost:8176 -in data.nt [-delete]
+//
 // Inputs and outputs ending in .nt are N-Triples; anything else is the
 // library's binary snapshot format.
 package main
@@ -240,9 +248,13 @@ func cmdSaturate(args []string) error {
 func cmdStats(args []string) error {
 	fs := flag.NewFlagSet("stats", flag.ExitOnError)
 	in := fs.String("in", "", "input graph")
+	server := fs.String("server", "", "rdfsumd base URL; inspect a running server instead of -in")
 	kindsFlag := fs.String("kinds", strings.ReplaceAll(kindList(), "|", ","), "summaries to measure")
 	loadFlags(fs)
 	fs.Parse(args) //nolint:errcheck
+	if *server != "" {
+		return remoteStats(*server, *kindsFlag)
+	}
 	g, err := load(*in)
 	if err != nil {
 		return err
@@ -279,6 +291,7 @@ func printStats(w *os.File, name string, st rdfsum.Stats) {
 func cmdQuery(args []string) error {
 	fs := flag.NewFlagSet("query", flag.ExitOnError)
 	in := fs.String("in", "", "input graph")
+	server := fs.String("server", "", "rdfsumd base URL; query a running server instead of -in")
 	qtext := fs.String("q", "", "SPARQL BGP query text")
 	qfile := fs.String("qfile", "", "file holding the query")
 	saturateFirst := fs.Bool("saturate", false, "evaluate against G∞ (complete answers)")
@@ -300,6 +313,9 @@ func cmdQuery(args []string) error {
 	}
 	if *qtext == "" {
 		return fmt.Errorf("missing -q query")
+	}
+	if *server != "" {
+		return remoteQuery(*server, *qtext, *limit, *explain, *saturateFirst, *pruneKind)
 	}
 	g, err := load(*in)
 	if err != nil {
@@ -366,6 +382,7 @@ func cmdQuery(args []string) error {
 func cmdIngest(args []string) error {
 	fs := flag.NewFlagSet("ingest", flag.ExitOnError)
 	walDir := fs.String("wal", "", "live store directory (created if absent)")
+	server := fs.String("server", "", "rdfsumd base URL; ingest through a running server instead of -wal")
 	in := fs.String("in", "", "N-Triples file to append (or remove, with -delete)")
 	batch := fs.Int("batch", 8192, "triples per WAL record / fsync")
 	del := fs.Bool("delete", false, "remove the file's triples instead of adding them")
@@ -373,14 +390,17 @@ func cmdIngest(args []string) error {
 	nosync := fs.Bool("nosync", false, "skip per-batch fsync (faster, weaker durability)")
 	fanout := fs.Int("index-fanout", 0, "tiered-index fold width (0 = default 8)")
 	fs.Parse(args) //nolint:errcheck
-	if *walDir == "" {
-		return fmt.Errorf("missing -wal directory")
-	}
 	if *in == "" {
 		return fmt.Errorf("missing -in file")
 	}
 	if *batch <= 0 {
 		return fmt.Errorf("-batch must be positive")
+	}
+	if *server != "" {
+		return remoteIngest(*server, *in, *batch, *del)
+	}
+	if *walDir == "" {
+		return fmt.Errorf("missing -wal directory")
 	}
 	lv, err := rdfsum.OpenLive(*walDir, &rdfsum.LiveOptions{NoSync: *nosync, IndexFanout: *fanout})
 	if err != nil {

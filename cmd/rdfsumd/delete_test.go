@@ -95,7 +95,7 @@ func TestDeleteTriplesEndpoint(t *testing.T) {
 	if stats["index_runs"].(float64) != 1 || stats["index_tombstones"].(float64) != 0 {
 		t.Fatalf("post-compact index stats = %v, want 1 run / 0 tombstones", stats)
 	}
-	if got := srv.live.Snapshot().Graph.NumEdges(); got != 20 {
+	if got := srv.lv.Snapshot().Graph.NumEdges(); got != 20 {
 		t.Fatalf("graph after compact has %d edges, want 20", got)
 	}
 }

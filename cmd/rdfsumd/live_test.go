@@ -16,16 +16,16 @@ import (
 // liveTestServer serves a durable live store rooted in a temp directory.
 func liveTestServer(t *testing.T, seed *rdfsum.Graph) (*httptest.Server, *server) {
 	t.Helper()
-	srv, err := newServer("", t.TempDir(), 1, 0, false, nil, 0)
+	srv, err := newServer(serverConfig{liveDir: t.TempDir(), workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if seed != nil {
-		if err := srv.live.AddBatch(seed.Decode()); err != nil {
+		if err := srv.lv.AddBatch(seed.Decode()); err != nil {
 			t.Fatal(err)
 		}
 	}
-	t.Cleanup(func() { srv.live.Close() })
+	t.Cleanup(func() { srv.lv.Close() })
 	ts := httptest.NewServer(srv.handler())
 	t.Cleanup(ts.Close)
 	return ts, srv
@@ -102,7 +102,7 @@ func TestCompactEndpoint(t *testing.T) {
 	if code, _ := postBody(t, ts.URL+"/triples", ntBody(0, 40)); code != http.StatusOK {
 		t.Fatal("ingest failed")
 	}
-	preWAL := srv.live.Stats().WALBytes
+	preWAL := srv.lv.Stats().WALBytes
 	code, body := postBody(t, ts.URL+"/compact", "")
 	if code != http.StatusOK {
 		t.Fatalf("compact status = %d: %v", code, body)
@@ -211,15 +211,15 @@ func TestLiveIngestDuringConcurrentQueries(t *testing.T) {
 	}
 
 	want := rdfsum.GenerateBSBM(10).NumEdges() + batches*batchSize
-	if got := srv.live.Snapshot().Graph.NumEdges(); got != want {
+	if got := srv.lv.Snapshot().Graph.NumEdges(); got != want {
 		t.Fatalf("final graph has %d triples, want %d", got, want)
 	}
 	// Post-ingest weak summary equals a batch summary of the same triples.
-	sum, _, err := srv.live.Summary(rdfsum.Weak, 0)
+	sum, _, err := srv.lv.Summary(rdfsum.Weak, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	batch, err := rdfsum.Summarize(rdfsum.NewGraph(srv.live.Snapshot().Graph.Decode()), rdfsum.Weak)
+	batch, err := rdfsum.Summarize(rdfsum.NewGraph(srv.lv.Snapshot().Graph.Decode()), rdfsum.Weak)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -239,11 +239,11 @@ func TestLiveIngestDuringConcurrentQueries(t *testing.T) {
 // tolerance the cached weak summary (and its gate) trails the graph; the
 // server must skip the gate rather than return a wrong empty answer.
 func TestPruningSoundUnderStaleness(t *testing.T) {
-	srv, err := newServer("", t.TempDir(), 1, 1_000_000, false, nil, 0)
+	srv, err := newServer(serverConfig{liveDir: t.TempDir(), workers: 1, maxStale: 1_000_000})
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { srv.live.Close() })
+	t.Cleanup(func() { srv.lv.Close() })
 	ts := httptest.NewServer(srv.handler())
 	t.Cleanup(ts.Close)
 
@@ -284,11 +284,11 @@ func TestPruningSoundUnderStaleness(t *testing.T) {
 // serving with their build epoch advertised; with none, they track the
 // graph.
 func TestSummaryStaleness(t *testing.T) {
-	srv, err := newServer("", t.TempDir(), 1, 1000, false, nil, 0)
+	srv, err := newServer(serverConfig{liveDir: t.TempDir(), workers: 1, maxStale: 1000})
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { srv.live.Close() })
+	t.Cleanup(func() { srv.lv.Close() })
 	ts := httptest.NewServer(srv.handler())
 	t.Cleanup(ts.Close)
 
@@ -316,11 +316,11 @@ func TestSummaryStaleness(t *testing.T) {
 // TestMetricsEndpoint: /metrics exposes the store gauges and per-kind
 // maintenance mode in the Prometheus text format.
 func TestMetricsEndpoint(t *testing.T) {
-	srv, err := newServer("", "", 1, 0, false, []rdfsum.Kind{rdfsum.Weak, rdfsum.TypedStrong}, 0)
+	srv, err := newServer(serverConfig{workers: 1, maintain: []rdfsum.Kind{rdfsum.Weak, rdfsum.TypedStrong}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { srv.live.Close() })
+	t.Cleanup(func() { srv.lv.Close() })
 	ts := httptest.NewServer(srv.handler())
 	t.Cleanup(ts.Close)
 
@@ -348,7 +348,7 @@ func TestMetricsEndpoint(t *testing.T) {
 		t.Fatal(err)
 	}
 	body := string(raw)
-	epoch := srv.live.Epoch()
+	epoch := srv.lv.Epoch()
 	for _, want := range []string{
 		fmt.Sprintf("rdfsum_epoch %d", epoch),
 		"rdfsum_triples 25",

@@ -1,44 +1,59 @@
 // Command rdfsumd serves an RDF graph and its summaries over HTTP — the
 // paper's "first-level user interface" use case as a small JSON service,
-// extended with live updates: graphs can be mutated while being served.
+// extended with live updates (graphs mutate while being served) and
+// WAL-shipping read replicas.
 //
 //	rdfsumd -in data.nt -addr :8176             # read-mostly, memory-only
 //	rdfsumd -live ./store -addr :8176           # durable mutable store
 //	rdfsumd -live ./store -in seed.nt           # seed a fresh store
+//	rdfsumd -follow http://leader:8176          # read replica of a leader
+//
+// The API is versioned under /v1/ (see docs/http-api.md); the legacy
+// unversioned paths still answer, with a Deprecation header pointing at
+// their successor. Every error is the JSON envelope
+// {"error":{"code":...,"message":...}}.
 //
 // Endpoints:
 //
-//	GET  /healthz              liveness
-//	GET  /metrics              plain-text gauges: epoch, triple/WAL counts,
-//	                           per-kind summary epoch and maintained/lazy
-//	                           mode — staleness observable in production
-//	GET  /stats                graph size statistics + epoch/WAL counters
-//	GET  /summary?kind=weak    summary statistics (+N-Triples or DOT body
+//	GET  /v1/healthz           liveness
+//	GET  /v1/metrics           plain-text gauges: epoch, triple/WAL counts,
+//	                           per-kind summary staleness, replication lag
+//	GET  /v1/stats             graph size statistics + epoch/WAL counters
+//	GET  /v1/summary?kind=weak summary statistics (+N-Triples or DOT body
 //	                           with ?format=ntriples | dot); epoch-tagged
-//	GET  /profile              entity-kind profile (typed-weak based)
-//	POST /triples              N-Triples body appended as one acknowledged
+//	GET  /v1/profile           entity-kind profile (typed-weak based)
+//	POST /v1/triples           N-Triples body appended as one acknowledged
 //	                           batch (WAL-durable with -live)
-//	DELETE /triples            N-Triples body removed as one acknowledged
+//	DELETE /v1/triples         N-Triples body removed as one acknowledged
 //	                           batch (every stored copy; WAL-durable)
-//	POST /compact              fold the WAL into a snapshot generation
+//	POST /v1/compact           fold the WAL into a snapshot generation
 //	                           and the tiered index into a single run
-//	POST /query                SPARQL BGP text in the body;
+//	POST /v1/query             SPARQL BGP text in the body;
 //	                           ?saturate=true evaluates against G∞,
 //	                           ?limit=N caps rows (default 10000),
 //	                           ?explain=true reports the join order,
 //	                           ?prune=weak|strong|...|off selects the
 //	                           summary-pruning gate (default weak)
+//	GET  /v1/replication       replication role; on followers the catch-up
+//	                           state and lag, on leaders the WAL extent
+//	GET  /v1/repl/{manifest,snapshot,wal}
+//	                           the WAL-shipping wire protocol followers
+//	                           consume (durable stores only)
 //
 // Writes and reads are concurrent: queries run against immutable epoch
 // snapshots while ingest proceeds. Summary-derived artifacts are cached
 // per epoch; -max-stale N lets them serve up to N epochs behind (each
-// response reports the epoch it reflects).
+// response reports the epoch it reflects). A follower rejects the
+// mutating routes with the "read_only" error code and converges on its
+// leader's state, re-bootstrapping automatically when the leader's
+// compaction prunes the generation it was tailing.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"strings"
@@ -49,6 +64,7 @@ import (
 func main() {
 	in := flag.String("in", "", "input graph (.nt, .ttl or snapshot); with -live, seeds a fresh store")
 	liveDir := flag.String("live", "", "durable live-store directory (WAL + snapshots); empty = memory-only")
+	follow := flag.String("follow", "", "leader base URL (e.g. http://leader:8176); serve as a read replica")
 	addr := flag.String("addr", ":8176", "listen address")
 	workers := flag.Int("workers", 0, "N-Triples load workers (0 = all CPUs, 1 = sequential)")
 	maxStale := flag.Uint64("max-stale", 0, "epochs a cached summary/pruner may trail the graph before rebuild")
@@ -58,8 +74,8 @@ func main() {
 	indexFanout := flag.Int("index-fanout", 0,
 		"tiered-index fold width: delta runs merge once this many share a level (0 = default 8)")
 	flag.Parse()
-	if *in == "" && *liveDir == "" {
-		fmt.Fprintln(os.Stderr, "rdfsumd: need -in and/or -live")
+	if *in == "" && *liveDir == "" && *follow == "" {
+		fmt.Fprintln(os.Stderr, "rdfsumd: need -in, -live or -follow")
 		os.Exit(2)
 	}
 	maintained, err := parseMaintain(*maintain)
@@ -67,19 +83,40 @@ func main() {
 		fmt.Fprintln(os.Stderr, "rdfsumd:", err)
 		os.Exit(2)
 	}
-	srv, err := newServer(*in, *liveDir, *workers, *maxStale, *noSync, maintained, *indexFanout)
+	srv, err := newServer(serverConfig{
+		in:          *in,
+		liveDir:     *liveDir,
+		follow:      *follow,
+		workers:     *workers,
+		maxStale:    *maxStale,
+		noSync:      *noSync,
+		maintain:    maintained,
+		indexFanout: *indexFanout,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rdfsumd:", err)
 		os.Exit(1)
 	}
-	st := srv.live.Stats()
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rdfsumd:", err)
+		os.Exit(1)
+	}
+	lv, _ := srv.state()
+	st := lv.Stats()
 	mode := "memory-only"
-	if st.Durable {
+	switch {
+	case *follow != "":
+		mode = fmt.Sprintf("read replica of %s", *follow)
+	case st.Durable:
 		mode = fmt.Sprintf("durable at %s (gen %d)", *liveDir, st.Gen)
 	}
-	log.Printf("rdfsumd: serving %d triples on %s, %s, epoch %d, maintaining %s",
-		st.Triples, *addr, mode, st.Epoch, maintainNames(srv.live))
-	log.Fatal(http.ListenAndServe(*addr, srv.handler()))
+	// The exact "listening on" phrasing is load-bearing: the e2e harness
+	// and scripts/replication-smoke parse the bound address from it.
+	log.Printf("rdfsumd: listening on %s", ln.Addr())
+	log.Printf("rdfsumd: serving %d triples, %s, epoch %d, maintaining %s",
+		st.Triples, mode, st.Epoch, maintainNames(lv))
+	log.Fatal(http.Serve(ln, srv.handler()))
 }
 
 // parseMaintain resolves the -maintain flag: "all" maintains every kind,

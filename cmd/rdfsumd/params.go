@@ -1,0 +1,51 @@
+package main
+
+import (
+	"net/http"
+	"strconv"
+
+	"rdfsum"
+	"rdfsum/internal/httpapi"
+)
+
+// Request-parameter validation shared by every handler: each helper
+// returns an enveloped *httpapi.Error so all surfaces reject bad input
+// with the same status, code and message shape.
+
+// limitParam validates the optional ?limit parameter: a positive integer
+// capped at maxQueryLimit, defaulting to defaultQueryLimit.
+func limitParam(r *http.Request) (int, error) {
+	raw := r.URL.Query().Get("limit")
+	if raw == "" {
+		return defaultQueryLimit, nil
+	}
+	n, err := strconv.Atoi(raw)
+	if err != nil || n <= 0 {
+		return 0, httpapi.Errorf(http.StatusBadRequest, httpapi.CodeInvalidArgument,
+			"invalid limit %q (want a positive integer)", raw)
+	}
+	if n > maxQueryLimit {
+		n = maxQueryLimit
+	}
+	return n, nil
+}
+
+// kindParam validates a summary-kind query parameter, applying def when
+// the parameter is absent.
+func kindParam(r *http.Request, name, def string) (rdfsum.Kind, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		raw = def
+	}
+	kind, err := rdfsum.ParseKind(raw)
+	if err != nil {
+		return kind, httpapi.Errorf(http.StatusBadRequest, httpapi.CodeInvalidArgument,
+			"invalid %s: %v", name, err)
+	}
+	return kind, nil
+}
+
+// boolParam reports whether an optional flag-style parameter is "true".
+func boolParam(r *http.Request, name string) bool {
+	return r.URL.Query().Get(name) == "true"
+}

@@ -1,18 +1,18 @@
 package main
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
 	"log"
 	"net/http"
-	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"rdfsum"
+	"rdfsum/internal/httpapi"
 	"rdfsum/internal/profile"
+	"rdfsum/internal/repl"
 	"rdfsum/internal/store"
 )
 
@@ -23,14 +23,16 @@ const (
 	maxQueryLimit     = 100_000
 )
 
-// maxIngestBody bounds a POST /triples body.
+// maxIngestBody bounds a POST /v1/triples body.
 const maxIngestBody = 64 << 20
 
 // prunerCell caches the saturated-summary emptiness oracle of one kind,
-// tagged with the epoch of the summary it was built from. The mutex
-// singleflights rebuilds of that kind; other kinds proceed independently.
+// tagged with the store instance and epoch of the summary it was built
+// from. The mutex singleflights rebuilds of that kind; other kinds
+// proceed independently.
 type prunerCell struct {
 	mu     sync.Mutex
+	inst   uint64
 	epoch  uint64
 	pruner *rdfsum.QueryPruner
 }
@@ -40,8 +42,17 @@ type prunerCell struct {
 // concurrent ingest; derived artifacts (summaries, pruners, planner
 // weights, the saturated graph) are cached per epoch and rebuilt lazily
 // when stale beyond the configured tolerance.
+//
+// On a follower the store itself is replaced at each replication
+// bootstrap and its epoch counter restarts, so every epoch-keyed cache is
+// additionally keyed by the bootstrap instance: an epoch comparison
+// across instances is meaningless, and acting on one (e.g. applying an
+// old instance's pruning gate) would be unsound.
 type server struct {
-	live *rdfsum.Live
+	lv       *rdfsum.Live   // fixed store; nil on followers
+	follower *repl.Follower // non-nil on read replicas (-follow)
+	leader   *repl.Leader   // non-nil on durable stores (serves /v1/repl)
+
 	// maxStale is how many epochs behind a cached summary-derived
 	// artifact may serve before it is rebuilt (0 = always rebuild when
 	// stale). Staleness is reported to clients either way.
@@ -50,49 +61,80 @@ type server struct {
 	pruners [rdfsum.NumKinds]prunerCell // indexed by rdfsum.Kind
 
 	satMu    sync.Mutex
+	satInst  uint64
 	satEpoch uint64
 	satGraph *rdfsum.Graph
 	satIx    *store.Index
 
 	weightsMu    sync.Mutex
+	weightsInst  uint64
 	weightsEpoch uint64
 	weights      *rdfsum.Weights
 }
 
-// newServer builds the serving state. When liveDir is set the store is
-// durable (WAL + snapshots in that directory) and path — if any — seeds a
-// fresh store; otherwise path is loaded into a memory-only live store.
-// N-Triples inputs go through the parallel pipeline with the given worker
-// count (0 = all CPUs, 1 = sequential). maintain lists the summary kinds
-// the quotient engine keeps incrementally current (nil = weak only);
-// indexFanout tunes the tiered index's fold width (0 = default).
-func newServer(path, liveDir string, workers int, maxStale uint64, noSync bool, maintain []rdfsum.Kind, indexFanout int) (*server, error) {
-	if path != "" && liveDir != "" && rdfsum.LiveHasState(liveDir) {
+// serverConfig collects rdfsumd's startup knobs.
+type serverConfig struct {
+	in          string // input graph (.nt, .ttl or snapshot); seeds -live
+	liveDir     string // durable store directory ("" = memory-only)
+	follow      string // leader base URL; makes this a read replica
+	workers     int    // N-Triples load workers (0 = all CPUs)
+	maxStale    uint64
+	noSync      bool
+	maintain    []rdfsum.Kind
+	indexFanout int
+}
+
+// newServer builds the serving state. With cfg.follow set the server is a
+// read-only replica: it bootstraps from the leader's snapshot and tails
+// its WAL (see internal/repl). Otherwise, when cfg.liveDir is set the
+// store is durable (WAL + snapshots in that directory) and cfg.in — if
+// any — seeds a fresh store; without it cfg.in is loaded into a
+// memory-only live store. N-Triples inputs go through the parallel
+// pipeline with the given worker count (0 = all CPUs, 1 = sequential).
+// cfg.maintain lists the summary kinds the quotient engine keeps
+// incrementally current (nil = weak only); cfg.indexFanout tunes the
+// tiered index's fold width (0 = default).
+func newServer(cfg serverConfig) (*server, error) {
+	if cfg.follow != "" {
+		if cfg.in != "" || cfg.liveDir != "" {
+			return nil, fmt.Errorf("-follow is exclusive with -in and -live: a replica's only data source is its leader")
+		}
+		f, err := repl.NewFollower(cfg.follow, repl.FollowerOptions{
+			Maintain:    cfg.maintain,
+			IndexFanout: cfg.indexFanout,
+		})
+		if err != nil {
+			return nil, err
+		}
+		f.Start()
+		return &server{follower: f, maxStale: cfg.maxStale}, nil
+	}
+	if cfg.in != "" && cfg.liveDir != "" && rdfsum.LiveHasState(cfg.liveDir) {
 		// A seed only applies to a fresh store; skip the (possibly huge)
 		// load instead of parsing and silently discarding it.
-		log.Printf("rdfsumd: -in %s ignored: live store %s already has state", path, liveDir)
-		path = ""
+		log.Printf("rdfsumd: -in %s ignored: live store %s already has state", cfg.in, cfg.liveDir)
+		cfg.in = ""
 	}
 	var seed *rdfsum.Graph
-	if path != "" {
+	if cfg.in != "" {
 		var err error
 		switch {
-		case strings.HasSuffix(path, ".nt"):
-			seed, err = rdfsum.LoadNTriplesFileParallel(path, &rdfsum.LoadOptions{Workers: workers})
-		case strings.HasSuffix(path, ".ttl"):
-			seed, err = rdfsum.LoadTurtleFile(path)
+		case strings.HasSuffix(cfg.in, ".nt"):
+			seed, err = rdfsum.LoadNTriplesFileParallel(cfg.in, &rdfsum.LoadOptions{Workers: cfg.workers})
+		case strings.HasSuffix(cfg.in, ".ttl"):
+			seed, err = rdfsum.LoadTurtleFile(cfg.in)
 		default:
-			seed, err = rdfsum.LoadSnapshot(path)
+			seed, err = rdfsum.LoadSnapshot(cfg.in)
 		}
 		if err != nil {
 			return nil, err
 		}
 	}
-	opts := &rdfsum.LiveOptions{NoSync: noSync, Seed: seed, Maintain: maintain, IndexFanout: indexFanout}
+	opts := &rdfsum.LiveOptions{NoSync: cfg.noSync, Seed: seed, Maintain: cfg.maintain, IndexFanout: cfg.indexFanout}
 	var lv *rdfsum.Live
-	if liveDir != "" {
+	if cfg.liveDir != "" {
 		var err error
-		lv, err = rdfsum.OpenLive(liveDir, opts)
+		lv, err = rdfsum.OpenLive(cfg.liveDir, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -102,29 +144,96 @@ func newServer(path, liveDir string, workers int, maxStale uint64, noSync bool, 
 	} else {
 		lv = rdfsum.NewLiveWithOptions(seed, opts)
 	}
-	return &server{live: lv, maxStale: maxStale}, nil
+	s := &server{lv: lv, maxStale: cfg.maxStale}
+	if lv.Durable() {
+		s.leader = repl.NewLeader(lv)
+	}
+	return s, nil
 }
 
 // newServerFromGraph wraps an in-memory graph; used by tests and
 // embedders.
 func newServerFromGraph(g *rdfsum.Graph) *server {
-	return &server{live: rdfsum.NewLive(g)}
+	return &server{lv: rdfsum.NewLive(g)}
+}
+
+// state returns the live store to serve this request from and the
+// replication-bootstrap instance it belongs to (0 on non-followers).
+// Handlers call it once and thread the pair through, so one request
+// never mixes stores across a concurrent re-bootstrap.
+func (s *server) state() (*rdfsum.Live, uint64) {
+	if s.follower != nil {
+		return s.follower.Live()
+	}
+	return s.lv, 0
+}
+
+// readOnly reports whether this server rejects mutations (it is a
+// replica; writes go to its leader).
+func (s *server) readOnly() bool { return s.follower != nil }
+
+// close releases the serving state (the replication loop and store).
+func (s *server) close() error {
+	if s.follower != nil {
+		return s.follower.Close()
+	}
+	return s.lv.Close()
+}
+
+// route registers h under the versioned /v1 path and a legacy
+// unversioned alias. The alias answers identically but stamps the
+// RFC 8594-style deprecation headers pointing at its successor.
+func route(m *http.ServeMux, pattern string, h http.HandlerFunc) {
+	method, path, ok := strings.Cut(pattern, " ")
+	if !ok {
+		panic("route pattern must be \"METHOD /path\": " + pattern)
+	}
+	m.HandleFunc(method+" /v1"+path, h)
+	successor := fmt.Sprintf("</v1%s>; rel=\"successor-version\"", path)
+	m.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", successor)
+		h(w, r)
+	})
+}
+
+// mutating gates a write handler: followers reject it with the
+// "read_only" error code instead of diverging from their leader.
+func (s *server) mutating(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.readOnly() {
+			httpapi.WriteError(w, httpapi.Errorf(http.StatusForbidden, httpapi.CodeReadOnly,
+				"this replica is a read-only follower of %s; send writes to the leader", s.follower.Status().Leader))
+			return
+		}
+		h(w, r)
+	}
 }
 
 func (s *server) mux() *http.ServeMux {
 	m := http.NewServeMux()
-	m.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+	route(m, "GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		io.WriteString(w, "ok\n") //nolint:errcheck
 	})
-	m.HandleFunc("GET /metrics", s.handleMetrics)
-	m.HandleFunc("GET /stats", s.handleStats)
-	m.HandleFunc("GET /summary", s.handleSummary)
-	m.HandleFunc("GET /profile", s.handleProfile)
-	m.HandleFunc("POST /query", s.handleQuery)
-	m.HandleFunc("POST /triples", s.handleTriples)
-	m.HandleFunc("DELETE /triples", s.handleDeleteTriples)
-	m.HandleFunc("POST /compact", s.handleCompact)
+	route(m, "GET /metrics", s.handleMetrics)
+	route(m, "GET /stats", s.handleStats)
+	route(m, "GET /summary", s.handleSummary)
+	route(m, "GET /profile", s.handleProfile)
+	route(m, "POST /query", s.handleQuery)
+	route(m, "POST /triples", s.mutating(s.handleTriples))
+	route(m, "DELETE /triples", s.mutating(s.handleDeleteTriples))
+	route(m, "POST /compact", s.mutating(s.handleCompact))
+	// /v1-only surfaces (no legacy alias to deprecate).
+	m.HandleFunc("GET /v1/replication", s.handleReplication)
+	if s.leader != nil {
+		s.leader.Mount(m, "/v1/repl")
+	}
+	// Unknown paths get the JSON envelope, not the stdlib text 404.
+	m.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		httpapi.WriteError(w, httpapi.Errorf(http.StatusNotFound, httpapi.CodeNotFound,
+			"no such route %s (the API lives under /v1/)", r.URL.Path))
+	})
 	return m
 }
 
@@ -158,22 +267,24 @@ func logRequests(h http.Handler) http.Handler {
 // summary returns the (possibly cached) summary of one kind plus the
 // epoch it reflects; the live store rebuilds it lazily when it is staler
 // than the server's tolerance.
-func (s *server) summary(kind rdfsum.Kind) (*rdfsum.Summary, uint64, error) {
-	return s.live.Summary(kind, s.maxStale)
+func (s *server) summary(lv *rdfsum.Live, kind rdfsum.Kind) (*rdfsum.Summary, uint64, error) {
+	return lv.Summary(kind, s.maxStale)
 }
 
 // pruner returns the summary-pruning gate of one kind with the epoch of
-// the summary it reflects, rebuilding when that summary moved.
-func (s *server) pruner(kind rdfsum.Kind) (*rdfsum.QueryPruner, uint64, error) {
-	sum, epoch, err := s.summary(kind)
+// the summary it reflects, rebuilding when that summary moved or the
+// serving instance was swapped by a replication bootstrap.
+func (s *server) pruner(lv *rdfsum.Live, inst uint64, kind rdfsum.Kind) (*rdfsum.QueryPruner, uint64, error) {
+	sum, epoch, err := s.summary(lv, kind)
 	if err != nil {
 		return nil, 0, err
 	}
 	cell := &s.pruners[kind]
 	cell.mu.Lock()
 	defer cell.mu.Unlock()
-	if cell.pruner == nil || cell.epoch != epoch {
+	if cell.pruner == nil || cell.inst != inst || cell.epoch != epoch {
 		cell.pruner = rdfsum.NewQueryPruner(sum)
+		cell.inst = inst
 		cell.epoch = epoch
 	}
 	return cell.pruner, cell.epoch, nil
@@ -191,20 +302,21 @@ const planStatsMaxStale = 32
 // statistics behind the planner's join ordering, rebuilt when the weak
 // summary trails by more than the staleness tolerance. Nil (with a
 // logged warning) when the weak summary cannot be built.
-func (s *server) planStats() *rdfsum.Weights {
+func (s *server) planStats(lv *rdfsum.Live, inst uint64) *rdfsum.Weights {
 	stale := s.maxStale
 	if stale < planStatsMaxStale {
 		stale = planStatsMaxStale
 	}
-	sum, epoch, err := s.live.Summary(rdfsum.Weak, stale)
+	sum, epoch, err := lv.Summary(rdfsum.Weak, stale)
 	if err != nil {
 		log.Printf("rdfsumd: planner stats unavailable: %v", err)
 		return nil
 	}
 	s.weightsMu.Lock()
 	defer s.weightsMu.Unlock()
-	if s.weights == nil || s.weightsEpoch != epoch {
+	if s.weights == nil || s.weightsInst != inst || s.weightsEpoch != epoch {
 		s.weights = sum.ComputeWeights()
+		s.weightsInst = inst
 		s.weightsEpoch = epoch
 	}
 	return s.weights
@@ -212,31 +324,45 @@ func (s *server) planStats() *rdfsum.Weights {
 
 // handleMetrics exposes the serving counters in the Prometheus text
 // exposition format, making staleness observable in production: the store
-// epoch, triple/WAL counts, and — per summary kind — the epoch of the
-// last materialized summary, whether the kind is incrementally maintained
-// or lazily rebuilt, how many full rebuilds it has paid, and how far it
-// currently trails the store.
+// epoch, triple/WAL counts, per-kind summary staleness, and — on a
+// replica — the replication lag in bytes, records and epochs.
 func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	st := s.live.Stats()
+	lv, _ := s.state()
+	st := lv.Stats()
 	var b strings.Builder
-	durable := 0
-	if st.Durable {
-		durable = 1
+	boolGauge := func(v bool) int {
+		if v {
+			return 1
+		}
+		return 0
 	}
 	fmt.Fprintf(&b, "# TYPE rdfsum_epoch gauge\nrdfsum_epoch %d\n", st.Epoch)
 	fmt.Fprintf(&b, "# TYPE rdfsum_triples gauge\nrdfsum_triples %d\n", st.Triples)
 	fmt.Fprintf(&b, "# TYPE rdfsum_added_total counter\nrdfsum_added_total %d\n", st.Added)
 	fmt.Fprintf(&b, "# TYPE rdfsum_deleted_total counter\nrdfsum_deleted_total %d\n", st.Deleted)
-	fmt.Fprintf(&b, "# TYPE rdfsum_durable gauge\nrdfsum_durable %d\n", durable)
+	fmt.Fprintf(&b, "# TYPE rdfsum_durable gauge\nrdfsum_durable %d\n", boolGauge(st.Durable))
+	fmt.Fprintf(&b, "# TYPE rdfsum_read_only gauge\nrdfsum_read_only %d\n", boolGauge(s.readOnly()))
 	fmt.Fprintf(&b, "# TYPE rdfsum_generation gauge\nrdfsum_generation %d\n", st.Gen)
 	fmt.Fprintf(&b, "# TYPE rdfsum_wal_bytes gauge\nrdfsum_wal_bytes %d\n", st.WALBytes)
 	fmt.Fprintf(&b, "# TYPE rdfsum_index_runs gauge\nrdfsum_index_runs %d\n", st.IndexRuns)
 	fmt.Fprintf(&b, "# TYPE rdfsum_index_tombstones gauge\nrdfsum_index_tombstones %d\n", st.IndexTombs)
+	if rs, err := lv.ReplState(); err == nil {
+		fmt.Fprintf(&b, "# TYPE rdfsum_wal_records gauge\nrdfsum_wal_records %d\n", rs.WALRecords)
+	}
+	if s.follower != nil {
+		fs := s.follower.Status()
+		fmt.Fprintf(&b, "# TYPE rdfsum_replication_lag_bytes gauge\nrdfsum_replication_lag_bytes %d\n", fs.LagBytes)
+		fmt.Fprintf(&b, "# TYPE rdfsum_replication_lag_records gauge\nrdfsum_replication_lag_records %d\n", fs.LagRecords)
+		fmt.Fprintf(&b, "# TYPE rdfsum_replication_lag_epochs gauge\nrdfsum_replication_lag_epochs %d\n", fs.LagEpochs)
+		fmt.Fprintf(&b, "# TYPE rdfsum_replication_applied_records gauge\nrdfsum_replication_applied_records %d\n", fs.AppliedRecords)
+		fmt.Fprintf(&b, "# TYPE rdfsum_replication_bootstraps_total counter\nrdfsum_replication_bootstraps_total %d\n", fs.Bootstraps)
+		fmt.Fprintf(&b, "# TYPE rdfsum_replication_tailing gauge\nrdfsum_replication_tailing %d\n", boolGauge(fs.State == repl.StateTailing))
+	}
 	b.WriteString("# TYPE rdfsum_summary_epoch gauge\n")
 	b.WriteString("# TYPE rdfsum_summary_staleness gauge\n")
 	b.WriteString("# TYPE rdfsum_summary_lazy_builds_total counter\n")
 	b.WriteString("# TYPE rdfsum_summary_maintenance_rebuilds_total counter\n")
-	for _, ks := range s.live.Status() {
+	for _, ks := range lv.Status() {
 		mode := "lazy"
 		if ks.Maintained {
 			mode = "maintained"
@@ -260,10 +386,11 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	snap := s.live.Snapshot()
-	st := s.live.Stats()
+	lv, _ := s.state()
+	snap := lv.Snapshot()
+	st := lv.Stats()
 	g := snap.Graph
-	writeJSON(w, map[string]any{
+	httpapi.WriteJSON(w, map[string]any{
 		"triples":          g.NumEdges(),
 		"data_triples":     len(g.Data),
 		"type_triples":     len(g.Types),
@@ -273,6 +400,7 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		"properties":       len(g.DistinctDataProperties()),
 		"epoch":            snap.Epoch,
 		"durable":          st.Durable,
+		"read_only":        s.readOnly(),
 		"wal_bytes":        st.WALBytes,
 		"generation":       st.Gen,
 		"deleted":          st.Deleted,
@@ -281,24 +409,51 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
-func (s *server) handleSummary(w http.ResponseWriter, r *http.Request) {
-	kindName := r.URL.Query().Get("kind")
-	if kindName == "" {
-		kindName = "weak"
-	}
-	kind, err := rdfsum.ParseKind(kindName)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+// handleReplication reports this server's replication role: followers
+// return their catch-up state and lag, leaders their shippable WAL
+// extent, and standalone memory-only stores just their role.
+func (s *server) handleReplication(w http.ResponseWriter, _ *http.Request) {
+	if s.follower != nil {
+		httpapi.WriteJSON(w, struct {
+			Role    string `json:"role"`
+			Durable bool   `json:"durable"`
+			repl.FollowerStatus
+		}{"follower", false, s.follower.Status()})
 		return
 	}
-	sum, epoch, err := s.summary(kind)
+	lv, _ := s.state()
+	resp := map[string]any{
+		"role":    "standalone",
+		"durable": lv.Durable(),
+		"epoch":   lv.Epoch(),
+	}
+	if s.leader != nil {
+		resp["role"] = "leader"
+		if rs, err := lv.ReplState(); err == nil {
+			resp["epoch"] = rs.Epoch
+			resp["generation"] = rs.Gen
+			resp["wal_bytes"] = rs.WALSize
+			resp["wal_records"] = rs.WALRecords
+		}
+	}
+	httpapi.WriteJSON(w, resp)
+}
+
+func (s *server) handleSummary(w http.ResponseWriter, r *http.Request) {
+	kind, err := kindParam(r, "kind", "weak")
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, err)
+		httpapi.WriteError(w, err)
+		return
+	}
+	lv, _ := s.state()
+	sum, epoch, err := s.summary(lv, kind)
+	if err != nil {
+		httpapi.WriteError(w, err)
 		return
 	}
 	switch r.URL.Query().Get("format") {
 	case "", "json":
-		writeJSON(w, map[string]any{
+		httpapi.WriteJSON(w, map[string]any{
 			"kind":        kind.String(),
 			"data_nodes":  sum.Stats.DataNodes,
 			"all_nodes":   sum.Stats.AllNodes,
@@ -306,28 +461,29 @@ func (s *server) handleSummary(w http.ResponseWriter, r *http.Request) {
 			"all_edges":   sum.Stats.AllEdges,
 			"compression": sum.Stats.CompressionRatio(),
 			"epoch":       epoch,
-			"stale":       s.live.Epoch() - epoch,
+			"stale":       lv.Epoch() - epoch,
 		})
 	case "ntriples":
 		w.Header().Set("Content-Type", "application/n-triples")
 		if err := rdfsum.WriteNTriples(w, sum.Graph.Decode()); err != nil {
-			httpError(w, http.StatusInternalServerError, err)
+			httpapi.WriteError(w, err)
 		}
 	case "dot":
 		w.Header().Set("Content-Type", "text/vnd.graphviz")
 		if err := rdfsum.ExportDOT(w, sum.Graph, kind.String()+" summary"); err != nil {
-			httpError(w, http.StatusInternalServerError, err)
+			httpapi.WriteError(w, err)
 		}
 	default:
-		httpError(w, http.StatusBadRequest,
-			fmt.Errorf("unknown format %q (want json, ntriples or dot)", r.URL.Query().Get("format")))
+		httpapi.WriteError(w, httpapi.Errorf(http.StatusBadRequest, httpapi.CodeInvalidArgument,
+			"unknown format %q (want json, ntriples or dot)", r.URL.Query().Get("format")))
 	}
 }
 
-func (s *server) handleProfile(w http.ResponseWriter, r *http.Request) {
-	sum, epoch, err := s.summary(rdfsum.TypedWeak)
+func (s *server) handleProfile(w http.ResponseWriter, _ *http.Request) {
+	lv, _ := s.state()
+	sum, epoch, err := s.summary(lv, rdfsum.TypedWeak)
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, err)
+		httpapi.WriteError(w, err)
 		return
 	}
 	p := profile.Build(sum)
@@ -341,7 +497,7 @@ func (s *server) handleProfile(w http.ResponseWriter, r *http.Request) {
 	for _, k := range p.Kinds {
 		out = append(out, kindJSON{k.Label(), k.Instances, k.Attributes, k.Relationships})
 	}
-	writeJSON(w, map[string]any{
+	httpapi.WriteJSON(w, map[string]any{
 		"triples": p.InputTriples,
 		"nodes":   p.InputNodes,
 		"kinds":   out,
@@ -363,12 +519,12 @@ func parseTriplesBody(w http.ResponseWriter, r *http.Request) ([]rdfsum.Triple, 
 	if lr.N == 0 { // the cap (plus its sentinel byte) was consumed
 		// Refuse rather than apply a silently truncated prefix (the
 		// parse error, if any, is an artifact of the cut).
-		httpError(w, http.StatusRequestEntityTooLarge,
-			fmt.Errorf("body exceeds %d bytes; split the request into smaller batches", maxIngestBody))
+		httpapi.WriteError(w, httpapi.Errorf(http.StatusRequestEntityTooLarge, httpapi.CodeTooLarge,
+			"body exceeds %d bytes; split the request into smaller batches", maxIngestBody))
 		return nil, false
 	}
 	if parseErr != nil {
-		httpError(w, http.StatusBadRequest, parseErr)
+		httpapi.WriteError(w, httpapi.Errorf(http.StatusBadRequest, httpapi.CodeParse, "%v", parseErr))
 		return nil, false
 	}
 	return triples, true
@@ -383,16 +539,17 @@ func (s *server) handleTriples(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	if err := s.live.AddBatch(triples); err != nil {
-		httpError(w, http.StatusInternalServerError, err)
+	lv, _ := s.state()
+	if err := lv.AddBatch(triples); err != nil {
+		httpapi.WriteError(w, err)
 		return
 	}
-	snap := s.live.Snapshot()
-	writeJSON(w, map[string]any{
+	snap := lv.Snapshot()
+	httpapi.WriteJSON(w, map[string]any{
 		"added":   len(triples),
 		"triples": snap.Graph.NumEdges(),
 		"epoch":   snap.Epoch,
-		"durable": s.live.Durable(),
+		"durable": lv.Durable(),
 	})
 }
 
@@ -407,54 +564,39 @@ func (s *server) handleDeleteTriples(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	removed, err := s.live.DeleteBatch(triples)
+	lv, _ := s.state()
+	removed, err := lv.DeleteBatch(triples)
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, err)
+		httpapi.WriteError(w, err)
 		return
 	}
-	snap := s.live.Snapshot()
-	writeJSON(w, map[string]any{
+	snap := lv.Snapshot()
+	httpapi.WriteJSON(w, map[string]any{
 		"removed": removed,
 		"triples": snap.Graph.NumEdges(),
 		"epoch":   snap.Epoch,
-		"durable": s.live.Durable(),
+		"durable": lv.Durable(),
 	})
 }
 
 // handleCompact folds the WAL into a fresh snapshot generation.
 func (s *server) handleCompact(w http.ResponseWriter, _ *http.Request) {
-	if !s.live.Durable() {
-		httpError(w, http.StatusConflict,
-			fmt.Errorf("store is memory-only (start rdfsumd with -live to enable compaction)"))
+	lv, _ := s.state()
+	if !lv.Durable() {
+		httpapi.WriteError(w, httpapi.Errorf(http.StatusConflict, httpapi.CodeMemoryOnly,
+			"store is memory-only (start rdfsumd with -live to enable compaction)"))
 		return
 	}
-	if err := s.live.Compact(); err != nil {
-		httpError(w, http.StatusInternalServerError, err)
+	if err := lv.Compact(); err != nil {
+		httpapi.WriteError(w, err)
 		return
 	}
-	st := s.live.Stats()
-	writeJSON(w, map[string]any{
+	st := lv.Stats()
+	httpapi.WriteJSON(w, map[string]any{
 		"epoch":      st.Epoch,
 		"generation": st.Gen,
 		"wal_bytes":  st.WALBytes,
 	})
-}
-
-// queryLimit validates the optional ?limit parameter: a positive integer
-// capped at maxQueryLimit, defaulting to defaultQueryLimit.
-func queryLimit(r *http.Request) (int, error) {
-	raw := r.URL.Query().Get("limit")
-	if raw == "" {
-		return defaultQueryLimit, nil
-	}
-	n, err := strconv.Atoi(raw)
-	if err != nil || n <= 0 {
-		return 0, fmt.Errorf("invalid limit %q (want a positive integer)", raw)
-	}
-	if n > maxQueryLimit {
-		n = maxQueryLimit
-	}
-	return n, nil
 }
 
 // handleQuery evaluates a SPARQL BGP posted in the body against the
@@ -472,52 +614,52 @@ func queryLimit(r *http.Request) (int, error) {
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		httpapi.WriteError(w, httpapi.Errorf(http.StatusBadRequest, httpapi.CodeInvalidArgument, "%v", err))
 		return
 	}
 	q, err := rdfsum.ParseQuery(string(body))
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		httpapi.WriteError(w, httpapi.Errorf(http.StatusBadRequest, httpapi.CodeParse, "%v", err))
 		return
 	}
-	limit, err := queryLimit(r)
+	limit, err := limitParam(r)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		httpapi.WriteError(w, err)
 		return
 	}
 	opts := &rdfsum.QueryOptions{
 		Limit:   limit,
-		Explain: r.URL.Query().Get("explain") == "true",
+		Explain: boolParam(r, "explain"),
 	}
+	// Pin the serving store once: on a follower a re-bootstrap may swap it
+	// mid-request, and mixing instances would pair snapshots and caches
+	// whose epoch counters are unrelated.
+	lv, inst := s.state()
 	// Guarded assignment: a nil *Weights stored directly into the
 	// interface field would be a non-nil PlanStats and panic the planner.
 	// Planner statistics are heuristics, so a stale epoch is fine here.
-	if w := s.planStats(); w != nil {
+	if w := s.planStats(lv, inst); w != nil {
 		opts.Stats = w
 	}
 	// Pin the evaluated graph before fetching the pruning gate, so the
 	// soundness condition below can be checked against it.
-	snap := s.live.Snapshot()
+	snap := lv.Snapshot()
 	g, ix := snap.Graph, snap.Index
 	evalEpoch := snap.Epoch
-	saturated := r.URL.Query().Get("saturate") == "true"
+	saturated := boolParam(r, "saturate")
 	if saturated {
-		g, ix, evalEpoch = s.saturatedIndex(snap)
+		g, ix, evalEpoch = s.saturatedIndex(snap, inst)
 	}
 	var pruneEpoch uint64
-	pruneName := r.URL.Query().Get("prune")
-	if pruneName == "" {
-		pruneName = "weak"
-	}
-	if pruneName != "off" {
-		kind, err := rdfsum.ParseKind(pruneName)
+	if r.URL.Query().Get("prune") != "off" {
+		kind, err := kindParam(r, "prune", "weak")
 		if err != nil {
-			httpError(w, http.StatusBadRequest, err)
+			httpapi.WriteError(w, err)
 			return
 		}
-		pruner, epoch, err := s.pruner(kind)
+		pruner, epoch, err := s.pruner(lv, inst, kind)
 		if err != nil {
-			httpError(w, http.StatusInternalServerError, err)
+			httpapi.WriteError(w, err)
 			return
 		}
 		// Soundness (Prop. 1 + monotonicity): emptiness on the summary of
@@ -533,7 +675,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := rdfsum.EvalQueryWithOptions(g, ix, q, opts)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		httpapi.WriteError(w, httpapi.Errorf(http.StatusBadRequest, httpapi.CodeInvalidArgument, "%v", err))
 		return
 	}
 	rows := make([][]string, 0, len(res.Rows))
@@ -563,38 +705,21 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if res.Explain != nil {
 		payload["explain"] = res.Explain
 	}
-	writeJSON(w, payload)
+	httpapi.WriteJSON(w, payload)
 }
 
 // saturatedIndex returns G∞, its index and the epoch it reflects, cached
 // across requests and rebuilt when the epoch moves beyond the staleness
-// tolerance.
-func (s *server) saturatedIndex(snap *rdfsum.LiveSnapshot) (*rdfsum.Graph, *store.Index, uint64) {
+// tolerance or the serving instance was swapped by a replication
+// bootstrap.
+func (s *server) saturatedIndex(snap *rdfsum.LiveSnapshot, inst uint64) (*rdfsum.Graph, *store.Index, uint64) {
 	s.satMu.Lock()
 	defer s.satMu.Unlock()
-	if s.satGraph == nil || s.satEpoch+s.maxStale < snap.Epoch {
+	if s.satGraph == nil || s.satInst != inst || s.satEpoch+s.maxStale < snap.Epoch {
 		s.satGraph = rdfsum.Saturate(snap.Graph)
 		s.satIx = rdfsum.NewIndex(s.satGraph)
+		s.satInst = inst
 		s.satEpoch = snap.Epoch
 	}
 	return s.satGraph, s.satIx, s.satEpoch
-}
-
-// writeJSON encodes v; headers are already sent by the time an encode
-// error can occur, so it is logged rather than silently dropped.
-func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(v); err != nil {
-		log.Printf("rdfsumd: response encode: %v", err)
-	}
-}
-
-func httpError(w http.ResponseWriter, code int, err error) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	if encErr := json.NewEncoder(w).Encode(map[string]string{"error": err.Error()}); encErr != nil {
-		log.Printf("rdfsumd: error-response encode: %v", encErr)
-	}
 }

@@ -1,0 +1,350 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"rdfsum"
+	"rdfsum/client"
+	"rdfsum/internal/httpapi"
+)
+
+// envelope mirrors the /v1 error envelope for decoding in tests.
+type envelope struct {
+	Error struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+// doReq issues a request and decodes the error envelope if any.
+func doReq(t *testing.T, method, url, body string) (*http.Response, envelope) {
+	t.Helper()
+	var rdr *strings.Reader
+	if body == "" {
+		rdr = strings.NewReader("")
+	} else {
+		rdr = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var env envelope
+	if resp.StatusCode >= 400 {
+		if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+			t.Fatalf("%s %s: status %d but body is not the error envelope: %v", method, url, resp.StatusCode, err)
+		}
+	}
+	return resp, env
+}
+
+// TestV1RouteAliases checks every route answers both under /v1 and at its
+// legacy path, and that only the legacy alias carries the deprecation
+// headers.
+func TestV1RouteAliases(t *testing.T) {
+	ts := testServer(t)
+	routes := []struct{ method, path, body string }{
+		{"GET", "/healthz", ""},
+		{"GET", "/metrics", ""},
+		{"GET", "/stats", ""},
+		{"GET", "/summary", ""},
+		{"GET", "/profile", ""},
+		{"POST", "/query", "SELECT ?x WHERE { ?x ?p ?o . }"},
+		{"POST", "/triples", "<http://x/s> <http://x/p> <http://x/o> .\n"},
+		{"DELETE", "/triples", "<http://x/s> <http://x/p> <http://x/o> .\n"},
+	}
+	for _, rt := range routes {
+		legacy, _ := doReq(t, rt.method, ts.URL+rt.path, rt.body)
+		if legacy.StatusCode != http.StatusOK {
+			t.Errorf("%s %s (legacy) status = %d", rt.method, rt.path, legacy.StatusCode)
+		}
+		if legacy.Header.Get("Deprecation") != "true" {
+			t.Errorf("%s %s (legacy) missing Deprecation header", rt.method, rt.path)
+		}
+		if link := legacy.Header.Get("Link"); !strings.Contains(link, "/v1"+rt.path) || !strings.Contains(link, "successor-version") {
+			t.Errorf("%s %s (legacy) Link = %q", rt.method, rt.path, link)
+		}
+		v1, _ := doReq(t, rt.method, ts.URL+"/v1"+rt.path, rt.body)
+		if v1.StatusCode != http.StatusOK {
+			t.Errorf("%s /v1%s status = %d", rt.method, rt.path, v1.StatusCode)
+		}
+		if v1.Header.Get("Deprecation") != "" {
+			t.Errorf("%s /v1%s unexpectedly deprecated", rt.method, rt.path)
+		}
+	}
+}
+
+// TestV1ErrorEnvelope checks that every failure path answers with the
+// JSON envelope and its documented status + stable code.
+func TestV1ErrorEnvelope(t *testing.T) {
+	ts := testServer(t) // memory-only
+	cases := []struct {
+		name, method, path, body string
+		status                   int
+		code                     string
+	}{
+		{"unknown route", "GET", "/v1/nope", "", 404, httpapi.CodeNotFound},
+		{"unknown legacy route", "GET", "/nope", "", 404, httpapi.CodeNotFound},
+		{"bad summary kind", "GET", "/v1/summary?kind=nope", "", 400, httpapi.CodeInvalidArgument},
+		{"bad summary format", "GET", "/v1/summary?format=xml", "", 400, httpapi.CodeInvalidArgument},
+		{"bad query text", "POST", "/v1/query", "NOT SPARQL", 400, httpapi.CodeParse},
+		{"bad query limit", "POST", "/v1/query?limit=-3", "SELECT ?x WHERE { ?x ?p ?o . }", 400, httpapi.CodeInvalidArgument},
+		{"bad prune kind", "POST", "/v1/query?prune=bogus", "SELECT ?x WHERE { ?x ?p ?o . }", 400, httpapi.CodeInvalidArgument},
+		{"bad triples body", "POST", "/v1/triples", "not ntriples", 400, httpapi.CodeParse},
+		{"compact without -live", "POST", "/v1/compact", "", 409, httpapi.CodeMemoryOnly},
+	}
+	for _, tc := range cases {
+		resp, env := doReq(t, tc.method, ts.URL+tc.path, tc.body)
+		if resp.StatusCode != tc.status {
+			t.Errorf("%s: status = %d, want %d", tc.name, resp.StatusCode, tc.status)
+		}
+		if env.Error.Code != tc.code {
+			t.Errorf("%s: code = %q, want %q", tc.name, env.Error.Code, tc.code)
+		}
+		if env.Error.Message == "" {
+			t.Errorf("%s: empty error message", tc.name)
+		}
+	}
+}
+
+// leaderFollowerServers boots a durable leader rdfsumd and a follower
+// replicating from it, both as in-process httptest servers.
+func leaderFollowerServers(t *testing.T) (leader, follower *httptest.Server, leaderSrv *server) {
+	t.Helper()
+	lsrv, err := newServer(serverConfig{liveDir: t.TempDir(), workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { lsrv.close() })
+	lts := httptest.NewServer(lsrv.handler())
+	t.Cleanup(lts.Close)
+
+	fsrv, err := newServer(serverConfig{follow: lts.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fsrv.close() })
+	fts := httptest.NewServer(fsrv.handler())
+	t.Cleanup(fts.Close)
+	return lts, fts, lsrv
+}
+
+// waitReplicated polls the follower's /v1/replication until it reports
+// zero lag against a tailing state.
+func waitReplicated(t *testing.T, fc *client.Client) {
+	t.Helper()
+	ctx := context.Background()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		rs, err := fc.ReplicationStatus(ctx)
+		if err == nil && rs.State == "tailing" && rs.LagBytes == 0 && rs.LagEpochs == 0 && rs.Bootstraps > 0 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	rs, err := fc.ReplicationStatus(ctx)
+	t.Fatalf("follower did not catch up: %+v (err %v)", rs, err)
+}
+
+// queryRows fetches one query's rows through the typed client, sorted
+// for comparison.
+func queryRows(t *testing.T, c *client.Client, q string) []string {
+	t.Helper()
+	res, err := c.Query(context.Background(), q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := make([]string, len(res.Rows))
+	for i, r := range res.Rows {
+		rows[i] = strings.Join(r, "\t")
+	}
+	sort.Strings(rows)
+	return rows
+}
+
+// TestFollowerServesReadsRejectsWrites is the follower contract: reads
+// are served (identically to the leader), mutations answer "read_only".
+func TestFollowerServesReadsRejectsWrites(t *testing.T) {
+	lts, fts, _ := leaderFollowerServers(t)
+	lc, err := client.New(lts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc, err := client.New(fts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// Ingest on the leader, converge the follower.
+	triples := rdfsum.GenerateBSBM(10).Decode()
+	if _, err := lc.Ingest(ctx, triples); err != nil {
+		t.Fatal(err)
+	}
+	waitReplicated(t, fc)
+
+	// Identical query results on both sides.
+	const q = "SELECT ?s ?o WHERE { ?s ?p ?o . }"
+	if lrows, frows := queryRows(t, lc, q), queryRows(t, fc, q); !equalStrings(lrows, frows) {
+		t.Fatalf("query results diverge: leader %d rows, follower %d rows", len(lrows), len(frows))
+	}
+
+	// Mutations are rejected with the stable code, and change nothing.
+	for _, try := range []func() error{
+		func() error { _, err := fc.Ingest(ctx, triples[:1]); return err },
+		func() error { _, err := fc.Delete(ctx, triples[:1]); return err },
+		func() error { _, err := fc.Compact(ctx); return err },
+	} {
+		err := try()
+		if !client.IsCode(err, httpapi.CodeReadOnly) {
+			t.Errorf("follower mutation error = %v, want code %q", err, httpapi.CodeReadOnly)
+		}
+	}
+
+	// Raw HTTP contract: 403 + envelope on the mutating routes.
+	for _, rt := range []struct{ method, path string }{
+		{"POST", "/v1/triples"}, {"DELETE", "/v1/triples"}, {"POST", "/v1/compact"},
+	} {
+		resp, env := doReq(t, rt.method, fts.URL+rt.path, "<http://x/s> <http://x/p> <http://x/o> .\n")
+		if resp.StatusCode != http.StatusForbidden || env.Error.Code != httpapi.CodeReadOnly {
+			t.Errorf("%s %s: status %d code %q", rt.method, rt.path, resp.StatusCode, env.Error.Code)
+		}
+	}
+
+	// Deletes on the leader converge too.
+	if _, err := lc.Delete(ctx, triples[:20]); err != nil {
+		t.Fatal(err)
+	}
+	waitReplicated(t, fc)
+	if lrows, frows := queryRows(t, lc, q), queryRows(t, fc, q); !equalStrings(lrows, frows) {
+		t.Fatalf("post-delete divergence: leader %d rows, follower %d rows", len(lrows), len(frows))
+	}
+
+	// Roles are reported on both ends.
+	lrs, err := lc.ReplicationStatus(ctx)
+	if err != nil || lrs.Role != "leader" {
+		t.Errorf("leader role = %+v (err %v)", lrs, err)
+	}
+	frs, err := fc.ReplicationStatus(ctx)
+	if err != nil || frs.Role != "follower" || frs.Leader != lts.URL {
+		t.Errorf("follower role = %+v (err %v)", frs, err)
+	}
+
+	// Follower stats advertise read_only.
+	fst, err := fc.Stats(ctx)
+	if err != nil || !fst.ReadOnly {
+		t.Errorf("follower stats read_only = %+v (err %v)", fst, err)
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestClientRoundTrip drives the full /v1 surface through the typed
+// client against a durable in-process server.
+func TestClientRoundTrip(t *testing.T) {
+	srv, err := newServer(serverConfig{liveDir: t.TempDir(), workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.close() })
+	ts := httptest.NewServer(srv.handler())
+	t.Cleanup(ts.Close)
+	c, err := client.New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	if err := c.Healthz(ctx); err != nil {
+		t.Fatal(err)
+	}
+	triples := rdfsum.GenerateBSBM(5).Decode()
+	ing, err := c.Ingest(ctx, triples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ing.Added != len(triples) || !ing.Durable {
+		t.Errorf("ingest = %+v", ing)
+	}
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Triples == 0 || !st.Durable || st.ReadOnly {
+		t.Errorf("stats = %+v", st)
+	}
+	sum, err := c.Summary(ctx, "weak")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Kind != "weak" || sum.DataEdges == 0 {
+		t.Errorf("summary = %+v", sum)
+	}
+	nt, err := c.SummaryNTriples(ctx, "strong")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nt.Close()
+	res, err := c.Query(ctx, "SELECT ?s WHERE { ?s ?p ?o . }", &client.QueryOptions{Limit: 7, Explain: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != 7 || !res.Truncated || len(res.Explain) == 0 {
+		t.Errorf("query = count %d truncated %v explain %d bytes", res.Count, res.Truncated, len(res.Explain))
+	}
+	del, err := c.Delete(ctx, triples[:3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if del.Removed != 3 {
+		t.Errorf("delete removed = %d, want 3", del.Removed)
+	}
+	cp, err := c.Compact(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Generation == 0 {
+		t.Errorf("compact = %+v", cp)
+	}
+	rs, err := c.ReplicationStatus(ctx)
+	if err != nil || rs.Role != "leader" || !rs.Durable {
+		t.Errorf("replication = %+v (err %v)", rs, err)
+	}
+
+	// Typed errors carry the server's stable code and status.
+	_, err = c.Query(ctx, "NOT SPARQL", nil)
+	if !client.IsCode(err, httpapi.CodeParse) {
+		t.Errorf("query parse error = %v", err)
+	}
+	var apiErr *client.Error
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
+		t.Errorf("query parse error status = %+v", apiErr)
+	}
+	_, err = c.Summary(ctx, "bogus")
+	if !client.IsCode(err, httpapi.CodeInvalidArgument) {
+		t.Errorf("summary kind error = %v", err)
+	}
+}

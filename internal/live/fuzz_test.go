@@ -20,7 +20,7 @@ func fuzzRecord(payload []byte) []byte {
 
 // fuzzAddPayload builds a valid v2 add-record payload with one triple.
 func fuzzAddPayload() []byte {
-	p := binary.AppendUvarint([]byte{byte(opAdd)}, 1)
+	p := binary.AppendUvarint([]byte{byte(OpAdd)}, 1)
 	t := rdf.NewTriple(rdf.NewIRI("http://a"), rdf.NewIRI("http://p"), rdf.NewLiteral("x"))
 	return appendTerm(appendTerm(appendTerm(p, t.S), t.P), t.O)
 }
@@ -37,9 +37,9 @@ func fuzzAddPayload() []byte {
 func FuzzWALReplay(f *testing.F) {
 	f.Add([]byte{})
 	f.Add(fuzzRecord(fuzzAddPayload()))
-	f.Add(fuzzRecord([]byte{byte(opDelete), 0}))
+	f.Add(fuzzRecord([]byte{byte(OpDelete), 0}))
 	f.Add(fuzzRecord([]byte{99, 0}))                     // invalid op, valid checksum
-	f.Add(fuzzRecord([]byte{byte(opAdd), 250, 1}))       // count overclaims
+	f.Add(fuzzRecord([]byte{byte(OpAdd), 250, 1}))       // count overclaims
 	f.Add([]byte{0xff, 0xff, 0xff, 0x7f, 0, 0, 0, 0})    // huge length prefix
 	f.Add(append(fuzzRecord(fuzzAddPayload()), 1, 2, 3)) // good record + torn tail
 
@@ -51,8 +51,8 @@ func FuzzWALReplay(f *testing.F) {
 			t.Fatal(err)
 		}
 		applied := 0
-		good, version, _, err := replayWAL(path, func(op walOp, triples []rdf.Triple) error {
-			if op != opAdd && op != opDelete {
+		good, version, _, err := replayWAL(path, func(op Op, triples []rdf.Triple) error {
+			if op != OpAdd && op != OpDelete {
 				t.Fatalf("replay surfaced invalid op %d", op)
 			}
 			applied++
@@ -73,7 +73,7 @@ func FuzzWALReplay(f *testing.F) {
 			t.Fatal(err)
 		}
 		applied2 := 0
-		good2, _, torn2, err := replayWAL(path, func(walOp, []rdf.Triple) error {
+		good2, _, torn2, err := replayWAL(path, func(Op, []rdf.Triple) error {
 			applied2++
 			return nil
 		})
@@ -94,10 +94,10 @@ func FuzzWALReplay(f *testing.F) {
 // panic, and decoded triples must contain only valid term kinds.
 func FuzzWALRecordDecode(f *testing.F) {
 	f.Add(fuzzAddPayload(), true)
-	f.Add([]byte{byte(opDelete), 0}, true)
+	f.Add([]byte{byte(OpDelete), 0}, true)
 	f.Add([]byte{0}, false) // v1: zero-count record
 	f.Add([]byte{}, true)
-	f.Add([]byte{byte(opAdd), 1, byte(rdf.Literal), 1, 'x', 0, 0}, true)
+	f.Add([]byte{byte(OpAdd), 1, byte(rdf.Literal), 1, 'x', 0, 0}, true)
 
 	f.Fuzz(func(t *testing.T, payload []byte, v2 bool) {
 		version := byte(walVersionV1)
@@ -108,7 +108,7 @@ func FuzzWALRecordDecode(f *testing.F) {
 		if err != nil {
 			return
 		}
-		if op != opAdd && op != opDelete {
+		if op != OpAdd && op != OpDelete {
 			t.Fatalf("decode accepted invalid op %d", op)
 		}
 		for _, tr := range triples {

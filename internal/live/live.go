@@ -19,7 +19,7 @@
 //     callers. The default maintains the weak summary only, the cheapest
 //     configuration; -maintain all trades write-side memory for
 //     staleness-free serving of every kind.
-//   - Deletions are first-class: Delete/DeleteBatch journal an opDelete
+//   - Deletions are first-class: Delete/DeleteBatch journal an OpDelete
 //     WAL record, remove every stored copy of the listed triples, and
 //     publish a tombstone run in the tiered index (the graph components
 //     compact copy-on-write, so held snapshots are unaffected). Summary
@@ -143,6 +143,10 @@ type Live struct {
 	// lastD/T/S are the component lengths at the last publication, for
 	// delta extraction when merging the index.
 	lastD, lastT, lastS int
+
+	// watch, when non-nil, is closed at the next epoch publication —
+	// the replication leader's long-poll wake-up (see Watch).
+	watch chan struct{}
 
 	cells [core.NumKinds]summaryCell // indexed by core.Kind
 
@@ -270,8 +274,10 @@ func Open(dir string, opts Options) (*Live, error) {
 			return nil, err
 		}
 		l.gen = gen
-		good, version, torn, err := replayWAL(l.walPath(gen), func(op walOp, triples []rdf.Triple) error {
-			if op == opDelete {
+		records := int64(0)
+		good, version, torn, err := replayWAL(l.walPath(gen), func(op Op, triples []rdf.Triple) error {
+			records++
+			if op == OpDelete {
 				removed, _ := l.set.DeleteBatch(triples)
 				l.deleted += uint64(removed)
 				return nil
@@ -285,7 +291,7 @@ func Open(dir string, opts Options) (*Live, error) {
 			return nil, err
 		}
 		l.RecoveredTorn = torn
-		l.wal, err = openWALForAppend(l.walPath(gen), good, l.sync, version)
+		l.wal, err = openWALForAppend(l.walPath(gen), good, l.sync, version, records)
 		if err != nil {
 			return nil, err
 		}
@@ -369,7 +375,7 @@ func (l *Live) AddBatch(triples []rdf.Triple) error {
 func (l *Live) Delete(t rdf.Triple) (int, error) { return l.DeleteBatch([]rdf.Triple{t}) }
 
 // DeleteBatch removes every stored copy of each listed triple as one
-// acknowledged batch: an opDelete WAL record is written and fsynced
+// acknowledged batch: an OpDelete WAL record is written and fsynced
 // (durable stores), the graph and every maintained summary shrink —
 // exactly where the engine's bookkeeping is refcounted, else via a
 // counted rebuild deferred to the next Summary call — and a new epoch
@@ -394,7 +400,7 @@ func (l *Live) DeleteBatch(triples []rdf.Triple) (int, error) {
 		return 0, nil
 	}
 	if l.wal != nil {
-		if err := l.wal.appendOp(opDelete, triples); err != nil {
+		if err := l.wal.appendOp(OpDelete, triples); err != nil {
 			return 0, err
 		}
 	}
@@ -466,6 +472,10 @@ func (l *Live) installLocked(view *store.Graph, ix *store.Index) {
 	l.lastD, l.lastT, l.lastS = len(g.Data), len(g.Types), len(g.Schema)
 	l.published++
 	l.cur.Store(&Snapshot{Epoch: l.published, Graph: view, Index: ix})
+	if l.watch != nil {
+		close(l.watch)
+		l.watch = nil
+	}
 }
 
 // Summary returns the summary of the given kind for (at least) the
@@ -669,6 +679,12 @@ func (l *Live) Close() error {
 		return nil
 	}
 	l.closed = true
+	if l.watch != nil {
+		// Wake long-polling replication watchers instead of leaving them
+		// to their timeouts.
+		close(l.watch)
+		l.watch = nil
+	}
 	var err error
 	if l.wal != nil {
 		err = l.wal.close()

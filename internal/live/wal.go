@@ -49,12 +49,14 @@ const (
 	walChunkBytes = 16 << 20
 )
 
-// walOp tags a record's effect on the graph.
-type walOp byte
+// Op tags a record's effect on the graph. It is exported so replication
+// followers (internal/repl) can apply shipped WAL records through the
+// matching Live mutation.
+type Op byte
 
 const (
-	opAdd    walOp = 0
-	opDelete walOp = 1
+	OpAdd    Op = 0
+	OpDelete Op = 1
 )
 
 // WAL read failures, classified like store's snapshot errors.
@@ -72,6 +74,7 @@ const walHeaderLen = len(walMagic) + 1
 type wal struct {
 	f       *os.File
 	size    int64 // bytes written and (if sync) durable
+	records int64 // records framed into those bytes (replayed prefix included)
 	sync    bool  // fsync after every append (group commit per batch)
 	broken  bool  // a failed append could not be rolled back; no more writes
 	version byte  // header format version; records are framed accordingly
@@ -101,10 +104,11 @@ func createWAL(path string, sync bool) (*wal, error) {
 }
 
 // openWALForAppend opens an existing WAL whose valid prefix ends at size
-// (as reported by replayWAL, which also reports the header version) and
-// positions the write cursor there. Any torn tail beyond size is truncated
-// away first, so the next append starts on a clean record boundary.
-func openWALForAppend(path string, size int64, sync bool, version byte) (*wal, error) {
+// and holds records framed records (both as reported by replayWAL, which
+// also reports the header version) and positions the write cursor there.
+// Any torn tail beyond size is truncated away first, so the next append
+// starts on a clean record boundary.
+func openWALForAppend(path string, size int64, sync bool, version byte, records int64) (*wal, error) {
 	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, err
@@ -130,11 +134,11 @@ func openWALForAppend(path string, size int64, sync bool, version byte) (*wal, e
 		f.Close()
 		return nil, err
 	}
-	return &wal{f: f, size: size, sync: sync, version: version}, nil
+	return &wal{f: f, size: size, sync: sync, version: version, records: records}, nil
 }
 
 // append frames and writes one add batch; see appendOp.
-func (w *wal) append(triples []rdf.Triple) error { return w.appendOp(opAdd, triples) }
+func (w *wal) append(triples []rdf.Triple) error { return w.appendOp(OpAdd, triples) }
 
 // appendOp frames and writes one batch under the given op; with sync
 // enabled the batch is durable (acknowledged) when appendOp returns. A
@@ -145,16 +149,17 @@ func (w *wal) append(triples []rdf.Triple) error { return w.appendOp(opAdd, trip
 // covers all records of the batch (the group-commit unit); a crash
 // mid-batch can recover a prefix of the (unacknowledged) batch's records,
 // never lose an acknowledged one.
-func (w *wal) appendOp(op walOp, triples []rdf.Triple) error {
+func (w *wal) appendOp(op Op, triples []rdf.Triple) error {
 	if w.broken {
 		return errors.New("live: wal is broken after a failed append; reopen the store")
 	}
-	if w.version < walVersion && op != opAdd {
+	if w.version < walVersion && op != OpAdd {
 		// Unreachable in practice: Open upgrades v1 generations via a
 		// compaction before handing out the store.
 		return fmt.Errorf("live: wal format v%d cannot record deletions; compact the store first", w.version)
 	}
 	written := int64(0)
+	nrecs := int64(0)
 	var body []byte
 	count := 0
 	flush := func() error {
@@ -179,6 +184,7 @@ func (w *wal) appendOp(op walOp, triples []rdf.Triple) error {
 			return fmt.Errorf("live: wal append: %w", err)
 		}
 		written += int64(8 + len(payload))
+		nrecs++
 		return nil
 	}
 	// Worst-case payload: a body one byte shy of walChunkBytes plus one
@@ -216,6 +222,7 @@ func (w *wal) appendOp(op walOp, triples []rdf.Triple) error {
 		}
 	}
 	w.size += written
+	w.records += nrecs
 	return nil
 }
 
@@ -258,16 +265,16 @@ func appendTerm(buf []byte, t rdf.Term) []byte {
 // decodeBatch parses one record payload back into its op and triples,
 // according to the file's header version (v1 payloads carry no op byte
 // and are always adds).
-func decodeBatch(payload []byte, version byte) (walOp, []rdf.Triple, error) {
+func decodeBatch(payload []byte, version byte) (Op, []rdf.Triple, error) {
 	r := payloadCursor{b: payload}
-	op := opAdd
+	op := OpAdd
 	if version >= walVersion {
 		if len(r.b) == 0 {
 			return 0, nil, errShortRecord
 		}
-		op = walOp(r.b[0])
+		op = Op(r.b[0])
 		r.b = r.b[1:]
-		if op != opAdd && op != opDelete {
+		if op != OpAdd && op != OpDelete {
 			return 0, nil, fmt.Errorf("live: wal record has invalid op %d", op)
 		}
 	}
@@ -362,7 +369,7 @@ func (r *payloadCursor) term() (rdf.Term, error) {
 //
 // A bad header (wrong magic or unknown version) is a hard error: it means
 // the file is not ours, which truncation must not "repair".
-func replayWAL(path string, apply func(walOp, []rdf.Triple) error) (good int64, version byte, torn bool, err error) {
+func replayWAL(path string, apply func(Op, []rdf.Triple) error) (good int64, version byte, torn bool, err error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return 0, 0, false, err
