@@ -74,7 +74,7 @@ bench-json:
 # results and post-delete convergence.
 stress: replication-smoke
 	$(GO) test -race -count=2 \
-		-run 'TestLiveStress|TestLiveMaintainedStress|TestLiveIngestDuringConcurrentQueries|TestLiveCrashRecoveryPrefix|TestLiveSnapshotAcrossCompactStress|TestFollower' \
+		-run 'TestLiveStress|TestLiveMaintainedStress|TestLiveIngestDuringConcurrentQueries|TestLiveCrashRecoveryPrefix|TestLiveSnapshotAcrossCompactStress|TestLiveIngestQueueBackpressureStress|TestFollower' \
 		./internal/live ./cmd/rdfsumd ./internal/repl
 
 # Two-process replication smoke (mirrored as a CI step): leader ingests,
@@ -83,13 +83,23 @@ stress: replication-smoke
 replication-smoke:
 	$(GO) test -race -count=1 -run 'TestE2EReplication' ./cmd/rdfsumd
 
-.PHONY: replication-smoke
+# Streaming-ingest smoke (mirrored as a CI step): a real rdfsumd boots
+# from a cold gzipped Turtle dump straight into serving summaries and
+# queries, then a zstd-compressed streaming upload lands through the
+# typed client.
+ingest-smoke:
+	$(GO) test -race -count=1 -run 'TestE2EStreamingIngest' ./cmd/rdfsumd
 
-# Fuzz smoke (mirrored as a CI job): the N-Triples parser and the WAL
-# record decoder/replayer, each seeded from the committed corpus under
-# the package's testdata/fuzz/ directory.
+.PHONY: replication-smoke ingest-smoke
+
+# Fuzz smoke (mirrored as a CI job): the N-Triples parser, the Turtle
+# statement splitter's bit-identity property (split+parallel parse ==
+# sequential parse, byte for byte), and the WAL record decoder/replayer,
+# each seeded from the committed corpus under the package's testdata/fuzz/
+# directory.
 fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime=$(FUZZTIME) -run='^$$' ./internal/ntriples
+	$(GO) test -fuzz=FuzzTurtleSplit -fuzztime=$(FUZZTIME) -run='^$$' ./internal/turtle
 	$(GO) test -fuzz=FuzzWALReplay -fuzztime=$(FUZZTIME) -run='^$$' ./internal/live
 	$(GO) test -fuzz=FuzzWALRecordDecode -fuzztime=$(FUZZTIME) -run='^$$' ./internal/live
 

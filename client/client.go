@@ -23,6 +23,7 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"time"
 
 	"rdfsum"
 )
@@ -69,10 +70,27 @@ type Error struct {
 	Status  int    // HTTP status code
 	Code    string // stable API error code ("invalid_argument", "gone", ...)
 	Message string
+	// RetryAfter is the server's backoff hint from the Retry-After header
+	// (zero when absent). Set on "ingest_overloaded" responses: the
+	// server's bounded ingest queue is full, and the same request will
+	// succeed once it drains.
+	RetryAfter time.Duration
 }
 
 func (e *Error) Error() string {
 	return fmt.Sprintf("rdfsumd: %s: %s (HTTP %d)", e.Code, e.Message, e.Status)
+}
+
+// Retryable reports whether the same request can be expected to succeed
+// after a backoff (RetryAfter when set): ingest backpressure (429) and
+// transient server-side failures (502/503/504).
+func (e *Error) Retryable() bool {
+	switch e.Status {
+	case http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
 }
 
 // IsCode reports whether err (or an error it wraps) is an API error with
@@ -80,6 +98,13 @@ func (e *Error) Error() string {
 func IsCode(err error, code string) bool {
 	var ae *Error
 	return errors.As(err, &ae) && ae.Code == code
+}
+
+// IsRetryable reports whether err (or an error it wraps) is an API error
+// worth retrying after a backoff — see (*Error).Retryable.
+func IsRetryable(err error) bool {
+	var ae *Error
+	return errors.As(err, &ae) && ae.Retryable()
 }
 
 // errorEnvelope mirrors the server's error envelope.
@@ -94,14 +119,21 @@ type errorEnvelope struct {
 // envelope when present and falling back to the raw body text otherwise.
 func decodeError(resp *http.Response) error {
 	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	retryAfter := time.Duration(0)
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if secs, err := strconv.Atoi(s); err == nil && secs >= 0 {
+			retryAfter = time.Duration(secs) * time.Second
+		}
+	}
 	var env errorEnvelope
 	if err := json.Unmarshal(body, &env); err == nil && env.Error.Code != "" {
-		return &Error{Status: resp.StatusCode, Code: env.Error.Code, Message: env.Error.Message}
+		return &Error{Status: resp.StatusCode, Code: env.Error.Code, Message: env.Error.Message, RetryAfter: retryAfter}
 	}
 	return &Error{
-		Status:  resp.StatusCode,
-		Code:    "http_" + strconv.Itoa(resp.StatusCode),
-		Message: strings.TrimSpace(string(body)),
+		Status:     resp.StatusCode,
+		Code:       "http_" + strconv.Itoa(resp.StatusCode),
+		Message:    strings.TrimSpace(string(body)),
+		RetryAfter: retryAfter,
 	}
 }
 
@@ -126,6 +158,15 @@ func (c *Client) do(ctx context.Context, method, path string, q url.Values, cont
 // send issues one request and returns the open response, with non-2xx
 // statuses already converted to typed errors (body closed).
 func (c *Client) send(ctx context.Context, method, path string, q url.Values, contentType string, body io.Reader) (*http.Response, error) {
+	var hdr http.Header
+	if contentType != "" {
+		hdr = http.Header{"Content-Type": {contentType}}
+	}
+	return c.sendHeader(ctx, method, path, q, hdr, body)
+}
+
+// sendHeader is send with arbitrary request headers.
+func (c *Client) sendHeader(ctx context.Context, method, path string, q url.Values, hdr http.Header, body io.Reader) (*http.Response, error) {
 	u := c.base + "/v1" + path
 	if len(q) > 0 {
 		u += "?" + q.Encode()
@@ -134,8 +175,8 @@ func (c *Client) send(ctx context.Context, method, path string, q url.Values, co
 	if err != nil {
 		return nil, err
 	}
-	if contentType != "" {
-		req.Header.Set("Content-Type", contentType)
+	for k, vs := range hdr {
+		req.Header[k] = vs
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
@@ -170,6 +211,14 @@ type Stats struct {
 	Deleted         uint64 `json:"deleted"`
 	IndexRuns       int    `json:"index_runs"`
 	IndexTombstones int    `json:"index_tombstones"`
+
+	// Ingest-queue occupancy (zero on servers without a queue, e.g.
+	// followers rejecting writes).
+	IngestQueueDepth    int    `json:"ingest_queue_depth"`
+	IngestQueueMaxDepth int    `json:"ingest_queue_max_depth"`
+	IngestQueueBytes    int64  `json:"ingest_queue_bytes"`
+	IngestQueueMaxBytes int64  `json:"ingest_queue_max_bytes"`
+	IngestQueueRejected uint64 `json:"ingest_queue_rejected"`
 }
 
 // Stats fetches graph size statistics and serving counters.
@@ -291,12 +340,86 @@ func (c *Client) Ingest(ctx context.Context, triples []rdfsum.Triple) (*IngestRe
 
 // IngestNTriples is Ingest with a streamed N-Triples body.
 func (c *Client) IngestNTriples(ctx context.Context, body io.Reader) (*IngestResult, error) {
+	return c.IngestStream(ctx, body, nil)
+}
+
+// IngestOptions tune a streaming ingest upload; the zero value (or nil)
+// sends plain N-Triples.
+type IngestOptions struct {
+	// Format names the body's serialization and sets the Content-Type:
+	// FormatNTriples (the default; FormatAuto is treated the same) or
+	// FormatTurtle.
+	Format rdfsum.Format
+	// Compression compresses the upload on the fly as it streams —
+	// CompressionGzip or CompressionZstd — declared via Content-Encoding
+	// so the server decodes it as a streaming stage. CompressionNone
+	// (and CompressionAuto) send the body as-is.
+	Compression rdfsum.Compression
+}
+
+// contentType maps the chosen format to its media type.
+func (o *IngestOptions) contentType() string {
+	if o != nil && o.Format == rdfsum.FormatTurtle {
+		return "text/turtle"
+	}
+	return "application/n-triples"
+}
+
+// IngestStream uploads an RDF document as one acknowledged batch,
+// optionally compressing it on the fly. The body streams through — it is
+// never materialized client-side. A server whose ingest queue is full
+// answers with a Retryable *Error (code "ingest_overloaded") carrying
+// the Retry-After hint.
+func (c *Client) IngestStream(ctx context.Context, body io.Reader, opts *IngestOptions) (*IngestResult, error) {
 	var out IngestResult
-	if err := c.do(ctx, http.MethodPost, "/triples", nil,
-		"application/n-triples", body, &out); err != nil {
+	if err := c.upload(ctx, http.MethodPost, body, opts, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
+}
+
+// upload is the shared streaming-body path for ingest and delete.
+func (c *Client) upload(ctx context.Context, method string, body io.Reader, opts *IngestOptions, out any) error {
+	hdr := http.Header{"Content-Type": {opts.contentType()}}
+	comp := rdfsum.CompressionNone
+	if opts != nil {
+		comp = opts.Compression
+	}
+	switch comp {
+	case rdfsum.CompressionNone, rdfsum.CompressionAuto:
+	case rdfsum.CompressionGzip:
+		hdr.Set("Content-Encoding", "gzip")
+	case rdfsum.CompressionZstd:
+		hdr.Set("Content-Encoding", "zstd")
+	default:
+		return fmt.Errorf("client: unsupported upload compression %v", comp)
+	}
+	if comp == rdfsum.CompressionGzip || comp == rdfsum.CompressionZstd {
+		pr, pw := io.Pipe()
+		src := body // the goroutine must read the caller's reader, not the pipe
+		go func() {
+			enc, err := rdfsum.NewCompressionWriter(pw, comp)
+			if err != nil {
+				pw.CloseWithError(err)
+				return
+			}
+			if _, err := io.Copy(enc, src); err != nil {
+				pw.CloseWithError(err)
+				return
+			}
+			pw.CloseWithError(enc.Close())
+		}()
+		body = pr
+	}
+	resp, err := c.sendHeader(ctx, method, "/triples", nil, hdr, body)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("client: decode %s /triples response: %w", method, err)
+	}
+	return nil
 }
 
 // DeleteResult mirrors DELETE /v1/triples.
@@ -319,9 +442,14 @@ func (c *Client) Delete(ctx context.Context, triples []rdfsum.Triple) (*DeleteRe
 
 // DeleteNTriples is Delete with a streamed N-Triples body.
 func (c *Client) DeleteNTriples(ctx context.Context, body io.Reader) (*DeleteResult, error) {
+	return c.DeleteStream(ctx, body, nil)
+}
+
+// DeleteStream is IngestStream for deletions: the uploaded document's
+// triples are removed as one acknowledged batch.
+func (c *Client) DeleteStream(ctx context.Context, body io.Reader, opts *IngestOptions) (*DeleteResult, error) {
 	var out DeleteResult
-	if err := c.do(ctx, http.MethodDelete, "/triples", nil,
-		"application/n-triples", body, &out); err != nil {
+	if err := c.upload(ctx, http.MethodDelete, body, opts, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil

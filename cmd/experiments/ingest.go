@@ -63,7 +63,7 @@ func printIngest(targets []int, dataset string, seed uint64) {
 		}
 
 		seqStart := time.Now()
-		seq, err := rdfsum.LoadNTriplesFile(path)
+		seq, err := rdfsum.LoadFile(path, &rdfsum.LoadOptions{Workers: 1})
 		if err != nil {
 			die(err)
 		}
@@ -74,7 +74,7 @@ func printIngest(targets []int, dataset string, seed uint64) {
 		best := seqTime
 		for _, w := range workerCounts {
 			start := time.Now()
-			par, err := rdfsum.LoadNTriplesFileParallel(path, &rdfsum.LoadOptions{Workers: w})
+			par, err := rdfsum.LoadFile(path, &rdfsum.LoadOptions{Workers: w})
 			if err != nil {
 				die(err)
 			}

@@ -109,20 +109,17 @@ func loadFlags(fs *flag.FlagSet) {
 		"N-Triples load workers (0 = all CPUs, 1 = sequential)")
 }
 
-// load reads a graph from an N-Triples (.nt) file, a Turtle (.ttl) file,
-// or a snapshot (anything else).
+// load reads a graph from an N-Triples or Turtle file — optionally
+// gzip/zstd-compressed, detected from the name (data.nt, dump.ttl.gz,
+// …) — or a snapshot (anything else).
 func load(path string) (*rdfsum.Graph, error) {
 	if path == "" {
 		return nil, fmt.Errorf("missing -in file")
 	}
-	switch {
-	case strings.HasSuffix(path, ".nt"):
-		return rdfsum.LoadNTriplesFileParallel(path, &rdfsum.LoadOptions{Workers: loadWorkers})
-	case strings.HasSuffix(path, ".ttl"):
-		return rdfsum.LoadTurtleFile(path)
-	default:
-		return rdfsum.LoadSnapshot(path)
+	if format, codec := rdfsum.DetectFile(path); format != rdfsum.FormatAuto || codec != rdfsum.CompressionNone {
+		return rdfsum.LoadFile(path, &rdfsum.LoadOptions{Workers: loadWorkers})
 	}
+	return rdfsum.LoadSnapshot(path)
 }
 
 // save writes a graph as N-Triples (.nt), Turtle (.ttl) or a snapshot.
@@ -383,7 +380,7 @@ func cmdIngest(args []string) error {
 	fs := flag.NewFlagSet("ingest", flag.ExitOnError)
 	walDir := fs.String("wal", "", "live store directory (created if absent)")
 	server := fs.String("server", "", "rdfsumd base URL; ingest through a running server instead of -wal")
-	in := fs.String("in", "", "N-Triples file to append (or remove, with -delete)")
+	in := fs.String("in", "", "triples file to append (or remove, with -delete): .nt or .ttl, optionally .gz/.zst")
 	batch := fs.Int("batch", 8192, "triples per WAL record / fsync")
 	del := fs.Bool("delete", false, "remove the file's triples instead of adding them")
 	compact := fs.Bool("compact", false, "fold the WAL into a snapshot after ingest")
@@ -408,11 +405,6 @@ func cmdIngest(args []string) error {
 	}
 	defer lv.Close()
 	before := lv.Stats()
-	f, err := os.Open(*in)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
 	buf := make([]rdfsum.Triple, 0, *batch)
 	flush := func() error {
 		if len(buf) == 0 {
@@ -430,14 +422,14 @@ func cmdIngest(args []string) error {
 		buf = buf[:0]
 		return nil
 	}
-	if err := rdfsum.ParseStream(f, func(t rdfsum.Triple) error {
+	if err := rdfsum.StreamFile(*in, nil, func(t rdfsum.Triple) error {
 		buf = append(buf, t)
 		if len(buf) == *batch {
 			return flush()
 		}
 		return nil
 	}); err != nil {
-		return err
+		return describeStreamErr(*in, err)
 	}
 	if err := flush(); err != nil {
 		return err
@@ -458,6 +450,25 @@ func cmdIngest(args []string) error {
 		fmt.Printf("compacted to generation %d, wal %d bytes\n", st.Gen, st.WALBytes)
 	}
 	return nil
+}
+
+// describeStreamErr annotates a streaming-load failure with what the
+// file name declared about its encoding, so a truncated dump fails as
+// "reading dump.ttl.gz as gzip-compressed turtle: ..." instead of a
+// bare parse position.
+func describeStreamErr(path string, err error) error {
+	format, codec := rdfsum.DetectFile(path)
+	var as []string
+	if codec != rdfsum.CompressionNone {
+		as = append(as, codec.String()+"-compressed")
+	}
+	if format != rdfsum.FormatAuto {
+		as = append(as, format.String())
+	}
+	if len(as) == 0 {
+		return err
+	}
+	return fmt.Errorf("reading %s as %s: %w", path, strings.Join(as, " "), err)
 }
 
 func cmdConvert(args []string) error {

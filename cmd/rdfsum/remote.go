@@ -2,10 +2,12 @@ package main
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"os"
 	"strings"
 	"text/tabwriter"
+	"time"
 
 	"rdfsum"
 	"rdfsum/client"
@@ -96,20 +98,18 @@ func remoteStats(server, kindsFlag string) error {
 	return nil
 }
 
-// remoteIngest streams an N-Triples file to the server in acknowledged
-// batches (one /v1/triples request per batch); with del the triples are
-// removed instead.
+// remoteIngest streams a triples file (N-Triples or Turtle, optionally
+// gzip/zstd-compressed — detected from the name) to the server in
+// acknowledged batches (one /v1/triples request per batch); with del the
+// triples are removed instead. A server shedding load (429
+// "ingest_overloaded") is retried after its Retry-After hint — the
+// client-side half of the bounded-queue backpressure contract.
 func remoteIngest(server, in string, batch int, del bool) error {
 	cl, err := client.New(server)
 	if err != nil {
 		return err
 	}
 	ctx := context.Background()
-	f, err := os.Open(in)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
 	var (
 		buf     = make([]rdfsum.Triple, 0, batch)
 		applied int
@@ -120,32 +120,43 @@ func remoteIngest(server, in string, batch int, del bool) error {
 		if len(buf) == 0 {
 			return nil
 		}
-		if del {
-			res, err := cl.Delete(ctx, buf)
-			if err != nil {
+		for {
+			if del {
+				res, err := cl.Delete(ctx, buf)
+				if err == nil {
+					applied += res.Removed
+					epoch, durable = res.Epoch, res.Durable
+					break
+				}
+				if wait, ok := retryDelay(err); ok {
+					time.Sleep(wait)
+					continue
+				}
 				return err
 			}
-			applied += res.Removed
-			epoch, durable = res.Epoch, res.Durable
-		} else {
 			res, err := cl.Ingest(ctx, buf)
-			if err != nil {
-				return err
+			if err == nil {
+				applied += res.Added
+				epoch, durable = res.Epoch, res.Durable
+				break
 			}
-			applied += res.Added
-			epoch, durable = res.Epoch, res.Durable
+			if wait, ok := retryDelay(err); ok {
+				time.Sleep(wait)
+				continue
+			}
+			return err
 		}
 		buf = buf[:0]
 		return nil
 	}
-	if err := rdfsum.ParseStream(f, func(t rdfsum.Triple) error {
+	if err := rdfsum.StreamFile(in, nil, func(t rdfsum.Triple) error {
 		buf = append(buf, t)
 		if len(buf) == batch {
 			return flush()
 		}
 		return nil
 	}); err != nil {
-		return err
+		return describeStreamErr(in, err)
 	}
 	if err := flush(); err != nil {
 		return err
@@ -156,4 +167,17 @@ func remoteIngest(server, in string, batch int, del bool) error {
 	}
 	fmt.Printf("%s %d triples via %s, epoch %d, durable %v\n", verb, applied, server, epoch, durable)
 	return nil
+}
+
+// retryDelay reports whether err is worth retrying and after how long,
+// honoring the server's Retry-After hint with a 1s fallback.
+func retryDelay(err error) (time.Duration, bool) {
+	if !client.IsRetryable(err) {
+		return 0, false
+	}
+	var ae *client.Error
+	if errors.As(err, &ae) && ae.RetryAfter > 0 {
+		return ae.RetryAfter, true
+	}
+	return time.Second, true
 }

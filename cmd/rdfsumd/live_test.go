@@ -25,7 +25,7 @@ func liveTestServer(t *testing.T, seed *rdfsum.Graph) (*httptest.Server, *server
 			t.Fatal(err)
 		}
 	}
-	t.Cleanup(func() { srv.lv.Close() })
+	t.Cleanup(func() { srv.close() }) //nolint:errcheck
 	ts := httptest.NewServer(srv.handler())
 	t.Cleanup(ts.Close)
 	return ts, srv
@@ -243,7 +243,7 @@ func TestPruningSoundUnderStaleness(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { srv.lv.Close() })
+	t.Cleanup(func() { srv.close() }) //nolint:errcheck
 	ts := httptest.NewServer(srv.handler())
 	t.Cleanup(ts.Close)
 
@@ -288,7 +288,7 @@ func TestSummaryStaleness(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { srv.lv.Close() })
+	t.Cleanup(func() { srv.close() }) //nolint:errcheck
 	ts := httptest.NewServer(srv.handler())
 	t.Cleanup(ts.Close)
 
@@ -320,7 +320,7 @@ func TestMetricsEndpoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { srv.lv.Close() })
+	t.Cleanup(func() { srv.close() }) //nolint:errcheck
 	ts := httptest.NewServer(srv.handler())
 	t.Cleanup(ts.Close)
 

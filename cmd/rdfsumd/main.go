@@ -22,9 +22,12 @@
 //	GET  /v1/summary?kind=weak summary statistics (+N-Triples or DOT body
 //	                           with ?format=ntriples | dot); epoch-tagged
 //	GET  /v1/profile           entity-kind profile (typed-weak based)
-//	POST /v1/triples           N-Triples body appended as one acknowledged
-//	                           batch (WAL-durable with -live)
-//	DELETE /v1/triples         N-Triples body removed as one acknowledged
+//	POST /v1/triples           triples body appended as one acknowledged
+//	                           batch (WAL-durable with -live); N-Triples or
+//	                           text/turtle, Content-Encoding gzip|zstd
+//	                           accepted; a full ingest queue answers 429 +
+//	                           Retry-After with code "ingest_overloaded"
+//	DELETE /v1/triples         triples body removed as one acknowledged
 //	                           batch (every stored copy; WAL-durable)
 //	POST /v1/compact           fold the WAL into a snapshot generation
 //	                           and the tiered index into a single run
@@ -73,6 +76,10 @@ func main() {
 		"summary kinds kept incrementally current during ingest: a comma list of kinds, \"all\", or \"none\"")
 	indexFanout := flag.Int("index-fanout", 0,
 		"tiered-index fold width: delta runs merge once this many share a level (0 = default 8)")
+	queueDepth := flag.Int("ingest-queue-depth", 0,
+		"max batches buffered in the ingest queue before 429 (0 = default 256)")
+	queueBytes := flag.Int64("ingest-queue-bytes", 0,
+		"max decoded payload bytes buffered in the ingest queue before 429 (0 = default 256 MiB)")
 	flag.Parse()
 	if *in == "" && *liveDir == "" && *follow == "" {
 		fmt.Fprintln(os.Stderr, "rdfsumd: need -in, -live or -follow")
@@ -92,6 +99,8 @@ func main() {
 		noSync:      *noSync,
 		maintain:    maintained,
 		indexFanout: *indexFanout,
+		queueDepth:  *queueDepth,
+		queueBytes:  *queueBytes,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rdfsumd:", err)

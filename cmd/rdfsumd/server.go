@@ -1,6 +1,7 @@
 package main
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"log"
@@ -49,9 +50,10 @@ type prunerCell struct {
 // across instances is meaningless, and acting on one (e.g. applying an
 // old instance's pruning gate) would be unsound.
 type server struct {
-	lv       *rdfsum.Live   // fixed store; nil on followers
-	follower *repl.Follower // non-nil on read replicas (-follow)
-	leader   *repl.Leader   // non-nil on durable stores (serves /v1/repl)
+	lv       *rdfsum.Live        // fixed store; nil on followers
+	queue    *rdfsum.IngestQueue // bounded ingest admission; nil on followers
+	follower *repl.Follower      // non-nil on read replicas (-follow)
+	leader   *repl.Leader        // non-nil on durable stores (serves /v1/repl)
 
 	// maxStale is how many epochs behind a cached summary-derived
 	// artifact may serve before it is rebuilt (0 = always rebuild when
@@ -74,14 +76,16 @@ type server struct {
 
 // serverConfig collects rdfsumd's startup knobs.
 type serverConfig struct {
-	in          string // input graph (.nt, .ttl or snapshot); seeds -live
+	in          string // input graph (.nt/.ttl, optionally .gz/.zst, or snapshot); seeds -live
 	liveDir     string // durable store directory ("" = memory-only)
 	follow      string // leader base URL; makes this a read replica
-	workers     int    // N-Triples load workers (0 = all CPUs)
+	workers     int    // bulk-load parse workers (0 = all CPUs)
 	maxStale    uint64
 	noSync      bool
 	maintain    []rdfsum.Kind
 	indexFanout int
+	queueDepth  int   // ingest queue batch bound (0 = default)
+	queueBytes  int64 // ingest queue byte budget (0 = default)
 }
 
 // newServer builds the serving state. With cfg.follow set the server is a
@@ -118,16 +122,16 @@ func newServer(cfg serverConfig) (*server, error) {
 	var seed *rdfsum.Graph
 	if cfg.in != "" {
 		var err error
-		switch {
-		case strings.HasSuffix(cfg.in, ".nt"):
-			seed, err = rdfsum.LoadNTriplesFileParallel(cfg.in, &rdfsum.LoadOptions{Workers: cfg.workers})
-		case strings.HasSuffix(cfg.in, ".ttl"):
-			seed, err = rdfsum.LoadTurtleFile(cfg.in)
-		default:
+		// Names declaring an RDF dump — .nt/.ttl, with or without a
+		// .gz/.zst layer — stream through the format-aware parallel
+		// loader; anything else is read as a binary snapshot.
+		if format, codec := rdfsum.DetectFile(cfg.in); format != rdfsum.FormatAuto || codec != rdfsum.CompressionNone {
+			seed, err = rdfsum.LoadFile(cfg.in, &rdfsum.LoadOptions{Workers: cfg.workers})
+		} else {
 			seed, err = rdfsum.LoadSnapshot(cfg.in)
 		}
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("loading %s: %w", cfg.in, err)
 		}
 	}
 	opts := &rdfsum.LiveOptions{NoSync: cfg.noSync, Seed: seed, Maintain: cfg.maintain, IndexFanout: cfg.indexFanout}
@@ -145,6 +149,7 @@ func newServer(cfg serverConfig) (*server, error) {
 		lv = rdfsum.NewLiveWithOptions(seed, opts)
 	}
 	s := &server{lv: lv, maxStale: cfg.maxStale}
+	s.queue = rdfsum.NewIngestQueue(lv, cfg.queueDepth, cfg.queueBytes)
 	if lv.Durable() {
 		s.leader = repl.NewLeader(lv)
 	}
@@ -154,7 +159,8 @@ func newServer(cfg serverConfig) (*server, error) {
 // newServerFromGraph wraps an in-memory graph; used by tests and
 // embedders.
 func newServerFromGraph(g *rdfsum.Graph) *server {
-	return &server{lv: rdfsum.NewLive(g)}
+	lv := rdfsum.NewLive(g)
+	return &server{lv: lv, queue: rdfsum.NewIngestQueue(lv, 0, 0)}
 }
 
 // state returns the live store to serve this request from and the
@@ -172,10 +178,14 @@ func (s *server) state() (*rdfsum.Live, uint64) {
 // replica; writes go to its leader).
 func (s *server) readOnly() bool { return s.follower != nil }
 
-// close releases the serving state (the replication loop and store).
+// close releases the serving state: the ingest queue drains its admitted
+// batches first, then the replication loop and store shut down.
 func (s *server) close() error {
 	if s.follower != nil {
 		return s.follower.Close()
+	}
+	if s.queue != nil {
+		s.queue.Close()
 	}
 	return s.lv.Close()
 }
@@ -349,6 +359,14 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	if rs, err := lv.ReplState(); err == nil {
 		fmt.Fprintf(&b, "# TYPE rdfsum_wal_records gauge\nrdfsum_wal_records %d\n", rs.WALRecords)
 	}
+	if s.queue != nil {
+		qs := s.queue.Stats()
+		fmt.Fprintf(&b, "# TYPE rdfsum_ingest_queue_depth gauge\nrdfsum_ingest_queue_depth %d\n", qs.Depth)
+		fmt.Fprintf(&b, "# TYPE rdfsum_ingest_queue_max_depth gauge\nrdfsum_ingest_queue_max_depth %d\n", qs.MaxDepth)
+		fmt.Fprintf(&b, "# TYPE rdfsum_ingest_queue_bytes gauge\nrdfsum_ingest_queue_bytes %d\n", qs.Bytes)
+		fmt.Fprintf(&b, "# TYPE rdfsum_ingest_queue_max_bytes gauge\nrdfsum_ingest_queue_max_bytes %d\n", qs.MaxBytes)
+		fmt.Fprintf(&b, "# TYPE rdfsum_ingest_queue_rejected_total counter\nrdfsum_ingest_queue_rejected_total %d\n", qs.Rejected)
+	}
 	if s.follower != nil {
 		fs := s.follower.Status()
 		fmt.Fprintf(&b, "# TYPE rdfsum_replication_lag_bytes gauge\nrdfsum_replication_lag_bytes %d\n", fs.LagBytes)
@@ -390,7 +408,7 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	snap := lv.Snapshot()
 	st := lv.Stats()
 	g := snap.Graph
-	httpapi.WriteJSON(w, map[string]any{
+	resp := map[string]any{
 		"triples":          g.NumEdges(),
 		"data_triples":     len(g.Data),
 		"type_triples":     len(g.Types),
@@ -406,7 +424,16 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		"deleted":          st.Deleted,
 		"index_runs":       st.IndexRuns,
 		"index_tombstones": st.IndexTombs,
-	})
+	}
+	if s.queue != nil {
+		qs := s.queue.Stats()
+		resp["ingest_queue_depth"] = qs.Depth
+		resp["ingest_queue_max_depth"] = qs.MaxDepth
+		resp["ingest_queue_bytes"] = qs.Bytes
+		resp["ingest_queue_max_bytes"] = qs.MaxBytes
+		resp["ingest_queue_rejected"] = qs.Rejected
+	}
+	httpapi.WriteJSON(w, resp)
 }
 
 // handleReplication reports this server's replication role: followers
@@ -505,42 +532,127 @@ func (s *server) handleProfile(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
-// parseTriplesBody parses an N-Triples request body straight off the wire
-// — no body buffering — with a limited reader enforcing the ingest cap.
-// Nothing is applied until the whole body parsed, so a rejected request
-// changes no state. On failure the response has been written.
-func parseTriplesBody(w http.ResponseWriter, r *http.Request) ([]rdfsum.Triple, bool) {
-	lr := &io.LimitedReader{R: r.Body, N: maxIngestBody + 1}
+// ingestCodec maps a request's Content-Encoding header to a decode
+// codec. The error is a ready-to-write envelope for unsupported values.
+func ingestCodec(r *http.Request) (rdfsum.Compression, error) {
+	switch enc := strings.ToLower(strings.TrimSpace(r.Header.Get("Content-Encoding"))); enc {
+	case "", "identity":
+		return rdfsum.CompressionNone, nil
+	case "gzip":
+		return rdfsum.CompressionGzip, nil
+	case "zstd":
+		return rdfsum.CompressionZstd, nil
+	default:
+		return rdfsum.CompressionNone, httpapi.Errorf(http.StatusUnsupportedMediaType, httpapi.CodeUnsupportedEncoding,
+			"Content-Encoding %q is not supported (use identity, gzip or zstd)", enc)
+	}
+}
+
+// ingestFormat maps a request's Content-Type header to an RDF format.
+func ingestFormat(r *http.Request) (rdfsum.Format, error) {
+	ct := strings.ToLower(strings.TrimSpace(r.Header.Get("Content-Type")))
+	if i := strings.IndexByte(ct, ';'); i >= 0 { // drop parameters (charset=...)
+		ct = strings.TrimSpace(ct[:i])
+	}
+	switch ct {
+	case "", "application/n-triples", "text/plain", "application/octet-stream":
+		return rdfsum.FormatNTriples, nil
+	case "text/turtle", "application/x-turtle":
+		return rdfsum.FormatTurtle, nil
+	default:
+		return rdfsum.FormatAuto, httpapi.Errorf(http.StatusUnsupportedMediaType, httpapi.CodeUnsupportedMediaType,
+			"Content-Type %q is not a supported RDF serialization (use application/n-triples or text/turtle)", ct)
+	}
+}
+
+// parseTriplesBody parses a triples request body straight off the wire —
+// no body buffering — honoring Content-Encoding (identity, gzip, zstd;
+// decoded as a streaming stage) and Content-Type (N-Triples, Turtle),
+// with the ingest cap enforced on the DECODED bytes so a small
+// compressed bomb cannot expand past the budget. Nothing is applied
+// until the whole body parsed — a truncated or corrupt stream rejects
+// the request and changes no state. On failure the response has been
+// written. The byte count returned is the decoded payload size, the
+// ingest queue's admission currency.
+func parseTriplesBody(w http.ResponseWriter, r *http.Request) ([]rdfsum.Triple, int64, bool) {
+	codec, err := ingestCodec(r)
+	if err != nil {
+		httpapi.WriteError(w, err)
+		return nil, 0, false
+	}
+	format, err := ingestFormat(r)
+	if err != nil {
+		httpapi.WriteError(w, err)
+		return nil, 0, false
+	}
+	lr := &io.LimitedReader{N: maxIngestBody + 1}
+	dec, err := rdfsum.NewCompressionReader(r.Body, codec)
+	if err != nil {
+		httpapi.WriteError(w, httpapi.Errorf(http.StatusBadRequest, httpapi.CodeParse, "%v", err))
+		return nil, 0, false
+	}
+	defer dec.Close()
+	lr.R = dec
 	var triples []rdfsum.Triple
-	parseErr := rdfsum.ParseStream(lr, func(t rdfsum.Triple) error {
-		triples = append(triples, t)
-		return nil
-	})
+	parseErr := rdfsum.Stream(lr, &rdfsum.LoadOptions{Format: format, Compression: rdfsum.CompressionNone},
+		func(t rdfsum.Triple) error {
+			triples = append(triples, t)
+			return nil
+		})
 	if lr.N == 0 { // the cap (plus its sentinel byte) was consumed
 		// Refuse rather than apply a silently truncated prefix (the
 		// parse error, if any, is an artifact of the cut).
 		httpapi.WriteError(w, httpapi.Errorf(http.StatusRequestEntityTooLarge, httpapi.CodeTooLarge,
-			"body exceeds %d bytes; split the request into smaller batches", maxIngestBody))
-		return nil, false
+			"decoded body exceeds %d bytes; split the request into smaller batches", maxIngestBody))
+		return nil, 0, false
 	}
 	if parseErr != nil {
 		httpapi.WriteError(w, httpapi.Errorf(http.StatusBadRequest, httpapi.CodeParse, "%v", parseErr))
-		return nil, false
+		return nil, 0, false
 	}
-	return triples, true
+	return triples, maxIngestBody + 1 - lr.N, true
 }
 
-// handleTriples ingests an N-Triples body as one acknowledged batch: the
-// triples are WAL-logged and fsynced (durable stores), applied to the
-// graph and the incremental weak summary, and published as a new epoch —
-// all while concurrent queries keep reading their snapshots.
+// ingestRetryAfter is the backoff hint stamped on 429 responses.
+const ingestRetryAfter = "1"
+
+// writeOverloaded reports a saturated ingest queue: 429, a Retry-After
+// hint, and the stable ingest_overloaded code clients branch on.
+func writeOverloaded(w http.ResponseWriter, st rdfsum.IngestQueueStats) {
+	w.Header().Set("Retry-After", ingestRetryAfter)
+	httpapi.WriteError(w, httpapi.Errorf(http.StatusTooManyRequests, httpapi.CodeIngestOverloaded,
+		"ingest queue is full (%d batches, %d bytes buffered); retry after a backoff", st.Depth, st.Bytes))
+}
+
+// handleTriples ingests a triples body (N-Triples or Turtle, optionally
+// gzip/zstd-compressed) as one acknowledged batch: the parsed batch goes
+// through the bounded ingest queue — a saturated queue answers 429 with
+// Retry-After rather than buffering without limit — then is WAL-logged
+// and fsynced (durable stores), applied to the graph and the incremental
+// weak summary, and published as a new epoch, all while concurrent
+// queries keep reading their snapshots.
 func (s *server) handleTriples(w http.ResponseWriter, r *http.Request) {
-	triples, ok := parseTriplesBody(w, r)
+	triples, bytes, ok := parseTriplesBody(w, r)
 	if !ok {
 		return
 	}
 	lv, _ := s.state()
-	if err := lv.AddBatch(triples); err != nil {
+	var (
+		epoch uint64
+		err   error
+	)
+	if s.queue != nil {
+		_, epoch, err = s.queue.Add(triples, bytes)
+		if errors.Is(err, rdfsum.ErrIngestQueueFull) {
+			writeOverloaded(w, s.queue.Stats())
+			return
+		}
+	} else {
+		if err = lv.AddBatch(triples); err == nil {
+			epoch = lv.Epoch()
+		}
+	}
+	if err != nil {
 		httpapi.WriteError(w, err)
 		return
 	}
@@ -548,7 +660,7 @@ func (s *server) handleTriples(w http.ResponseWriter, r *http.Request) {
 	httpapi.WriteJSON(w, map[string]any{
 		"added":   len(triples),
 		"triples": snap.Graph.NumEdges(),
-		"epoch":   snap.Epoch,
+		"epoch":   epoch,
 		"durable": lv.Durable(),
 	})
 }
@@ -560,12 +672,27 @@ func (s *server) handleTriples(w http.ResponseWriter, r *http.Request) {
 // queries on earlier epochs are unaffected. Triples not present are
 // ignored; "removed" reports the copies actually deleted.
 func (s *server) handleDeleteTriples(w http.ResponseWriter, r *http.Request) {
-	triples, ok := parseTriplesBody(w, r)
+	triples, bytes, ok := parseTriplesBody(w, r)
 	if !ok {
 		return
 	}
 	lv, _ := s.state()
-	removed, err := lv.DeleteBatch(triples)
+	var (
+		removed int
+		epoch   uint64
+		err     error
+	)
+	if s.queue != nil {
+		removed, epoch, err = s.queue.Delete(triples, bytes)
+		if errors.Is(err, rdfsum.ErrIngestQueueFull) {
+			writeOverloaded(w, s.queue.Stats())
+			return
+		}
+	} else {
+		if removed, err = lv.DeleteBatch(triples); err == nil {
+			epoch = lv.Epoch()
+		}
+	}
 	if err != nil {
 		httpapi.WriteError(w, err)
 		return
@@ -574,7 +701,7 @@ func (s *server) handleDeleteTriples(w http.ResponseWriter, r *http.Request) {
 	httpapi.WriteJSON(w, map[string]any{
 		"removed": removed,
 		"triples": snap.Graph.NumEdges(),
-		"epoch":   snap.Epoch,
+		"epoch":   epoch,
 		"durable": lv.Durable(),
 	})
 }

@@ -1,0 +1,117 @@
+package compress
+
+// Streaming XXH64 (the checksum zstd frames carry), implemented from the
+// reference algorithm. Only what the zstd codec needs: Write bytes,
+// read back the 64-bit digest.
+
+import "encoding/binary"
+
+const (
+	xxPrime1 = 11400714785074694791
+	xxPrime2 = 14029467366897019727
+	xxPrime3 = 1609587929392839161
+	xxPrime4 = 9650029242287828579
+	xxPrime5 = 2870177450012600261
+)
+
+// xxh64 accumulates the XXH64 hash of a byte stream (seed 0).
+type xxh64 struct {
+	v1, v2, v3, v4 uint64
+	total          uint64
+	buf            [32]byte
+	n              int
+}
+
+func newXXH64() *xxh64 {
+	var p1 uint64 = xxPrime1
+	return &xxh64{
+		v1: p1 + xxPrime2,
+		v2: xxPrime2,
+		v3: 0,
+		v4: -p1,
+	}
+}
+
+func rotl64(x uint64, r uint) uint64 { return x<<r | x>>(64-r) }
+
+func xxRound(acc, input uint64) uint64 {
+	acc += input * xxPrime2
+	acc = rotl64(acc, 31)
+	acc *= xxPrime1
+	return acc
+}
+
+func xxMergeRound(acc, val uint64) uint64 {
+	val = xxRound(0, val)
+	acc ^= val
+	acc = acc*xxPrime1 + xxPrime4
+	return acc
+}
+
+func (h *xxh64) Write(p []byte) (int, error) {
+	n := len(p)
+	h.total += uint64(n)
+	if h.n+len(p) < 32 {
+		copy(h.buf[h.n:], p)
+		h.n += len(p)
+		return n, nil
+	}
+	if h.n > 0 {
+		take := 32 - h.n
+		copy(h.buf[h.n:], p[:take])
+		h.consume(h.buf[:])
+		p = p[take:]
+		h.n = 0
+	}
+	for len(p) >= 32 {
+		h.consume(p[:32])
+		p = p[32:]
+	}
+	copy(h.buf[:], p)
+	h.n = len(p)
+	return n, nil
+}
+
+func (h *xxh64) consume(b []byte) {
+	h.v1 = xxRound(h.v1, binary.LittleEndian.Uint64(b[0:8]))
+	h.v2 = xxRound(h.v2, binary.LittleEndian.Uint64(b[8:16]))
+	h.v3 = xxRound(h.v3, binary.LittleEndian.Uint64(b[16:24]))
+	h.v4 = xxRound(h.v4, binary.LittleEndian.Uint64(b[24:32]))
+}
+
+func (h *xxh64) Sum64() uint64 {
+	var acc uint64
+	if h.total >= 32 {
+		acc = rotl64(h.v1, 1) + rotl64(h.v2, 7) + rotl64(h.v3, 12) + rotl64(h.v4, 18)
+		acc = xxMergeRound(acc, h.v1)
+		acc = xxMergeRound(acc, h.v2)
+		acc = xxMergeRound(acc, h.v3)
+		acc = xxMergeRound(acc, h.v4)
+	} else {
+		acc = h.v3 + xxPrime5 // v3 holds the seed (0)
+	}
+	acc += h.total
+
+	b := h.buf[:h.n]
+	for len(b) >= 8 {
+		acc ^= xxRound(0, binary.LittleEndian.Uint64(b[:8]))
+		acc = rotl64(acc, 27)*xxPrime1 + xxPrime4
+		b = b[8:]
+	}
+	if len(b) >= 4 {
+		acc ^= uint64(binary.LittleEndian.Uint32(b[:4])) * xxPrime1
+		acc = rotl64(acc, 23)*xxPrime2 + xxPrime3
+		b = b[4:]
+	}
+	for _, c := range b {
+		acc ^= uint64(c) * xxPrime5
+		acc = rotl64(acc, 11) * xxPrime1
+	}
+
+	acc ^= acc >> 33
+	acc *= xxPrime2
+	acc ^= acc >> 29
+	acc *= xxPrime3
+	acc ^= acc >> 32
+	return acc
+}

@@ -1,0 +1,360 @@
+package compress
+
+// A from-scratch implementation of the Zstandard frame format (RFC 8878)
+// restricted to Raw and RLE blocks. The repository vendors no third-party
+// code, so the FSE/Huffman entropy stages of full zstd are not available;
+// what IS here is a real, spec-conformant subset:
+//
+//   - the reader walks frames (magic, frame header, window descriptor,
+//     dictionary IDs, block sequence, content checksum), decodes Raw and
+//     RLE blocks, skips skippable frames, verifies the XXH64 content
+//     checksum, and handles concatenated frames — rejecting
+//     entropy-coded blocks with a wrapped ErrUnsupported instead of
+//     guessing;
+//   - the writer emits store-mode frames (Raw blocks + content checksum)
+//     that any external zstd tool decodes, and external tools' own
+//     store-mode output (zstd produces Raw blocks for incompressible
+//     data) decodes here.
+//
+// Every framing failure wraps ErrTruncated or ErrCorrupt, so a cut-off
+// dump is distinguishable from a damaged one.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+const (
+	zstdMagic         = 0xFD2FB528
+	zstdMagicSkipBase = 0x184D2A50 // ..0x184D2A5F
+
+	// Block_Maximum_Size upper bound: blocks may not exceed 128 KiB
+	// regardless of window size.
+	zstdBlockMax = 128 << 10
+)
+
+// zstdReader streams the decoded content of a sequence of zstd frames.
+type zstdReader struct {
+	r    io.Reader
+	buf  []byte // decoded bytes not yet delivered
+	err  error  // sticky
+	hash *xxh64 // non-nil while a checksummed frame is open
+	// inFrame tracks whether a frame header has been read and blocks
+	// remain; between frames the next bytes are a magic number or EOF.
+	inFrame      bool
+	lastBlock    bool
+	hasChecksum  bool
+	scratch      [8]byte
+	blockScratch []byte
+}
+
+func newZstdReader(r io.Reader) *zstdReader { return &zstdReader{r: r} }
+
+func (z *zstdReader) Read(p []byte) (int, error) {
+	for len(z.buf) == 0 {
+		if z.err != nil {
+			return 0, z.err
+		}
+		z.advance()
+	}
+	n := copy(p, z.buf)
+	z.buf = z.buf[n:]
+	return n, nil
+}
+
+func (z *zstdReader) Close() error {
+	z.err = io.EOF
+	z.buf = nil
+	return nil
+}
+
+// advance decodes one more unit — a frame header, a block, or a frame
+// trailer — filling z.buf or setting z.err.
+func (z *zstdReader) advance() {
+	if !z.inFrame {
+		z.startFrame()
+		return
+	}
+	if z.lastBlock {
+		z.finishFrame()
+		return
+	}
+	z.readBlock()
+}
+
+// fill reads exactly n bytes into the scratch prefix, classifying EOF:
+// at a frame/block boundary with atBoundary an EOF is the clean end of
+// stream; anywhere else it is a truncation.
+func (z *zstdReader) fill(n int, what string) []byte {
+	b := z.scratch[:n]
+	if _, err := io.ReadFull(z.r, b); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			z.err = fmt.Errorf("%w: zstd: stream ends inside %s", ErrTruncated, what)
+		} else {
+			z.err = err
+		}
+		return nil
+	}
+	return b
+}
+
+func (z *zstdReader) startFrame() {
+	b := z.scratch[:4]
+	if _, err := io.ReadFull(z.r, b); err != nil {
+		if err == io.EOF {
+			z.err = io.EOF // clean end of stream between frames
+		} else if err == io.ErrUnexpectedEOF {
+			z.err = fmt.Errorf("%w: zstd: stream ends inside a frame magic", ErrTruncated)
+		} else {
+			z.err = err
+		}
+		return
+	}
+	magic := binary.LittleEndian.Uint32(b)
+	if magic >= zstdMagicSkipBase && magic <= zstdMagicSkipBase+0xF {
+		// Skippable frame: 4-byte size then opaque payload.
+		if b = z.fill(4, "a skippable frame header"); b == nil {
+			return
+		}
+		size := int64(binary.LittleEndian.Uint32(b))
+		if _, err := io.CopyN(io.Discard, z.r, size); err != nil {
+			z.err = fmt.Errorf("%w: zstd: stream ends inside a skippable frame", ErrTruncated)
+		}
+		return
+	}
+	if magic != zstdMagic {
+		z.err = fmt.Errorf("%w: zstd: bad frame magic %#08x", ErrCorrupt, magic)
+		return
+	}
+
+	// Frame_Header_Descriptor.
+	b = z.fill(1, "a frame header")
+	if b == nil {
+		return
+	}
+	desc := b[0]
+	if desc&(1<<3) != 0 {
+		z.err = fmt.Errorf("%w: zstd: reserved frame-header bit set", ErrCorrupt)
+		return
+	}
+	singleSegment := desc&(1<<5) != 0
+	z.hasChecksum = desc&(1<<2) != 0
+	dictIDLen := []int{0, 1, 2, 4}[desc&0x3]
+	fcsLen := []int{0, 2, 4, 8}[desc>>6]
+	if singleSegment && desc>>6 == 0 {
+		fcsLen = 1
+	}
+	if !singleSegment {
+		if b = z.fill(1, "a window descriptor"); b == nil {
+			return
+		}
+		// The window size only matters for back-references, which
+		// Raw/RLE blocks cannot contain; validate nothing beyond
+		// presence.
+	}
+	if dictIDLen > 0 {
+		if b = z.fill(dictIDLen, "a dictionary id"); b == nil {
+			return
+		}
+		var dictID uint32
+		for i := dictIDLen - 1; i >= 0; i-- {
+			dictID = dictID<<8 | uint32(b[i])
+		}
+		if dictID != 0 {
+			z.err = fmt.Errorf("%w: zstd: frame requires dictionary %d", ErrUnsupported, dictID)
+			return
+		}
+	}
+	if fcsLen > 0 {
+		if z.fill(fcsLen, "a frame content size") == nil {
+			return
+		}
+		// Informational; block parsing is self-delimiting.
+	}
+	z.inFrame = true
+	z.lastBlock = false
+	if z.hasChecksum {
+		z.hash = newXXH64()
+	} else {
+		z.hash = nil
+	}
+}
+
+func (z *zstdReader) readBlock() {
+	b := z.fill(3, "a block header")
+	if b == nil {
+		return
+	}
+	header := uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16
+	z.lastBlock = header&1 != 0
+	blockType := (header >> 1) & 0x3
+	size := int(header >> 3)
+	switch blockType {
+	case 0: // Raw
+		if size > zstdBlockMax {
+			z.err = fmt.Errorf("%w: zstd: raw block of %d bytes exceeds the 128 KiB block limit", ErrCorrupt, size)
+			return
+		}
+		if cap(z.blockScratch) < size {
+			z.blockScratch = make([]byte, size)
+		}
+		out := z.blockScratch[:size]
+		if _, err := io.ReadFull(z.r, out); err != nil {
+			z.err = fmt.Errorf("%w: zstd: stream ends inside a raw block", ErrTruncated)
+			return
+		}
+		z.deliver(out)
+	case 1: // RLE: one byte, repeated size times
+		if size > zstdBlockMax {
+			z.err = fmt.Errorf("%w: zstd: RLE block of %d bytes exceeds the 128 KiB block limit", ErrCorrupt, size)
+			return
+		}
+		if b = z.fill(1, "an RLE block"); b == nil {
+			return
+		}
+		if cap(z.blockScratch) < size {
+			z.blockScratch = make([]byte, size)
+		}
+		out := z.blockScratch[:size]
+		for i := range out {
+			out[i] = b[0]
+		}
+		z.deliver(out)
+	case 2:
+		z.err = fmt.Errorf("%w: zstd: entropy-coded (Compressed) blocks are beyond this build's Raw/RLE subset; re-encode with gzip or store-mode zstd", ErrUnsupported)
+	default:
+		z.err = fmt.Errorf("%w: zstd: reserved block type", ErrCorrupt)
+	}
+}
+
+// deliver hands decoded bytes to the consumer. The block scratch buffer
+// is reused per block, so the delivered slice must be drained before the
+// next block decodes — guaranteed because Read consumes z.buf fully
+// before advancing.
+func (z *zstdReader) deliver(out []byte) {
+	if z.hash != nil {
+		z.hash.Write(out) //nolint:errcheck // cannot fail
+	}
+	z.buf = out
+}
+
+func (z *zstdReader) finishFrame() {
+	z.inFrame = false
+	if !z.hasChecksum {
+		return
+	}
+	b := z.fill(4, "a content checksum")
+	if b == nil {
+		return
+	}
+	want := binary.LittleEndian.Uint32(b)
+	got := uint32(z.hash.Sum64())
+	z.hash = nil
+	if want != got {
+		z.err = fmt.Errorf("%w: zstd: content checksum mismatch (want %08x, got %08x)", ErrCorrupt, want, got)
+	}
+}
+
+// zstdWriter emits one store-mode frame: Raw blocks of up to 128 KiB and
+// an XXH64 content checksum. Output is valid standard zstd (what the
+// reference encoder produces for incompressible input), just never
+// smaller than the input.
+type zstdWriter struct {
+	w      io.Writer
+	hash   *xxh64
+	opened bool
+	buf    []byte // pending block payload
+	err    error
+}
+
+// zstdWriterBlock is the writer's block granularity.
+const zstdWriterBlock = zstdBlockMax
+
+func newZstdWriter(w io.Writer) *zstdWriter {
+	return &zstdWriter{w: w, hash: newXXH64(), buf: make([]byte, 0, zstdWriterBlock)}
+}
+
+func (z *zstdWriter) header() error {
+	// Magic, then a frame header: no content size, no dictionary,
+	// content checksum present, window descriptor 0x38 (windowLog 17 =
+	// 128 KiB, matching the block bound).
+	var h [6]byte
+	binary.LittleEndian.PutUint32(h[:4], zstdMagic)
+	h[4] = 1 << 2 // descriptor: checksum flag only
+	h[5] = 7 << 3 // window descriptor: exponent 7 -> 2^(10+7) bytes
+	_, err := z.w.Write(h[:])
+	return err
+}
+
+func (z *zstdWriter) Write(p []byte) (int, error) {
+	if z.err != nil {
+		return 0, z.err
+	}
+	if !z.opened {
+		if z.err = z.header(); z.err != nil {
+			return 0, z.err
+		}
+		z.opened = true
+	}
+	total := len(p)
+	z.hash.Write(p) //nolint:errcheck // cannot fail
+	for len(p) > 0 {
+		room := zstdWriterBlock - len(z.buf)
+		take := min(room, len(p))
+		z.buf = append(z.buf, p[:take]...)
+		p = p[take:]
+		if len(z.buf) == zstdWriterBlock {
+			if z.err = z.flushBlock(false); z.err != nil {
+				return total - len(p), z.err
+			}
+		}
+	}
+	return total, nil
+}
+
+func (z *zstdWriter) flushBlock(last bool) error {
+	header := uint32(len(z.buf)) << 3 // type Raw = 0
+	if last {
+		header |= 1
+	}
+	var h [3]byte
+	h[0] = byte(header)
+	h[1] = byte(header >> 8)
+	h[2] = byte(header >> 16)
+	if _, err := z.w.Write(h[:]); err != nil {
+		return err
+	}
+	if _, err := z.w.Write(z.buf); err != nil {
+		return err
+	}
+	z.buf = z.buf[:0]
+	return nil
+}
+
+// Close finalizes the frame: the pending block is flushed as the last
+// block (an empty Raw block when no data is pending — zstd requires at
+// least one block per frame) and the content checksum is appended. The
+// underlying writer is not closed.
+func (z *zstdWriter) Close() error {
+	if z.err != nil {
+		return z.err
+	}
+	if !z.opened {
+		if z.err = z.header(); z.err != nil {
+			return z.err
+		}
+		z.opened = true
+	}
+	if z.err = z.flushBlock(true); z.err != nil {
+		return z.err
+	}
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], uint32(z.hash.Sum64()))
+	if _, err := z.w.Write(sum[:]); err != nil {
+		z.err = err
+		return err
+	}
+	z.err = fmt.Errorf("compress: zstd writer already closed")
+	return nil
+}

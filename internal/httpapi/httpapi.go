@@ -38,6 +38,15 @@ const (
 	CodeReadOnly = "read_only"
 	// CodeMemoryOnly: the operation needs a durable (-live) store.
 	CodeMemoryOnly = "memory_only"
+	// CodeIngestOverloaded: the server's bounded ingest queue is full;
+	// retry after the Retry-After header's delay.
+	CodeIngestOverloaded = "ingest_overloaded"
+	// CodeUnsupportedEncoding: the request's Content-Encoding is not one
+	// the server can decode (identity, gzip, zstd).
+	CodeUnsupportedEncoding = "unsupported_encoding"
+	// CodeUnsupportedMediaType: the request's Content-Type is not an RDF
+	// serialization the server reads (application/n-triples, text/turtle).
+	CodeUnsupportedMediaType = "unsupported_media_type"
 	// CodeInternal: an unexpected server-side failure.
 	CodeInternal = "internal"
 )

@@ -1,0 +1,194 @@
+package live
+
+// IngestQueue is the server-side backpressure stage between HTTP ingest
+// handlers and the single-writer Live store. Handlers enqueue parsed
+// batches; one drain goroutine applies them in arrival order through
+// AddBatch/DeleteBatch (preserving the store's single-writer discipline
+// and WAL group commit), and each producer blocks only until its own
+// batch commits — so callers still get back the applied count and epoch.
+//
+// The queue is bounded twice over: by batch count (depth) and by total
+// buffered triple count standing in for bytes of parsed payload. When
+// either bound is exceeded Enqueue fails fast with ErrQueueFull instead
+// of buffering without limit — the HTTP layer turns that into 429 +
+// Retry-After, keeping server memory bounded while reads stay responsive
+// on the published snapshot. One exception keeps the system live: a
+// batch larger than the whole byte budget is accepted when the queue is
+// empty, otherwise it could never be ingested at all.
+
+import (
+	"errors"
+	"sync"
+
+	"rdfsum/internal/rdf"
+)
+
+// ErrQueueFull is returned by Enqueue when admitting the batch would
+// exceed the queue's depth or byte budget.
+var ErrQueueFull = errors.New("live: ingest queue full")
+
+// errQueueClosed reports an enqueue after Close.
+var errQueueClosed = errors.New("live: ingest queue closed")
+
+// QueueStats is a point-in-time view of queue occupancy.
+type QueueStats struct {
+	Depth    int    // batches waiting or being applied
+	MaxDepth int    // configured batch-count bound
+	Bytes    int64  // payload bytes waiting or being applied
+	MaxBytes int64  // configured byte budget
+	Rejected uint64 // enqueues refused with ErrQueueFull (monotonic)
+}
+
+// ingestJob is one queued batch with its completion signal.
+type ingestJob struct {
+	triples []rdf.Triple
+	bytes   int64
+	delete  bool
+	done    chan ingestResult
+}
+
+type ingestResult struct {
+	applied int
+	epoch   uint64
+	err     error
+}
+
+// IngestQueue serializes ingest batches into a Live store under fixed
+// memory bounds. Safe for concurrent use.
+type IngestQueue struct {
+	lv       *Live
+	maxDepth int
+	maxBytes int64
+
+	mu       sync.Mutex
+	depth    int
+	bytes    int64
+	rejected uint64
+	closed   bool
+
+	jobs      chan *ingestJob
+	wg        sync.WaitGroup // the drain goroutine
+	producers sync.WaitGroup // admitted batches not yet handed to jobs
+}
+
+// NewIngestQueue starts a queue of at most depth batches and maxBytes
+// buffered payload bytes draining into lv. Non-positive bounds fall back
+// to defaults (256 batches, 256 MiB).
+func NewIngestQueue(lv *Live, depth int, maxBytes int64) *IngestQueue {
+	if depth <= 0 {
+		depth = 256
+	}
+	if maxBytes <= 0 {
+		maxBytes = 256 << 20
+	}
+	q := &IngestQueue{
+		lv:       lv,
+		maxDepth: depth,
+		maxBytes: maxBytes,
+		jobs:     make(chan *ingestJob, depth),
+	}
+	q.wg.Add(1)
+	go q.drain()
+	return q
+}
+
+func (q *IngestQueue) drain() {
+	defer q.wg.Done()
+	for job := range q.jobs {
+		var res ingestResult
+		if job.delete {
+			res.applied, res.err = q.lv.DeleteBatch(job.triples)
+		} else {
+			res.err = q.lv.AddBatch(job.triples)
+			if res.err == nil {
+				res.applied = len(job.triples)
+			}
+		}
+		if res.err == nil {
+			res.epoch = q.lv.Epoch()
+		}
+		q.mu.Lock()
+		q.depth--
+		q.bytes -= job.bytes
+		q.mu.Unlock()
+		job.done <- res
+	}
+}
+
+// admit reserves queue capacity for a batch of the given size, or
+// records a rejection.
+func (q *IngestQueue) admit(bytes int64) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return errQueueClosed
+	}
+	// The empty-queue exception: an oversized batch is admitted alone so
+	// it cannot be wedged out forever by the byte budget.
+	over := q.depth >= q.maxDepth || q.bytes+bytes > q.maxBytes
+	if over && !(q.depth == 0 && bytes > q.maxBytes) {
+		q.rejected++
+		return ErrQueueFull
+	}
+	q.depth++
+	q.bytes += bytes
+	// Registered under mu so Close observes either the reservation or
+	// the closed flag — never a producer about to send on a closed
+	// channel.
+	q.producers.Add(1)
+	return nil
+}
+
+// enqueue admits the batch and blocks until the drain goroutine commits
+// it, returning the applied count and resulting epoch.
+func (q *IngestQueue) enqueue(triples []rdf.Triple, bytes int64, del bool) (int, uint64, error) {
+	if err := q.admit(bytes); err != nil {
+		return 0, 0, err
+	}
+	job := &ingestJob{triples: triples, bytes: bytes, delete: del, done: make(chan ingestResult, 1)}
+	q.jobs <- job
+	q.producers.Done()
+	res := <-job.done
+	return res.applied, res.epoch, res.err
+}
+
+// Add enqueues an addition batch of roughly bytes parsed payload and
+// waits for its commit. Returns ErrQueueFull without blocking when the
+// queue is saturated.
+func (q *IngestQueue) Add(triples []rdf.Triple, bytes int64) (int, uint64, error) {
+	return q.enqueue(triples, bytes, false)
+}
+
+// Delete is Add for deletion batches; the count is the number of triple
+// copies removed.
+func (q *IngestQueue) Delete(triples []rdf.Triple, bytes int64) (int, uint64, error) {
+	return q.enqueue(triples, bytes, true)
+}
+
+// Stats snapshots queue occupancy.
+func (q *IngestQueue) Stats() QueueStats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return QueueStats{
+		Depth:    q.depth,
+		MaxDepth: q.maxDepth,
+		Bytes:    q.bytes,
+		MaxBytes: q.maxBytes,
+		Rejected: q.rejected,
+	}
+}
+
+// Close stops admitting new batches, waits for everything already
+// admitted to commit, and returns. The Live store itself is not closed.
+func (q *IngestQueue) Close() {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return
+	}
+	q.closed = true
+	q.mu.Unlock()
+	q.producers.Wait()
+	close(q.jobs)
+	q.wg.Wait()
+}

@@ -1,0 +1,190 @@
+package load
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rdfsum/internal/bsbm"
+	"rdfsum/internal/compress"
+	"rdfsum/internal/ntriples"
+	"rdfsum/internal/rdf"
+	"rdfsum/internal/turtle"
+)
+
+// turtleDoc renders the bsbm benchmark graph as prefix-compacted Turtle —
+// directives, 'a', ';'/',' lists — exercising the whole splitter surface.
+func turtleDoc(t *testing.T) []byte {
+	t.Helper()
+	g := bsbm.GenerateGraph(bsbm.DefaultConfig(60))
+	var buf bytes.Buffer
+	if err := turtle.Write(&buf, g.Decode(), nil); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func ntDoc(t *testing.T) []byte {
+	t.Helper()
+	g := bsbm.GenerateGraph(bsbm.DefaultConfig(60))
+	var buf bytes.Buffer
+	if err := ntriples.Write(&buf, g.Decode()); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func compressed(t *testing.T, data []byte, codec compress.Codec) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := compress.NewWriter(&buf, codec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestFileCompressedBitIdentical is the acceptance check: a compressed
+// dump loaded through the parallel pipeline must be bit-identical —
+// dictionary and all components — to a sequential load of the plain text.
+func TestFileCompressedBitIdentical(t *testing.T) {
+	docs := map[string][]byte{"data.ttl": turtleDoc(t), "data.nt": ntDoc(t)}
+	dir := t.TempDir()
+	for name, plain := range docs {
+		want, err := Reader(bytes.NewReader(plain), Options{Workers: 1, Format: FormatByExtension(name)})
+		if err != nil {
+			t.Fatalf("%s sequential: %v", name, err)
+		}
+		variants := map[string][]byte{
+			name:           plain,
+			name + ".gz":   compressed(t, plain, compress.Gzip),
+			name + ".zst":  compressed(t, plain, compress.Zstd),
+			name + ".zstd": compressed(t, plain, compress.Zstd),
+		}
+		for file, data := range variants {
+			path := filepath.Join(dir, file)
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{1, 4} {
+				got, err := File(path, Options{Workers: workers, SlabBytes: 512})
+				if err != nil {
+					t.Fatalf("%s workers=%d: %v", file, workers, err)
+				}
+				assertIdentical(t, want, got)
+			}
+		}
+	}
+}
+
+// TestReaderAllAuto feeds compressed bytes with no name and no hints:
+// both the codec and the format must come from the content.
+func TestReaderAllAuto(t *testing.T) {
+	plain := turtleDoc(t)
+	want, err := Reader(bytes.NewReader(plain), Options{Workers: 1, Format: FormatTurtle})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, codec := range []compress.Codec{compress.None, compress.Gzip, compress.Zstd} {
+		got, err := Reader(bytes.NewReader(compressed(t, plain, codec)), Options{Workers: 4, SlabBytes: 512})
+		if err != nil {
+			t.Fatalf("%v: %v", codec, err)
+		}
+		assertIdentical(t, want, got)
+	}
+}
+
+func TestDetect(t *testing.T) {
+	cases := []struct {
+		path   string
+		format Format
+		codec  compress.Codec
+	}{
+		{"dump.nt", FormatNTriples, compress.None},
+		{"dump.ttl.gz", FormatTurtle, compress.Gzip},
+		{"dump.nt.zst", FormatNTriples, compress.Zstd},
+		{"dump.rdf", FormatAuto, compress.None},
+		{"dump.gz", FormatAuto, compress.Gzip},
+	}
+	for _, c := range cases {
+		f, cc := Detect(c.path)
+		if f != c.format || cc != c.codec {
+			t.Errorf("Detect(%q) = (%v, %v), want (%v, %v)", c.path, f, cc, c.format, c.codec)
+		}
+	}
+}
+
+// TestTruncatedCompressedFails cuts compressed dumps mid-stream: the load
+// must fail with a wrapped compress sentinel and publish nothing.
+func TestTruncatedCompressedFails(t *testing.T) {
+	for _, doc := range [][]byte{turtleDoc(t), ntDoc(t)} {
+		for _, codec := range []compress.Codec{compress.Gzip, compress.Zstd} {
+			full := compressed(t, doc, codec)
+			for _, cut := range []int{len(full) / 3, len(full) - 2} {
+				g, err := Reader(bytes.NewReader(full[:cut]), Options{Workers: 4, SlabBytes: 512})
+				if err == nil {
+					t.Fatalf("%v cut at %d: load succeeded", codec, cut)
+				}
+				if !errors.Is(err, compress.ErrTruncated) && !errors.Is(err, compress.ErrCorrupt) {
+					t.Fatalf("%v cut at %d: error %v wraps no compress sentinel", codec, cut, err)
+				}
+				if g != nil {
+					t.Fatalf("%v cut at %d: partial graph returned alongside error", codec, cut)
+				}
+			}
+		}
+	}
+}
+
+// TestCorruptCompressedFails flips a byte in the middle of the compressed
+// body; decode must report corruption, not hand wrong text to the parser.
+func TestCorruptCompressedFails(t *testing.T) {
+	doc := ntDoc(t)
+	for _, codec := range []compress.Codec{compress.Gzip, compress.Zstd} {
+		full := compressed(t, doc, codec)
+		full[len(full)/2] ^= 0x20
+		_, err := Reader(bytes.NewReader(full), Options{Workers: 4, SlabBytes: 512})
+		// A bit flip in a zstd Raw block changes payload bytes that only
+		// the trailing checksum can catch; either way the load errors
+		// with a classified sentinel or a parse error — never silence.
+		if err == nil {
+			t.Fatalf("%v: corrupted dump loaded without error", codec)
+		}
+	}
+}
+
+func TestStreamFileCompressedTurtle(t *testing.T) {
+	plain := turtleDoc(t)
+	want := 0
+	if err := Stream(bytes.NewReader(plain), Options{Format: FormatTurtle}, func(_ rdf.Triple) error {
+		want++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if want == 0 {
+		t.Fatal("no triples in the fixture")
+	}
+	path := filepath.Join(t.TempDir(), "data.ttl.gz")
+	if err := os.WriteFile(path, compressed(t, plain, compress.Gzip), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	if err := StreamFile(path, Options{}, func(_ rdf.Triple) error {
+		got++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("streamed %d triples, want %d", got, want)
+	}
+}

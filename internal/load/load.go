@@ -38,10 +38,12 @@ import (
 	"runtime"
 	"sync"
 
+	"rdfsum/internal/compress"
 	"rdfsum/internal/dict"
 	"rdfsum/internal/ntriples"
 	"rdfsum/internal/rdf"
 	"rdfsum/internal/store"
+	"rdfsum/internal/turtle"
 )
 
 // Options tunes the parallel loader.
@@ -52,6 +54,12 @@ type Options struct {
 	// SlabBytes is the split granularity. 0 means
 	// ntriples.DefaultSlabBytes (1 MiB).
 	SlabBytes int
+	// Format is the RDF serialization of the input; FormatAuto (zero)
+	// detects it from the file extension or leading bytes.
+	Format Format
+	// Compression is the input's stream compression; compress.Auto
+	// (zero) sniffs the magic bytes.
+	Compression compress.Codec
 }
 
 func (o Options) workers() int {
@@ -126,11 +134,25 @@ func (st *loadState) fail(err error) {
 		st.err = err
 		return
 	}
-	cur, curOK := st.err.(*ntriples.ParseError)
-	incoming, inOK := err.(*ntriples.ParseError)
-	if inOK && (!curOK || incoming.Line < cur.Line) {
+	curLine, curOK := parseErrLine(st.err)
+	inLine, inOK := parseErrLine(err)
+	if inOK && (!curOK || inLine < curLine) {
 		st.err = err
 	}
+}
+
+// parseErrLine extracts the 1-based document line of a parse error from
+// either front-end (N-Triples or Turtle).
+func parseErrLine(err error) (int, bool) {
+	var ne *ntriples.ParseError
+	if errors.As(err, &ne) {
+		return ne.Line, true
+	}
+	var te *turtle.ParseError
+	if errors.As(err, &te) {
+		return te.Line, true
+	}
+	return 0, false
 }
 
 func (st *loadState) aborted() bool {

@@ -1,0 +1,190 @@
+package turtle
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// parseViaSlabs runs the parallel-split path sequentially: split, parse
+// each slab under its env snapshot, concatenate in slab order.
+func parseViaSlabs(doc string, target int) ([]string, error) {
+	slabs, err := SplitStatements(doc, target)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, sl := range slabs {
+		ts, err := ParseSlab(sl)
+		if err != nil {
+			return nil, err
+		}
+		for _, t := range ts {
+			out = append(out, fmt.Sprintf("%v", t))
+		}
+	}
+	return out, nil
+}
+
+// assertSplitIdentical checks the core property: the split path yields
+// exactly the triples of a sequential parse, at every split granularity.
+func assertSplitIdentical(t *testing.T, doc string) {
+	t.Helper()
+	seq, err := ParseString(doc)
+	if err != nil {
+		t.Fatalf("sequential parse: %v", err)
+	}
+	var want []string
+	for _, tr := range seq {
+		want = append(want, fmt.Sprintf("%v", tr))
+	}
+	for _, target := range []int{1, 16, 64, 1 << 20} {
+		got, err := parseViaSlabs(doc, target)
+		if err != nil {
+			t.Fatalf("target %d: split path: %v", target, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("target %d: split path parsed\n%v\nwant\n%v", target, got, want)
+		}
+	}
+}
+
+func TestSplitIdenticalBasic(t *testing.T) {
+	assertSplitIdentical(t, `
+@prefix ex: <http://ex.org/> .
+@base <http://base.org/> .
+# comment with a dot . and "quotes"
+ex:s ex:p ex:o .
+<rel> a ex:Book ; ex:p "lit"@en , "typed"^^ex:dt .
+_:b1 ex:n 3.14 , 42 , 1e6 , true .
+ex:long ex:p """multi
+line . with "dots" and quotes""" .
+ex:a.b ex:c.d ex:e.f .
+`)
+}
+
+func TestSplitIdenticalPrefixRedefinition(t *testing.T) {
+	// The same prefix maps to different IRIs in different regions; slabs
+	// must see the environment in force at their own position.
+	var b strings.Builder
+	for i := 0; i < 20; i++ {
+		fmt.Fprintf(&b, "@prefix ex: <http://gen%d.org/> .\n", i)
+		for j := 0; j < 5; j++ {
+			fmt.Fprintf(&b, "ex:s%d ex:p ex:o%d .\n", j, j)
+		}
+	}
+	assertSplitIdentical(t, b.String())
+}
+
+func TestSplitIdenticalGluedDirective(t *testing.T) {
+	// '.' glued straight onto '@prefix' — boundary must still be found
+	// and the directive applied to later statements.
+	assertSplitIdentical(t, `@prefix a: <http://a.org/> .
+a:s a:p a:o .@prefix a: <http://b.org/> .
+a:s a:p a:o .`)
+}
+
+func TestSplitJumboFallbackOnAmbiguousKeyword(t *testing.T) {
+	// ".base" glued after a statement: could be an inner name dot or a
+	// SPARQL directive. Both readings must agree with sequential.
+	docs := []string{
+		// Really a dotted local name.
+		"@prefix ex: <http://ex.org/> .\nex:s ex:p ex:o.base .\nex:q ex:r ex:t .\n",
+		// Really a glued SPARQL directive.
+		"@prefix ex: <http://ex.org/> .\nex:s ex:p ex:o .base <http://b.org/>\n<rel> ex:p ex:q .\n",
+		"@prefix ex: <http://ex.org/> .\nex:s ex:p ex:o .prefix q: <http://q.org/>\nq:s q:p q:o .\n",
+	}
+	for _, doc := range docs {
+		assertSplitIdentical(t, doc)
+	}
+}
+
+func TestSplitManySlabs(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("@prefix ex: <http://ex.org/> .\n")
+	for i := 0; i < 500; i++ {
+		fmt.Fprintf(&b, "ex:s%d ex:p%d \"v%d\" .\n", i, i%7, i)
+	}
+	slabs, err := SplitStatements(b.String(), 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(slabs) < 10 {
+		t.Fatalf("expected many slabs at a 256-byte target, got %d", len(slabs))
+	}
+	assertSplitIdentical(t, b.String())
+}
+
+func TestSplitErrorLineNumbers(t *testing.T) {
+	doc := "@prefix ex: <http://ex.org/> .\n" +
+		strings.Repeat("ex:s ex:p ex:o .\n", 50) +
+		"ex:bad ex:p [ ] .\n" // line 52, unsupported anon blank node
+	slabs, err := SplitStatements(doc, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pe *ParseError
+	found := false
+	for _, sl := range slabs {
+		if _, err := ParseSlab(sl); err != nil {
+			if !errors.As(err, &pe) {
+				t.Fatalf("slab error is %T, want *ParseError", err)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no slab reported the parse error")
+	}
+	if pe.Line != 52 {
+		t.Errorf("slab error at line %d, want document line 52", pe.Line)
+	}
+}
+
+func TestSplitBadDirectiveSurfaces(t *testing.T) {
+	if _, err := SplitStatements("@prefix ex <http://ex.org/> .\n", 64); err == nil {
+		t.Fatal("malformed directive did not fail the split")
+	}
+}
+
+// FuzzTurtleSplit asserts bit-identity between the sequential parser and
+// the split path at an aggressive slab target: whenever the sequential
+// parse succeeds, the split path must succeed with the same triples, and
+// whenever it fails the split path must fail too.
+func FuzzTurtleSplit(f *testing.F) {
+	seeds := []string{
+		"@prefix ex: <http://ex.org/> .\nex:s ex:p ex:o .\nex:s2 a ex:T .\n",
+		"@base <http://b.org/> .\n<a> <b> <c> .\n<d> <e> \"f\"@en .\n",
+		"@prefix ex: <http://a.org/> .\nex:s ex:p ex:o .@prefix ex: <http://b.org/> .\nex:s ex:p ex:o .",
+		"@prefix ex: <http://ex.org/> .\nex:s ex:p ex:o.base .\nex:q ex:r ex:t .\n",
+		"@prefix ex: <http://ex.org/> .\nex:s ex:p ex:o .base <http://b.org/>\n<rel> ex:p ex:q .\n",
+		"@prefix ex: <http://ex.org/> .\nex:l ex:p \"\"\"x . y\nz\"\"\" ; ex:q 3.14 , true .\n",
+		"PREFIX ex: <http://ex.org/>\nex:a.b ex:c \"d . e # f\" . # comment .\nex:g ex:h ex:i .",
+		"_:b <http://p> -2.5e3 .",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, doc string) {
+		seq, seqErr := ParseString(doc)
+		got, splitErr := parseViaSlabs(doc, 32)
+		if seqErr != nil {
+			if splitErr == nil {
+				t.Fatalf("sequential parse failed (%v) but split path succeeded with %d triples", seqErr, len(got))
+			}
+			return
+		}
+		if splitErr != nil {
+			t.Fatalf("sequential parse succeeded but split path failed: %v", splitErr)
+		}
+		var want []string
+		for _, tr := range seq {
+			want = append(want, fmt.Sprintf("%v", tr))
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("split path parsed\n%v\nsequential parsed\n%v", got, want)
+		}
+	})
+}

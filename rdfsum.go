@@ -33,6 +33,7 @@ import (
 	"os"
 
 	"rdfsum/internal/bsbm"
+	"rdfsum/internal/compress"
 	"rdfsum/internal/core"
 	"rdfsum/internal/dot"
 	"rdfsum/internal/live"
@@ -162,13 +163,47 @@ func NewGraph(triples []Triple) *Graph { return store.FromTriples(triples) }
 // with (*Graph).Add.
 func EmptyGraph() *Graph { return store.NewGraph() }
 
-// LoadNTriplesFile reads and encodes an N-Triples file sequentially; see
-// LoadNTriplesFileParallel for the multi-core pipeline.
-func LoadNTriplesFile(path string) (*Graph, error) {
-	return load.NTriplesFile(path, load.Options{Workers: 1})
-}
+// Format identifies the RDF serialization of an input; FormatAuto
+// detects it from the file extension or the leading bytes (a document
+// opening with a directive is Turtle; pass FormatTurtle explicitly for
+// directive-free Turtle).
+type Format = load.Format
 
-// LoadOptions tunes the parallel N-Triples loading pipeline.
+// Input formats accepted by Load and LoadFile.
+const (
+	FormatAuto     = load.FormatAuto
+	FormatNTriples = load.FormatNTriples
+	FormatTurtle   = load.FormatTurtle
+)
+
+// Compression identifies a stream compression scheme; CompressionAuto
+// sniffs the magic bytes (and LoadFile additionally honors .gz/.zst
+// extensions).
+type Compression = compress.Codec
+
+// Stream compressions accepted by Load and LoadFile. Zstd is a built-in
+// Raw/RLE-block (store-mode) subset of RFC 8878 — entropy-coded frames
+// are rejected with ErrUnsupportedStream.
+const (
+	CompressionAuto = compress.Auto
+	CompressionNone = compress.None
+	CompressionGzip = compress.Gzip
+	CompressionZstd = compress.Zstd
+)
+
+// Sentinel errors classifying compressed-input failures; match with
+// errors.Is. A load that fails with any of these has published nothing.
+var (
+	// ErrTruncatedStream: the compressed input ended mid-frame.
+	ErrTruncatedStream = compress.ErrTruncated
+	// ErrCorruptStream: framing or checksum damage in the compressed input.
+	ErrCorruptStream = compress.ErrCorrupt
+	// ErrUnsupportedStream: a valid stream using a compression feature
+	// outside the built-in subset (e.g. entropy-coded zstd blocks).
+	ErrUnsupportedStream = compress.ErrUnsupported
+)
+
+// LoadOptions tunes the loading pipeline.
 type LoadOptions struct {
 	// Workers is the number of parse workers; 0 uses all CPUs
 	// (GOMAXPROCS) and 1 selects the sequential path.
@@ -176,13 +211,81 @@ type LoadOptions struct {
 	// SlabBytes is the chunk granularity of the parallel reader;
 	// 0 uses the 1 MiB default.
 	SlabBytes int
+	// Format is the input's RDF serialization (default: detect).
+	Format Format
+	// Compression is the input's stream compression (default: detect).
+	Compression Compression
 }
 
 func (o *LoadOptions) internal() load.Options {
 	if o == nil {
 		return load.Options{}
 	}
-	return load.Options{Workers: o.Workers, SlabBytes: o.SlabBytes}
+	return load.Options{Workers: o.Workers, SlabBytes: o.SlabBytes,
+		Format: o.Format, Compression: o.Compression}
+}
+
+// Load reads and encodes an RDF document of any supported format and
+// compression from r: the compression (gzip, zstd) is sniffed from the
+// magic bytes and decoded as a streaming stage — a compressed dump never
+// materializes — the serialization is detected on the decoded text, and
+// the result is built by the parallel pipeline, bit-identical to a
+// sequential load of the plain equivalent. A nil opts detects everything
+// and uses all CPUs.
+func Load(r io.Reader, opts *LoadOptions) (*Graph, error) {
+	return load.Reader(r, opts.internal())
+}
+
+// LoadFile is Load over a file; the name's extensions
+// (.nt/.ttl × .gz/.zst) pre-seed the format and compression detection.
+func LoadFile(path string, opts *LoadOptions) (*Graph, error) {
+	return load.File(path, opts.internal())
+}
+
+// Stream parses an RDF document triple by triple without building a
+// graph — the bulk entry point for live ingest. Compression and format
+// detection work as in Load; N-Triples streams through without
+// materializing, Turtle (not line-delimited) is buffered and parsed
+// whole.
+func Stream(r io.Reader, opts *LoadOptions, fn func(Triple) error) error {
+	return load.Stream(r, opts.internal(), fn)
+}
+
+// StreamFile is Stream over a file, with name-based detection as in
+// LoadFile.
+func StreamFile(path string, opts *LoadOptions, fn func(Triple) error) error {
+	return load.StreamFile(path, opts.internal(), fn)
+}
+
+// DetectFile reports what a file name declares about its content: the
+// serialization and compression ("dump.ttl.gz" -> FormatTurtle,
+// CompressionGzip). Either may come back Auto/None when the name says
+// nothing; Load's content detection is the authority.
+func DetectFile(path string) (Format, Compression) { return load.Detect(path) }
+
+// NewCompressionWriter wraps w in a streaming encoder for the given
+// codec (CompressionNone passes through); Close finalizes the frame
+// without closing w. This is how callers — including the HTTP client's
+// compressed uploads — produce dumps Load accepts.
+func NewCompressionWriter(w io.Writer, c Compression) (io.WriteCloser, error) {
+	return compress.NewWriter(w, c)
+}
+
+// NewCompressionReader wraps r in a streaming decoder for the given
+// codec; CompressionAuto sniffs the magic bytes, CompressionNone passes
+// through. Failures mid-stream surface ErrTruncatedStream or
+// ErrCorruptStream (via errors.Is), never silently short data.
+func NewCompressionReader(r io.Reader, c Compression) (io.ReadCloser, error) {
+	return compress.NewReader(r, c)
+}
+
+// LoadNTriplesFile reads and encodes an N-Triples file sequentially.
+//
+// Deprecated: use LoadFile, which detects format and compression and
+// loads in parallel; pass &LoadOptions{Workers: 1, Format: FormatNTriples}
+// for this exact behavior.
+func LoadNTriplesFile(path string) (*Graph, error) {
+	return load.NTriplesFile(path, load.Options{Workers: 1})
 }
 
 // LoadNTriplesFileParallel reads and encodes an N-Triples file on multiple
@@ -190,11 +293,17 @@ func (o *LoadOptions) internal() load.Options {
 // workers feeding a sharded dictionary, then renumbered so the resulting
 // Graph is bit-identical to LoadNTriplesFile's — same dictionary IDs, same
 // triple order — only faster. A nil opts uses all CPUs.
+//
+// Deprecated: use LoadFile, which adds format and compression detection
+// on the same pipeline.
 func LoadNTriplesFileParallel(path string, opts *LoadOptions) (*Graph, error) {
 	return load.NTriplesFile(path, opts.internal())
 }
 
 // LoadNTriplesParallel is LoadNTriplesFileParallel over an io.Reader.
+//
+// Deprecated: use Load, which adds format and compression detection on
+// the same pipeline.
 func LoadNTriplesParallel(r io.Reader, opts *LoadOptions) (*Graph, error) {
 	return load.NTriples(r, opts.internal())
 }
@@ -207,6 +316,10 @@ func ParseTurtle(r io.Reader) ([]Triple, error) { return turtle.Parse(r) }
 func ParseTurtleString(s string) ([]Triple, error) { return turtle.ParseString(s) }
 
 // LoadTurtleFile reads and encodes a Turtle file.
+//
+// Deprecated: use LoadFile, which detects format and compression and
+// parses Turtle in parallel at statement-boundary slabs, bit-identical
+// to this sequential path.
 func LoadTurtleFile(path string) (*Graph, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -410,7 +523,26 @@ type (
 	// LiveKindStatus reports one summary kind's maintenance mode and
 	// rebuild counters on a live store.
 	LiveKindStatus = live.KindStatus
+	// IngestQueue is a bounded, byte-budgeted admission queue in front
+	// of a Live store's single writer: producers block only for their
+	// own batch's commit, and a saturated queue fails fast with
+	// ErrIngestQueueFull instead of buffering without limit.
+	IngestQueue = live.IngestQueue
+	// IngestQueueStats is a point-in-time view of queue occupancy.
+	IngestQueueStats = live.QueueStats
 )
+
+// ErrIngestQueueFull reports that admitting a batch would exceed an
+// IngestQueue's depth or byte budget; retry after a backoff.
+var ErrIngestQueueFull = live.ErrQueueFull
+
+// NewIngestQueue starts an ingest queue of at most depth batches and
+// maxBytes of buffered payload draining into lv. Non-positive bounds
+// select defaults (256 batches, 256 MiB). Close the queue before the
+// store.
+func NewIngestQueue(lv *Live, depth int, maxBytes int64) *IngestQueue {
+	return live.NewIngestQueue(lv, depth, maxBytes)
+}
 
 // LiveOptions tunes OpenLive.
 type LiveOptions struct {
