@@ -11,7 +11,7 @@ FUZZTIME ?= 30s
 COVER_PKGS = ./internal/store ./internal/live ./internal/core
 COVER_MIN  = 70
 
-.PHONY: all build test race vet lint fmt fmt-check bench bench-smoke bench-json stress fuzz cover cover-check check clean
+.PHONY: all build test race vet lint fmt fmt-check obs-check bench bench-smoke bench-json stress fuzz cover cover-check check clean
 
 all: build
 
@@ -43,6 +43,14 @@ fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
+
+# Observability gate (mirrored as a CI step): the exposition-format
+# linter over a live /metrics scrape, the legacy series-name contract,
+# per-route latency histograms, and the request-ID round trip.
+obs-check:
+	$(GO) test -count=1 \
+		-run 'TestMetricsExposition|TestLegacyMetricSeries|TestEveryV1Route|TestServerRequestID|TestLint|TestExpositionFormat|TestMiddleware' \
+		./internal/obs/ ./cmd/rdfsumd/
 
 # Full benchmark sweep (the 1M-triple load benchmark takes a while).
 bench:
@@ -125,7 +133,7 @@ cover-check:
 		fi; \
 	done; rm -f .cover.tmp; exit $$fail
 
-check: build vet fmt-check race bench-smoke cover-check
+check: build vet fmt-check race obs-check bench-smoke cover-check
 
 clean:
 	$(GO) clean ./...

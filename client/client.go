@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"rdfsum"
+	"rdfsum/internal/obs"
 )
 
 // Client talks to one rdfsumd server. It is safe for concurrent use.
@@ -63,6 +64,14 @@ func New(baseURL string, opts ...Option) (*Client, error) {
 // BaseURL reports the server address the client was built with.
 func (c *Client) BaseURL() string { return c.base }
 
+// WithRequestID returns a context that pins the X-Request-Id sent on
+// every request made with it, correlating client calls with the
+// server's structured logs. Without it the server generates an ID and
+// echoes it back (surfaced on failures via Error.RequestID).
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return obs.WithRequestID(ctx, id)
+}
+
 // Error is a typed API error: the HTTP status and the stable error code
 // from the server's JSON envelope. Branch on Code (or IsCode), not on the
 // message text.
@@ -75,9 +84,16 @@ type Error struct {
 	// server's bounded ingest queue is full, and the same request will
 	// succeed once it drains.
 	RetryAfter time.Duration
+	// RequestID is the request's correlation ID echoed by the server in
+	// X-Request-Id: quote it when reporting a failure and the server's
+	// structured logs pinpoint the exact request.
+	RequestID string
 }
 
 func (e *Error) Error() string {
+	if e.RequestID != "" {
+		return fmt.Sprintf("rdfsumd: %s: %s (HTTP %d, request %s)", e.Code, e.Message, e.Status, e.RequestID)
+	}
 	return fmt.Sprintf("rdfsumd: %s: %s (HTTP %d)", e.Code, e.Message, e.Status)
 }
 
@@ -125,15 +141,17 @@ func decodeError(resp *http.Response) error {
 			retryAfter = time.Duration(secs) * time.Second
 		}
 	}
+	reqID := resp.Header.Get(obs.HeaderRequestID)
 	var env errorEnvelope
 	if err := json.Unmarshal(body, &env); err == nil && env.Error.Code != "" {
-		return &Error{Status: resp.StatusCode, Code: env.Error.Code, Message: env.Error.Message, RetryAfter: retryAfter}
+		return &Error{Status: resp.StatusCode, Code: env.Error.Code, Message: env.Error.Message, RetryAfter: retryAfter, RequestID: reqID}
 	}
 	return &Error{
 		Status:     resp.StatusCode,
 		Code:       "http_" + strconv.Itoa(resp.StatusCode),
 		Message:    strings.TrimSpace(string(body)),
 		RetryAfter: retryAfter,
+		RequestID:  reqID,
 	}
 }
 
@@ -177,6 +195,9 @@ func (c *Client) sendHeader(ctx context.Context, method, path string, q url.Valu
 	}
 	for k, vs := range hdr {
 		req.Header[k] = vs
+	}
+	if id := obs.RequestID(ctx); id != "" {
+		req.Header.Set(obs.HeaderRequestID, id)
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {

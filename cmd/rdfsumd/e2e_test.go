@@ -6,7 +6,9 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"regexp"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -26,7 +28,7 @@ func TestE2EReplication(t *testing.T) {
 	bin := buildRdfsumd(t)
 	ctx := context.Background()
 
-	leaderURL := startDaemon(t, bin, "-live", t.TempDir(), "-addr", "127.0.0.1:0")
+	leaderURL, leaderLogs := startDaemon(t, bin, "-live", t.TempDir(), "-addr", "127.0.0.1:0")
 	lc, err := client.New(leaderURL)
 	if err != nil {
 		t.Fatal(err)
@@ -39,7 +41,7 @@ func TestE2EReplication(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	followerURL := startDaemon(t, bin, "-follow", leaderURL, "-addr", "127.0.0.1:0")
+	followerURL, followerLogs := startDaemon(t, bin, "-follow", leaderURL, "-addr", "127.0.0.1:0")
 	fc, err := client.New(followerURL)
 	if err != nil {
 		t.Fatal(err)
@@ -78,6 +80,52 @@ func TestE2EReplication(t *testing.T) {
 	if rs.Bootstraps < 2 {
 		t.Errorf("bootstraps = %d, want >= 2 (one initial + one after compaction)", rs.Bootstraps)
 	}
+
+	// Request-ID correlation across processes: the follower stamps each
+	// bootstrap→tail session with one ID and sends it on every leader
+	// request, so the same ID must appear in both structured logs.
+	assertSharedRequestID(t, leaderLogs, followerLogs)
+}
+
+// requestIDRE matches the middleware-generated 16-hex request IDs in
+// slog text output.
+var requestIDRE = regexp.MustCompile(`request_id=([0-9a-f]{16})`)
+
+// assertSharedRequestID polls both process logs for a follower request
+// ID that also shows up in the leader's request log.
+func assertSharedRequestID(t *testing.T, leaderLogs, followerLogs *logBuffer) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		leader := leaderLogs.String()
+		for _, m := range requestIDRE.FindAllStringSubmatch(followerLogs.String(), -1) {
+			if strings.Contains(leader, m[1]) {
+				return
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Errorf("no follower request_id found in the leader log\nleader:\n%s\nfollower:\n%s",
+		leaderLogs.String(), followerLogs.String())
+}
+
+// logBuffer accumulates a child process's stderr lines for assertions.
+type logBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (l *logBuffer) add(line string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.b.WriteString(line)
+	l.b.WriteByte('\n')
+}
+
+func (l *logBuffer) String() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.String()
 }
 
 // buildRdfsumd compiles this package's binary once into the test's temp
@@ -93,9 +141,10 @@ func buildRdfsumd(t *testing.T) string {
 	return bin
 }
 
-// startDaemon launches an rdfsumd process and returns its base URL,
-// parsed from the "listening on" startup line.
-func startDaemon(t *testing.T, bin string, args ...string) string {
+// startDaemon launches an rdfsumd process and returns its base URL —
+// parsed from the "listening on" startup line, tolerating the slog text
+// handler's quoting — plus the accumulating capture of its stderr.
+func startDaemon(t *testing.T, bin string, args ...string) (string, *logBuffer) {
 	t.Helper()
 	cmd := exec.Command(bin, args...)
 	stderr, err := cmd.StderrPipe()
@@ -109,14 +158,16 @@ func startDaemon(t *testing.T, bin string, args ...string) string {
 		cmd.Process.Kill() //nolint:errcheck
 		cmd.Wait()         //nolint:errcheck
 	})
+	logs := &logBuffer{}
 	addrCh := make(chan string, 1)
 	go func() {
 		sc := bufio.NewScanner(stderr)
 		for sc.Scan() {
 			line := sc.Text()
+			logs.add(line)
 			if _, after, ok := strings.Cut(line, "listening on "); ok {
 				select {
-				case addrCh <- strings.TrimSpace(after):
+				case addrCh <- strings.Trim(after, "\" "):
 				default:
 				}
 			}
@@ -124,10 +175,10 @@ func startDaemon(t *testing.T, bin string, args ...string) string {
 	}()
 	select {
 	case addr := <-addrCh:
-		return "http://" + addr
+		return "http://" + addr, logs
 	case <-time.After(30 * time.Second):
 		t.Fatalf("rdfsumd %v did not report its listen address", args)
-		return ""
+		return "", nil
 	}
 }
 

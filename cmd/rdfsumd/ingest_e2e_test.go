@@ -44,7 +44,7 @@ func TestE2EStreamingIngest(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	url := startDaemon(t, bin, "-in", dump, "-addr", "127.0.0.1:0")
+	url, _ := startDaemon(t, bin, "-in", dump, "-addr", "127.0.0.1:0")
 	cl, err := client.New(url)
 	if err != nil {
 		t.Fatal(err)

@@ -55,13 +55,15 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
 	"strings"
+	"time"
 
 	"rdfsum"
+	"rdfsum/internal/obs"
 )
 
 func main() {
@@ -80,11 +82,28 @@ func main() {
 		"max batches buffered in the ingest queue before 429 (0 = default 256)")
 	queueBytes := flag.Int64("ingest-queue-bytes", 0,
 		"max decoded payload bytes buffered in the ingest queue before 429 (0 = default 256 MiB)")
+	logLevel := flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
+	logFormat := flag.String("log-format", "text", "structured log encoding: text or json")
+	slowQueryMS := flag.Int64("slow-query-ms", 0,
+		"log queries slower than this many milliseconds with their plan (0 = disabled)")
+	debugAddr := flag.String("debug-addr", "",
+		"private listen address for net/http/pprof and /debug/vars (empty = disabled; never on the public mux)")
 	flag.Parse()
 	if *in == "" && *liveDir == "" && *follow == "" {
 		fmt.Fprintln(os.Stderr, "rdfsumd: need -in, -live or -follow")
 		os.Exit(2)
 	}
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rdfsumd: -log-level:", err)
+		os.Exit(2)
+	}
+	logger, err := obs.NewLogger(os.Stderr, level, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rdfsumd: -log-format:", err)
+		os.Exit(2)
+	}
+	slog.SetDefault(logger)
 	maintained, err := parseMaintain(*maintain)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rdfsumd:", err)
@@ -101,6 +120,8 @@ func main() {
 		indexFanout: *indexFanout,
 		queueDepth:  *queueDepth,
 		queueBytes:  *queueBytes,
+		logger:      logger,
+		slowQuery:   time.Duration(*slowQueryMS) * time.Millisecond,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rdfsumd:", err)
@@ -110,6 +131,17 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rdfsumd:", err)
 		os.Exit(1)
+	}
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rdfsumd: -debug-addr:", err)
+			os.Exit(1)
+		}
+		logger.Info("debug server listening (pprof + /debug/vars)", "addr", dln.Addr().String())
+		go func() {
+			logger.Error("debug server exited", "error", http.Serve(dln, srv.debugHandler()))
+		}()
 	}
 	lv, _ := srv.state()
 	st := lv.Stats()
@@ -121,11 +153,15 @@ func main() {
 		mode = fmt.Sprintf("durable at %s (gen %d)", *liveDir, st.Gen)
 	}
 	// The exact "listening on" phrasing is load-bearing: the e2e harness
-	// and scripts/replication-smoke parse the bound address from it.
-	log.Printf("rdfsumd: listening on %s", ln.Addr())
-	log.Printf("rdfsumd: serving %d triples, %s, epoch %d, maintaining %s",
-		st.Triples, mode, st.Epoch, maintainNames(lv))
-	log.Fatal(http.Serve(ln, srv.handler()))
+	// parses the bound address from it (tolerating the slog text
+	// handler's quoting).
+	logger.Info(fmt.Sprintf("rdfsumd: listening on %s", ln.Addr()))
+	logger.Info(fmt.Sprintf("rdfsumd: serving %d triples, %s, epoch %d, maintaining %s",
+		st.Triples, mode, st.Epoch, maintainNames(lv)))
+	if err := http.Serve(ln, srv.handler()); err != nil {
+		logger.Error("server exited", "error", err)
+		os.Exit(1)
+	}
 }
 
 // parseMaintain resolves the -maintain flag: "all" maintains every kind,

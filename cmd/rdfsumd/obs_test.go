@@ -1,0 +1,332 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"rdfsum"
+	"rdfsum/internal/obs"
+)
+
+func scrapeMetrics(t *testing.T, ts *httptest.Server) (string, *http.Response) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body), resp
+}
+
+// TestMetricsExpositionWellFormed runs the full scrape through the
+// exposition linter: every family has HELP+TYPE, no duplicate series,
+// counters end _total, histogram buckets are monotone and +Inf-closed.
+func TestMetricsExpositionWellFormed(t *testing.T) {
+	ts, _ := liveTestServer(t, rdfsum.GenerateBSBM(20))
+	// Exercise a route so HTTP histograms have samples too.
+	postQuery(t, ts.URL+"/v1/query", "SELECT ?s ?o WHERE { ?s ?p ?o . }")
+
+	body, resp := scrapeMetrics(t, ts)
+	if ct := resp.Header.Get("Content-Type"); ct != obs.ContentType {
+		t.Errorf("Content-Type = %q, want %q", ct, obs.ContentType)
+	}
+	if err := obs.LintExposition(strings.NewReader(body)); err != nil {
+		t.Errorf("exposition lint: %v\n%s", err, body)
+	}
+}
+
+// TestLegacyMetricSeriesNamesPreserved pins the migration contract: every
+// series the hand-rolled /metrics handler used to emit is still present
+// under the identical name after the registry rewrite.
+func TestLegacyMetricSeriesNamesPreserved(t *testing.T) {
+	ts, _ := liveTestServer(t, rdfsum.GenerateBSBM(20))
+	body, _ := scrapeMetrics(t, ts)
+	legacy := []string{
+		"rdfsum_epoch ",
+		"rdfsum_triples ",
+		"rdfsum_durable ",
+		"rdfsum_read_only ",
+		"rdfsum_generation ",
+		"rdfsum_wal_bytes ",
+		"rdfsum_wal_records ",
+		"rdfsum_index_runs ",
+		"rdfsum_index_tombstones ",
+		"rdfsum_added_total ",
+		"rdfsum_deleted_total ",
+		"rdfsum_ingest_queue_depth ",
+		"rdfsum_ingest_queue_max_depth ",
+		"rdfsum_ingest_queue_bytes ",
+		"rdfsum_ingest_queue_max_bytes ",
+		"rdfsum_ingest_queue_rejected_total ",
+		`rdfsum_summary_epoch{kind="weak",mode="maintained"}`,
+		`rdfsum_summary_staleness{kind="weak",mode="maintained"}`,
+	}
+	for _, name := range legacy {
+		if !strings.Contains(body, name) {
+			t.Errorf("legacy series %q missing from /metrics", strings.TrimSpace(name))
+		}
+	}
+}
+
+// TestEveryV1RouteReportsLatencyHistogram exercises each /v1 route and
+// asserts the scrape carries a per-route duration histogram for it.
+func TestEveryV1RouteReportsLatencyHistogram(t *testing.T) {
+	ts, _ := liveTestServer(t, rdfsum.GenerateBSBM(10))
+
+	do := func(method, path, body string) {
+		t.Helper()
+		req, err := http.NewRequest(method, ts.URL+path, strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		resp.Body.Close()
+	}
+	do("GET", "/v1/healthz", "")
+	do("GET", "/v1/stats", "")
+	do("GET", "/v1/summary?kind=weak", "")
+	do("GET", "/v1/profile", "")
+	do("POST", "/v1/query", "SELECT ?s WHERE { ?s ?p ?o . }")
+	do("POST", "/v1/triples", ntBody(9000, 3))
+	do("DELETE", "/v1/triples", ntBody(9000, 3))
+	do("POST", "/v1/compact", "")
+	do("GET", "/v1/replication", "")
+	do("GET", "/v1/metrics", "")
+
+	body, _ := scrapeMetrics(t, ts)
+	routes := []string{
+		"/v1/healthz", "/v1/stats", "/v1/summary", "/v1/profile",
+		"/v1/query", "/v1/triples", "/v1/compact", "/v1/replication",
+		"/v1/metrics",
+	}
+	for _, route := range routes {
+		series := `rdfsum_http_request_duration_seconds_bucket{route="` + route + `"`
+		if !strings.Contains(body, series) {
+			t.Errorf("no latency histogram for route %s", route)
+		}
+	}
+	// Both write methods of /v1/triples are distinguished by the method
+	// label on the shared route.
+	for _, method := range []string{"POST", "DELETE"} {
+		series := `{route="/v1/triples",method="` + method + `"`
+		if !strings.Contains(body, series) {
+			t.Errorf("no %s sample for /v1/triples", method)
+		}
+	}
+}
+
+// TestServerRequestIDRoundTrip drives the middleware through the real
+// server handler: a supplied ID is echoed, a missing one is generated.
+func TestServerRequestIDRoundTrip(t *testing.T) {
+	ts := testServer(t)
+	req, err := http.NewRequest("GET", ts.URL+"/v1/stats", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(obs.HeaderRequestID, "trace-me-7")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get(obs.HeaderRequestID); got != "trace-me-7" {
+		t.Errorf("echoed request ID = %q, want trace-me-7", got)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get(obs.HeaderRequestID); len(got) != 16 {
+		t.Errorf("generated request ID = %q, want 16 hex chars", got)
+	}
+}
+
+// TestSlowQueryLogThresholdServer runs queries through a server armed
+// with a slow-query log and checks the threshold gates recording.
+func TestSlowQueryLogThresholdServer(t *testing.T) {
+	run := func(threshold time.Duration) string {
+		t.Helper()
+		var logs syncLogBuffer
+		logger, err := obs.NewLogger(&logs, slog.LevelInfo, "text")
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := newServer(serverConfig{
+			liveDir:   t.TempDir(),
+			workers:   1,
+			logger:    logger,
+			slowQuery: threshold,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.close() }) //nolint:errcheck
+		if err := srv.lv.AddBatch(rdfsum.GenerateBSBM(10).Decode()); err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv.handler())
+		t.Cleanup(ts.Close)
+		postQuery(t, ts.URL+"/v1/query", "SELECT ?s ?o WHERE { ?s ?p ?o . }")
+		return logs.String()
+	}
+
+	slow := run(time.Nanosecond) // everything is slower than 1ns
+	if !strings.Contains(slow, "slow query") {
+		t.Errorf("1ns threshold recorded nothing:\n%s", slow)
+	}
+	for _, want := range []string{"duration=", "rows=", "epoch=", "plan="} {
+		if !strings.Contains(slow, want) {
+			t.Errorf("slow-query entry missing %s:\n%s", want, slow)
+		}
+	}
+
+	fast := run(time.Hour) // nothing is slower than an hour
+	if strings.Contains(fast, "slow query") {
+		t.Errorf("1h threshold recorded a slow query:\n%s", fast)
+	}
+}
+
+// TestSlowQueryCaptureDoesNotLeakExplain: arming the slow-query log
+// forces plan capture internally, but the HTTP payload only carries the
+// explain block when the client asked for it.
+func TestSlowQueryCaptureDoesNotLeakExplain(t *testing.T) {
+	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
+	srv, err := newServer(serverConfig{
+		liveDir:   t.TempDir(),
+		workers:   1,
+		logger:    logger,
+		slowQuery: time.Nanosecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.close() }) //nolint:errcheck
+	if err := srv.lv.AddBatch(rdfsum.GenerateBSBM(10).Decode()); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.handler())
+	t.Cleanup(ts.Close)
+
+	resp, err := http.Post(ts.URL+"/v1/query", "text/plain",
+		strings.NewReader("SELECT ?s WHERE { ?s ?p ?o . }"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if strings.Contains(string(body), `"explain"`) {
+		t.Errorf("unrequested explain leaked into the payload:\n%s", body)
+	}
+
+	resp, err = http.Post(ts.URL+"/v1/query?explain=true", "text/plain",
+		strings.NewReader("SELECT ?s WHERE { ?s ?p ?o . }"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), `"explain"`) {
+		t.Errorf("requested explain missing from the payload:\n%s", body)
+	}
+}
+
+// TestDebugHandlerServesVarsAndPprof covers the private -debug-addr mux.
+func TestDebugHandlerServesVarsAndPprof(t *testing.T) {
+	srv := newServerFromGraph(rdfsum.GenerateBSBM(5))
+	ts := httptest.NewServer(srv.debugHandler())
+	t.Cleanup(ts.Close)
+
+	resp, err := http.Get(ts.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	// One valid JSON document merging the instance registry with the
+	// process-wide one (two concatenated objects would fail to decode).
+	var vars map[string]float64
+	if err := json.Unmarshal(body, &vars); err != nil {
+		t.Fatalf("/debug/vars is not one JSON object: %v\n%s", err, body)
+	}
+	if resp.StatusCode != http.StatusOK || vars["rdfsum_triples"] <= 0 {
+		t.Errorf("/debug/vars status %d, rdfsum_triples = %v", resp.StatusCode, vars["rdfsum_triples"])
+	}
+	if _, ok := vars["rdfsum_query_compile_seconds_count"]; !ok {
+		t.Errorf("/debug/vars missing process-wide series:\n%s", body)
+	}
+
+	resp, err = http.Get(ts.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline status = %d", resp.StatusCode)
+	}
+
+	// The public handler must NOT expose pprof.
+	pub := httptest.NewServer(srv.handler())
+	t.Cleanup(pub.Close)
+	resp, err = http.Get(pub.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("public mux serves pprof: status %d", resp.StatusCode)
+	}
+}
+
+// syncLogBuffer is a goroutine-safe io.Writer for capturing slog output
+// in tests (the HTTP server logs from handler goroutines).
+type syncLogBuffer struct {
+	logBuffer
+}
+
+func (b *syncLogBuffer) Write(p []byte) (int, error) {
+	b.add(strings.TrimSuffix(string(p), "\n"))
+	return len(p), nil
+}
+
+// BenchmarkMetricsMiddleware measures the observability middleware's
+// overhead against the real request path: the same query served by the
+// bare mux vs the instrumented handler. The delta is the full per-
+// request cost (request ID, histograms, log line).
+func BenchmarkMetricsMiddleware(b *testing.B) {
+	srv := newServerFromGraph(rdfsum.GenerateBSBM(20))
+	srv.logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	const q = "SELECT ?s ?o WHERE { ?s ?p ?o . }"
+
+	run := func(b *testing.B, h http.Handler) {
+		b.Helper()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			req := httptest.NewRequest("POST", "/v1/query?limit=100", strings.NewReader(q))
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				b.Fatalf("query status = %d: %s", rec.Code, rec.Body.String())
+			}
+		}
+	}
+	b.Run("bare", func(b *testing.B) { run(b, srv.mux()) })
+	b.Run("instrumented", func(b *testing.B) { run(b, srv.handler()) })
+}

@@ -1,0 +1,17 @@
+package main
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// mountPprof registers the pprof handlers on a private mux — the
+// explicit registrations, not the net/http/pprof DefaultServeMux side
+// effect, so profiling is only reachable through -debug-addr.
+func mountPprof(m *http.ServeMux) {
+	m.HandleFunc("/debug/pprof/", pprof.Index)
+	m.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	m.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	m.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	m.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}

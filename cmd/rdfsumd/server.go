@@ -4,7 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
 	"strings"
 	"sync"
@@ -12,6 +12,7 @@ import (
 
 	"rdfsum"
 	"rdfsum/internal/httpapi"
+	"rdfsum/internal/obs"
 	"rdfsum/internal/profile"
 	"rdfsum/internal/repl"
 	"rdfsum/internal/store"
@@ -72,6 +73,15 @@ type server struct {
 	weightsInst  uint64
 	weightsEpoch uint64
 	weights      *rdfsum.Weights
+
+	// Observability: the per-instance registry (store gauges sampled at
+	// scrape time + HTTP histograms; merged with obs.Default by
+	// /metrics), the request middleware handles, structured logging, and
+	// the slow-query log.
+	reg    *obs.Registry
+	httpm  *obs.HTTPMetrics
+	logger *slog.Logger
+	slow   *obs.SlowQueryLog
 }
 
 // serverConfig collects rdfsumd's startup knobs.
@@ -86,6 +96,9 @@ type serverConfig struct {
 	indexFanout int
 	queueDepth  int   // ingest queue batch bound (0 = default)
 	queueBytes  int64 // ingest queue byte budget (0 = default)
+
+	logger    *slog.Logger  // structured log sink (nil = slog.Default())
+	slowQuery time.Duration // slow-query log threshold (0 = disabled)
 }
 
 // newServer builds the serving state. With cfg.follow set the server is a
@@ -99,6 +112,10 @@ type serverConfig struct {
 // incrementally current (nil = weak only); cfg.indexFanout tunes the
 // tiered index's fold width (0 = default).
 func newServer(cfg serverConfig) (*server, error) {
+	logger := cfg.logger
+	if logger == nil {
+		logger = slog.Default()
+	}
 	if cfg.follow != "" {
 		if cfg.in != "" || cfg.liveDir != "" {
 			return nil, fmt.Errorf("-follow is exclusive with -in and -live: a replica's only data source is its leader")
@@ -106,17 +123,21 @@ func newServer(cfg serverConfig) (*server, error) {
 		f, err := repl.NewFollower(cfg.follow, repl.FollowerOptions{
 			Maintain:    cfg.maintain,
 			IndexFanout: cfg.indexFanout,
+			Logger:      logger,
 		})
 		if err != nil {
 			return nil, err
 		}
 		f.Start()
-		return &server{follower: f, maxStale: cfg.maxStale}, nil
+		s := &server{follower: f, maxStale: cfg.maxStale}
+		s.initObs(logger, cfg.slowQuery)
+		return s, nil
 	}
 	if cfg.in != "" && cfg.liveDir != "" && rdfsum.LiveHasState(cfg.liveDir) {
 		// A seed only applies to a fresh store; skip the (possibly huge)
 		// load instead of parsing and silently discarding it.
-		log.Printf("rdfsumd: -in %s ignored: live store %s already has state", cfg.in, cfg.liveDir)
+		logger.Warn("seed input ignored: live store already has state",
+			"in", cfg.in, "live", cfg.liveDir)
 		cfg.in = ""
 	}
 	var seed *rdfsum.Graph
@@ -143,7 +164,7 @@ func newServer(cfg serverConfig) (*server, error) {
 			return nil, err
 		}
 		if lv.RecoveredTorn {
-			log.Printf("rdfsumd: WAL recovery dropped a torn tail (crash mid-append); acknowledged batches are intact")
+			logger.Warn("WAL recovery dropped a torn tail (crash mid-append); acknowledged batches are intact")
 		}
 	} else {
 		lv = rdfsum.NewLiveWithOptions(seed, opts)
@@ -153,6 +174,7 @@ func newServer(cfg serverConfig) (*server, error) {
 	if lv.Durable() {
 		s.leader = repl.NewLeader(lv)
 	}
+	s.initObs(logger, cfg.slowQuery)
 	return s, nil
 }
 
@@ -160,7 +182,129 @@ func newServer(cfg serverConfig) (*server, error) {
 // embedders.
 func newServerFromGraph(g *rdfsum.Graph) *server {
 	lv := rdfsum.NewLive(g)
-	return &server{lv: lv, queue: rdfsum.NewIngestQueue(lv, 0, 0)}
+	s := &server{lv: lv, queue: rdfsum.NewIngestQueue(lv, 0, 0)}
+	s.initObs(nil, 0)
+	return s
+}
+
+// initObs wires the server's observability: its per-instance metric
+// registry (merged with the process-wide obs.Default at scrape time),
+// the HTTP middleware instrumentation, the structured logger, and the
+// slow-query log. Every pre-existing rdfsum_* series keeps its exact
+// name and label set; values are sampled from the serving state by a
+// scrape hook just before each exposition.
+func (s *server) initObs(logger *slog.Logger, slowQuery time.Duration) {
+	if logger == nil {
+		logger = slog.Default()
+	}
+	s.logger = logger
+	s.slow = &obs.SlowQueryLog{Threshold: slowQuery, Logger: logger}
+	s.reg = obs.NewRegistry()
+	s.httpm = obs.NewHTTPMetrics(s.reg)
+
+	r := s.reg
+	epoch := r.Gauge("rdfsum_epoch", "Current published epoch of the serving store.")
+	triples := r.Gauge("rdfsum_triples", "Triples in the current epoch snapshot.")
+	added := r.Counter("rdfsum_added_total", "Triples added over the store's lifetime.")
+	deleted := r.Counter("rdfsum_deleted_total", "Triple copies deleted over the store's lifetime.")
+	durable := r.Gauge("rdfsum_durable", "1 when the store is durable (WAL + snapshots), 0 when memory-only.")
+	readOnly := r.Gauge("rdfsum_read_only", "1 when this server is a read-only follower.")
+	generation := r.Gauge("rdfsum_generation", "Snapshot generation of the durable store.")
+	walBytes := r.Gauge("rdfsum_wal_bytes", "Bytes in the current WAL generation.")
+	indexRuns := r.Gauge("rdfsum_index_runs", "Runs in the tiered delta index.")
+	indexTombs := r.Gauge("rdfsum_index_tombstones", "Tombstones pending in the tiered delta index.")
+	// wal_records is only rendered where the legacy exposition rendered
+	// it: stores whose ReplState resolves, i.e. durable leaders.
+	var walRecords *obs.Gauge
+	if s.lv != nil && s.lv.Durable() {
+		walRecords = r.Gauge("rdfsum_wal_records", "Records in the current WAL generation.")
+	}
+	var qDepth, qMaxDepth, qBytes, qMaxBytes *obs.Gauge
+	var qRejected *obs.Counter
+	if s.queue != nil {
+		qDepth = r.Gauge("rdfsum_ingest_queue_depth", "Batches waiting in the bounded ingest queue.")
+		qMaxDepth = r.Gauge("rdfsum_ingest_queue_max_depth", "Ingest queue batch capacity.")
+		qBytes = r.Gauge("rdfsum_ingest_queue_bytes", "Payload bytes buffered in the ingest queue.")
+		qMaxBytes = r.Gauge("rdfsum_ingest_queue_max_bytes", "Ingest queue byte budget.")
+		qRejected = r.Counter("rdfsum_ingest_queue_rejected_total", "Batches shed with 429 by the saturated ingest queue.")
+	}
+	var lagBytes, lagRecords, lagEpochs, appliedRecords, tailing *obs.Gauge
+	var bootstraps *obs.Counter
+	if s.follower != nil {
+		lagBytes = r.Gauge("rdfsum_replication_lag_bytes", "WAL bytes the follower trails its leader by.")
+		lagRecords = r.Gauge("rdfsum_replication_lag_records", "WAL records the follower trails its leader by.")
+		lagEpochs = r.Gauge("rdfsum_replication_lag_epochs", "Leader epochs the follower trails by.")
+		appliedRecords = r.Gauge("rdfsum_replication_applied_records", "WAL records applied in the current generation.")
+		bootstraps = r.Counter("rdfsum_replication_bootstraps_total", "Snapshot bootstraps performed by this follower.")
+		tailing = r.Gauge("rdfsum_replication_tailing", "1 while the follower is tailing the leader's WAL.")
+	}
+	sumEpoch := r.GaugeVec("rdfsum_summary_epoch", "Epoch of the last materialized summary, per kind.", "kind", "mode")
+	sumStaleness := r.GaugeVec("rdfsum_summary_staleness", "Epochs the cached summary trails the store by, per kind.", "kind", "mode")
+	sumLazy := r.CounterVec("rdfsum_summary_lazy_builds_total", "Full summary rebuilds served lazily, per kind.", "kind", "mode")
+	sumRebuilds := r.CounterVec("rdfsum_summary_maintenance_rebuilds_total", "Incremental-maintenance rebuilds, per kind.", "kind", "mode")
+
+	boolGauge := func(v bool) float64 {
+		if v {
+			return 1
+		}
+		return 0
+	}
+	r.OnScrape(func() {
+		lv, _ := s.state()
+		st := lv.Stats()
+		epoch.Set(float64(st.Epoch))
+		triples.Set(float64(st.Triples))
+		added.Set(float64(st.Added))
+		deleted.Set(float64(st.Deleted))
+		durable.Set(boolGauge(st.Durable))
+		readOnly.Set(boolGauge(s.readOnly()))
+		generation.Set(float64(st.Gen))
+		walBytes.Set(float64(st.WALBytes))
+		indexRuns.Set(float64(st.IndexRuns))
+		indexTombs.Set(float64(st.IndexTombs))
+		if walRecords != nil {
+			if rs, err := lv.ReplState(); err == nil {
+				walRecords.Set(float64(rs.WALRecords))
+			}
+		}
+		if s.queue != nil {
+			qs := s.queue.Stats()
+			qDepth.Set(float64(qs.Depth))
+			qMaxDepth.Set(float64(qs.MaxDepth))
+			qBytes.Set(float64(qs.Bytes))
+			qMaxBytes.Set(float64(qs.MaxBytes))
+			qRejected.Set(float64(qs.Rejected))
+		}
+		if s.follower != nil {
+			fs := s.follower.Status()
+			lagBytes.Set(float64(fs.LagBytes))
+			lagRecords.Set(float64(fs.LagRecords))
+			lagEpochs.Set(float64(fs.LagEpochs))
+			appliedRecords.Set(float64(fs.AppliedRecords))
+			bootstraps.Set(float64(fs.Bootstraps))
+			tailing.Set(boolGauge(fs.State == repl.StateTailing))
+		}
+		for _, ks := range lv.Status() {
+			mode := "lazy"
+			if ks.Maintained {
+				mode = "maintained"
+			}
+			kind := ks.Kind.String()
+			sumEpoch.With(kind, mode).Set(float64(ks.CachedEpoch))
+			// How far the last materialized summary trails the store.
+			// Under -max-stale > 0 even a maintained kind serves its
+			// cached build within the tolerance, so the gauge reports the
+			// cache's actual trail for every mode (0 until a kind is
+			// first materialized).
+			staleness := uint64(0)
+			if ks.CachedEpoch > 0 && st.Epoch > ks.CachedEpoch {
+				staleness = st.Epoch - ks.CachedEpoch
+			}
+			sumStaleness.With(kind, mode).Set(float64(staleness))
+			sumLazy.With(kind, mode).Set(float64(ks.LazyBuilds))
+			sumRebuilds.With(kind, mode).Set(float64(ks.Rebuilds))
+		}
+	})
 }
 
 // state returns the live store to serve this request from and the
@@ -247,31 +391,25 @@ func (s *server) mux() *http.ServeMux {
 	return m
 }
 
-// handler wraps the mux with per-request logging (method, path, status,
-// duration) for serving observability.
+// handler wraps the mux with the observability middleware: per-route
+// latency/size histograms, a request ID accepted or generated and
+// echoed as X-Request-Id, and one structured log line per request
+// (health checks and metrics scrapes at debug).
 func (s *server) handler() http.Handler {
-	return logRequests(s.mux())
+	return obs.Middleware(s.mux(), s.httpm, s.logger)
 }
 
-// statusWriter records the response code for the request log.
-type statusWriter struct {
-	http.ResponseWriter
-	code int
-}
-
-func (w *statusWriter) WriteHeader(code int) {
-	w.code = code
-	w.ResponseWriter.WriteHeader(code)
-}
-
-func logRequests(h http.Handler) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		start := time.Now()
-		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
-		h.ServeHTTP(sw, r)
-		log.Printf("%s %s %d %s", r.Method, r.URL.Path, sw.code,
-			time.Since(start).Round(time.Microsecond))
+// debugHandler builds the -debug-addr mux: net/http/pprof plus a
+// /debug/vars-style JSON dump of both metric registries. Never mounted
+// on the public handler.
+func (s *server) debugHandler() http.Handler {
+	m := http.NewServeMux()
+	mountPprof(m)
+	m.HandleFunc("GET /debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		obs.DumpJSON(w, s.reg, obs.Default)
 	})
+	return m
 }
 
 // summary returns the (possibly cached) summary of one kind plus the
@@ -319,7 +457,7 @@ func (s *server) planStats(lv *rdfsum.Live, inst uint64) *rdfsum.Weights {
 	}
 	sum, epoch, err := lv.Summary(rdfsum.Weak, stale)
 	if err != nil {
-		log.Printf("rdfsumd: planner stats unavailable: %v", err)
+		s.logger.Warn("planner stats unavailable", "error", err)
 		return nil
 	}
 	s.weightsMu.Lock()
@@ -332,75 +470,14 @@ func (s *server) planStats(lv *rdfsum.Live, inst uint64) *rdfsum.Weights {
 	return s.weights
 }
 
-// handleMetrics exposes the serving counters in the Prometheus text
-// exposition format, making staleness observable in production: the store
-// epoch, triple/WAL counts, per-kind summary staleness, and — on a
-// replica — the replication lag in bytes, records and epochs.
+// handleMetrics exposes the serving metrics in the Prometheus text
+// exposition format: the per-instance registry (store epoch, triple/WAL
+// counts, per-kind summary staleness, replication lag on a replica,
+// per-route HTTP latency histograms) merged with the process-wide
+// registry of hot-path timings (WAL append/fsync, epoch publish, query
+// stages, index folds, replication apply).
 func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	lv, _ := s.state()
-	st := lv.Stats()
-	var b strings.Builder
-	boolGauge := func(v bool) int {
-		if v {
-			return 1
-		}
-		return 0
-	}
-	fmt.Fprintf(&b, "# TYPE rdfsum_epoch gauge\nrdfsum_epoch %d\n", st.Epoch)
-	fmt.Fprintf(&b, "# TYPE rdfsum_triples gauge\nrdfsum_triples %d\n", st.Triples)
-	fmt.Fprintf(&b, "# TYPE rdfsum_added_total counter\nrdfsum_added_total %d\n", st.Added)
-	fmt.Fprintf(&b, "# TYPE rdfsum_deleted_total counter\nrdfsum_deleted_total %d\n", st.Deleted)
-	fmt.Fprintf(&b, "# TYPE rdfsum_durable gauge\nrdfsum_durable %d\n", boolGauge(st.Durable))
-	fmt.Fprintf(&b, "# TYPE rdfsum_read_only gauge\nrdfsum_read_only %d\n", boolGauge(s.readOnly()))
-	fmt.Fprintf(&b, "# TYPE rdfsum_generation gauge\nrdfsum_generation %d\n", st.Gen)
-	fmt.Fprintf(&b, "# TYPE rdfsum_wal_bytes gauge\nrdfsum_wal_bytes %d\n", st.WALBytes)
-	fmt.Fprintf(&b, "# TYPE rdfsum_index_runs gauge\nrdfsum_index_runs %d\n", st.IndexRuns)
-	fmt.Fprintf(&b, "# TYPE rdfsum_index_tombstones gauge\nrdfsum_index_tombstones %d\n", st.IndexTombs)
-	if rs, err := lv.ReplState(); err == nil {
-		fmt.Fprintf(&b, "# TYPE rdfsum_wal_records gauge\nrdfsum_wal_records %d\n", rs.WALRecords)
-	}
-	if s.queue != nil {
-		qs := s.queue.Stats()
-		fmt.Fprintf(&b, "# TYPE rdfsum_ingest_queue_depth gauge\nrdfsum_ingest_queue_depth %d\n", qs.Depth)
-		fmt.Fprintf(&b, "# TYPE rdfsum_ingest_queue_max_depth gauge\nrdfsum_ingest_queue_max_depth %d\n", qs.MaxDepth)
-		fmt.Fprintf(&b, "# TYPE rdfsum_ingest_queue_bytes gauge\nrdfsum_ingest_queue_bytes %d\n", qs.Bytes)
-		fmt.Fprintf(&b, "# TYPE rdfsum_ingest_queue_max_bytes gauge\nrdfsum_ingest_queue_max_bytes %d\n", qs.MaxBytes)
-		fmt.Fprintf(&b, "# TYPE rdfsum_ingest_queue_rejected_total counter\nrdfsum_ingest_queue_rejected_total %d\n", qs.Rejected)
-	}
-	if s.follower != nil {
-		fs := s.follower.Status()
-		fmt.Fprintf(&b, "# TYPE rdfsum_replication_lag_bytes gauge\nrdfsum_replication_lag_bytes %d\n", fs.LagBytes)
-		fmt.Fprintf(&b, "# TYPE rdfsum_replication_lag_records gauge\nrdfsum_replication_lag_records %d\n", fs.LagRecords)
-		fmt.Fprintf(&b, "# TYPE rdfsum_replication_lag_epochs gauge\nrdfsum_replication_lag_epochs %d\n", fs.LagEpochs)
-		fmt.Fprintf(&b, "# TYPE rdfsum_replication_applied_records gauge\nrdfsum_replication_applied_records %d\n", fs.AppliedRecords)
-		fmt.Fprintf(&b, "# TYPE rdfsum_replication_bootstraps_total counter\nrdfsum_replication_bootstraps_total %d\n", fs.Bootstraps)
-		fmt.Fprintf(&b, "# TYPE rdfsum_replication_tailing gauge\nrdfsum_replication_tailing %d\n", boolGauge(fs.State == repl.StateTailing))
-	}
-	b.WriteString("# TYPE rdfsum_summary_epoch gauge\n")
-	b.WriteString("# TYPE rdfsum_summary_staleness gauge\n")
-	b.WriteString("# TYPE rdfsum_summary_lazy_builds_total counter\n")
-	b.WriteString("# TYPE rdfsum_summary_maintenance_rebuilds_total counter\n")
-	for _, ks := range lv.Status() {
-		mode := "lazy"
-		if ks.Maintained {
-			mode = "maintained"
-		}
-		labels := fmt.Sprintf("{kind=%q,mode=%q}", ks.Kind.String(), mode)
-		fmt.Fprintf(&b, "rdfsum_summary_epoch%s %d\n", labels, ks.CachedEpoch)
-		// How far the last materialized summary trails the store. Under
-		// -max-stale > 0 even a maintained kind serves its cached build
-		// within the tolerance, so the gauge reports the cache's actual
-		// trail for every mode (0 until a kind is first materialized).
-		staleness := uint64(0)
-		if ks.CachedEpoch > 0 && st.Epoch > ks.CachedEpoch {
-			staleness = st.Epoch - ks.CachedEpoch
-		}
-		fmt.Fprintf(&b, "rdfsum_summary_staleness%s %d\n", labels, staleness)
-		fmt.Fprintf(&b, "rdfsum_summary_lazy_builds_total%s %d\n", labels, ks.LazyBuilds)
-		fmt.Fprintf(&b, "rdfsum_summary_maintenance_rebuilds_total%s %d\n", labels, ks.Rebuilds)
-	}
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	io.WriteString(w, b.String()) //nolint:errcheck
+	obs.WriteExposition(w, s.reg, obs.Default)
 }
 
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -754,9 +831,14 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		httpapi.WriteError(w, err)
 		return
 	}
+	t0 := time.Now()
+	wantExplain := boolParam(r, "explain")
 	opts := &rdfsum.QueryOptions{
-		Limit:   limit,
-		Explain: boolParam(r, "explain"),
+		Limit: limit,
+		// With the slow-query log armed, every query captures its plan so
+		// a slow one can be logged with the join order it actually ran;
+		// the response only includes it when the client asked.
+		Explain: wantExplain || s.slow.Enabled(),
 	}
 	// Pin the serving store once: on a follower a re-bootstrap may swap it
 	// mid-request, and mixing instances would pair snapshots and caches
@@ -805,6 +887,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		httpapi.WriteError(w, httpapi.Errorf(http.StatusBadRequest, httpapi.CodeInvalidArgument, "%v", err))
 		return
 	}
+	s.slow.Record(r.Context(), string(body), time.Since(t0), len(res.Rows), evalEpoch, res.Explain)
 	rows := make([][]string, 0, len(res.Rows))
 	for _, row := range res.Rows {
 		cells := make([]string, len(row))
@@ -829,7 +912,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if opts.Pruner != nil {
 		payload["prune_epoch"] = pruneEpoch
 	}
-	if res.Explain != nil {
+	if res.Explain != nil && wantExplain {
 		payload["explain"] = res.Explain
 	}
 	httpapi.WriteJSON(w, payload)

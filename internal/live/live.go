@@ -55,6 +55,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"rdfsum/internal/core"
 	"rdfsum/internal/rdf"
@@ -434,6 +435,7 @@ func (l *Live) anyPresentLocked(triples []rdf.Triple) bool {
 // clipped bounds); the index gains one delta run holding only the batch,
 // so publish cost is O(batch), independent of the graph size.
 func (l *Live) publishLocked() {
+	defer epochPublishSeconds.ObserveSince(time.Now())
 	g := l.graph()
 	view := g.SnapshotView()
 	var ix *store.Index
@@ -455,6 +457,7 @@ func (l *Live) publishLocked() {
 // the old ones), and the index gains one tombstone run suppressing the
 // removed triples — O(batch) again, no index rebuild.
 func (l *Live) publishDeletesLocked(tombs []store.Triple) {
+	defer epochPublishSeconds.ObserveSince(time.Now())
 	view := l.graph().SnapshotView()
 	ix := l.cur.Load().Index.Applied(nil, tombs)
 	l.installLocked(view, ix)
@@ -463,6 +466,7 @@ func (l *Live) publishDeletesLocked(tombs []store.Triple) {
 // publishCompactedLocked installs an epoch whose index is folded into a
 // single run with all tombstones dropped (the graph is unchanged).
 func (l *Live) publishCompactedLocked() {
+	defer epochPublishSeconds.ObserveSince(time.Now())
 	cur := l.cur.Load()
 	l.installLocked(cur.Graph, cur.Index.Compacted())
 }

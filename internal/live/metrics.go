@@ -1,0 +1,20 @@
+package live
+
+import "rdfsum/internal/obs"
+
+// Process-wide hot-path timings. These live on obs.Default (not a
+// per-store registry): the histograms are cumulative across every Live
+// instance in the process, which is what a scrape wants, and the write
+// side stays a single atomic add.
+var (
+	walAppendSeconds = obs.Default.Histogram("rdfsum_wal_append_seconds",
+		"Time to frame and write one WAL batch, excluding fsync.", obs.DefBuckets)
+	walFsyncSeconds = obs.Default.Histogram("rdfsum_wal_fsync_seconds",
+		"Time in fsync for one WAL group commit.", obs.DefBuckets)
+	epochPublishSeconds = obs.Default.Histogram("rdfsum_epoch_publish_seconds",
+		"Time to build and install one epoch snapshot (delta/tombstone/compacted publish).", obs.DefBuckets)
+	queueWaitSeconds = obs.Default.Histogram("rdfsum_ingest_queue_wait_seconds",
+		"Time an admitted ingest batch waited in the queue before the drain goroutine picked it up.", obs.DefBuckets)
+	queueDrainSeconds = obs.Default.Histogram("rdfsum_ingest_queue_drain_seconds",
+		"Time the drain goroutine spent applying one ingest batch to the store.", obs.DefBuckets)
+)

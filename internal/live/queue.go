@@ -19,6 +19,7 @@ package live
 import (
 	"errors"
 	"sync"
+	"time"
 
 	"rdfsum/internal/rdf"
 )
@@ -41,10 +42,11 @@ type QueueStats struct {
 
 // ingestJob is one queued batch with its completion signal.
 type ingestJob struct {
-	triples []rdf.Triple
-	bytes   int64
-	delete  bool
-	done    chan ingestResult
+	triples  []rdf.Triple
+	bytes    int64
+	delete   bool
+	enqueued time.Time
+	done     chan ingestResult
 }
 
 type ingestResult struct {
@@ -95,6 +97,8 @@ func NewIngestQueue(lv *Live, depth int, maxBytes int64) *IngestQueue {
 func (q *IngestQueue) drain() {
 	defer q.wg.Done()
 	for job := range q.jobs {
+		queueWaitSeconds.ObserveSince(job.enqueued)
+		tApply := time.Now()
 		var res ingestResult
 		if job.delete {
 			res.applied, res.err = q.lv.DeleteBatch(job.triples)
@@ -107,6 +111,7 @@ func (q *IngestQueue) drain() {
 		if res.err == nil {
 			res.epoch = q.lv.Epoch()
 		}
+		queueDrainSeconds.ObserveSince(tApply)
 		q.mu.Lock()
 		q.depth--
 		q.bytes -= job.bytes
@@ -145,7 +150,7 @@ func (q *IngestQueue) enqueue(triples []rdf.Triple, bytes int64, del bool) (int,
 	if err := q.admit(bytes); err != nil {
 		return 0, 0, err
 	}
-	job := &ingestJob{triples: triples, bytes: bytes, delete: del, done: make(chan ingestResult, 1)}
+	job := &ingestJob{triples: triples, bytes: bytes, delete: del, enqueued: time.Now(), done: make(chan ingestResult, 1)}
 	q.jobs <- job
 	q.producers.Done()
 	res := <-job.done

@@ -8,6 +8,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"time"
 
 	"rdfsum/internal/rdf"
 )
@@ -153,6 +154,7 @@ func (w *wal) appendOp(op Op, triples []rdf.Triple) error {
 	if w.broken {
 		return errors.New("live: wal is broken after a failed append; reopen the store")
 	}
+	t0 := time.Now()
 	if w.version < walVersion && op != OpAdd {
 		// Unreachable in practice: Open upgrades v1 generations via a
 		// compaction before handing out the store.
@@ -212,7 +214,9 @@ func (w *wal) appendOp(op Op, triples []rdf.Triple) error {
 		w.rollback()
 		return err
 	}
+	walAppendSeconds.ObserveSince(t0)
 	if w.sync {
+		tSync := time.Now()
 		if err := w.f.Sync(); err != nil {
 			// After a failed fsync the kernel may have dropped the dirty
 			// pages (or not) — the records' durability is unknowable, so
@@ -220,6 +224,7 @@ func (w *wal) appendOp(op Op, triples []rdf.Triple) error {
 			w.broken = true
 			return fmt.Errorf("live: wal sync: %w", err)
 		}
+		walFsyncSeconds.ObserveSince(tSync)
 	}
 	w.size += written
 	w.records += nrecs

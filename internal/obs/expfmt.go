@@ -1,0 +1,265 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// LintExposition parses a Prometheus text-format payload and enforces
+// the contract the repo's /metrics endpoint promises:
+//
+//   - every sample belongs to a family announced by # HELP and # TYPE
+//     lines appearing before the first sample;
+//   - no family is announced twice and no (name, label-set) sample
+//     repeats (duplicate registration);
+//   - counter family names end in _total;
+//   - histogram buckets are monotone: cumulative counts never decrease
+//     as le rises, a +Inf bucket exists, and it equals the _count.
+//
+// It returns nil when the payload is clean, or an error describing the
+// first violation.
+func LintExposition(r io.Reader) error {
+	fams := make(map[string]*famInfo)
+	seen := make(map[string]bool) // full sample key incl. labels
+	type histKey struct{ name, labels string }
+	buckets := make(map[histKey][]struct {
+		le  float64
+		cum float64
+	})
+	counts := make(map[histKey]float64)
+	hasCount := make(map[histKey]bool)
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "# HELP ") {
+			name, _, ok := strings.Cut(strings.TrimPrefix(text, "# HELP "), " ")
+			if !ok || name == "" {
+				return fmt.Errorf("line %d: malformed HELP line", line)
+			}
+			f := fams[name]
+			if f == nil {
+				f = &famInfo{}
+				fams[name] = f
+			}
+			if f.hasHelp {
+				return fmt.Errorf("line %d: duplicate HELP for %s", line, name)
+			}
+			f.hasHelp = true
+			continue
+		}
+		if strings.HasPrefix(text, "# TYPE ") {
+			rest := strings.TrimPrefix(text, "# TYPE ")
+			name, typ, ok := strings.Cut(rest, " ")
+			if !ok {
+				return fmt.Errorf("line %d: malformed TYPE line", line)
+			}
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return fmt.Errorf("line %d: unknown type %q for %s", line, typ, name)
+			}
+			f := fams[name]
+			if f == nil {
+				f = &famInfo{}
+				fams[name] = f
+			}
+			if f.typ != "" {
+				return fmt.Errorf("line %d: duplicate TYPE for %s", line, name)
+			}
+			f.typ = typ
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			continue // other comment
+		}
+
+		name, labels, value, err := parseSample(text)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", line, err)
+		}
+		if seen[name+labels] {
+			return fmt.Errorf("line %d: duplicate sample %s%s", line, name, labels)
+		}
+		seen[name+labels] = true
+
+		fam, suffix := sampleFamily(name, fams)
+		f := fams[fam]
+		if f == nil || f.typ == "" || !f.hasHelp {
+			return fmt.Errorf("line %d: sample %s has no preceding HELP+TYPE for family %s", line, name, fam)
+		}
+		if f.typ == "counter" && !strings.HasSuffix(fam, "_total") {
+			return fmt.Errorf("line %d: counter %s does not end in _total", line, fam)
+		}
+		if f.typ == "histogram" {
+			base, le := stripLE(labels)
+			k := histKey{fam, base}
+			switch suffix {
+			case "_bucket":
+				if le == "" {
+					return fmt.Errorf("line %d: histogram bucket %s missing le label", line, name)
+				}
+				bound, err := parseLE(le)
+				if err != nil {
+					return fmt.Errorf("line %d: %v", line, err)
+				}
+				buckets[k] = append(buckets[k], struct{ le, cum float64 }{bound, value})
+			case "_count":
+				counts[k] = value
+				hasCount[k] = true
+			case "_sum":
+			default:
+				return fmt.Errorf("line %d: unexpected histogram sample %s", line, name)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+
+	for k, bs := range buckets {
+		sort.Slice(bs, func(i, j int) bool { return bs[i].le < bs[j].le })
+		prev := -1.0
+		inf := false
+		for _, b := range bs {
+			if b.cum < prev {
+				return fmt.Errorf("histogram %s%s: bucket counts decrease at le=%s", k.name, k.labels, fmtFloat(b.le))
+			}
+			prev = b.cum
+			if b.le > 1e300 { // +Inf parsed as MaxFloat sentinel
+				inf = true
+				if hasCount[k] && b.cum != counts[k] {
+					return fmt.Errorf("histogram %s%s: +Inf bucket %g != count %g", k.name, k.labels, b.cum, counts[k])
+				}
+			}
+		}
+		if !inf {
+			return fmt.Errorf("histogram %s%s: missing +Inf bucket", k.name, k.labels)
+		}
+		if !hasCount[k] {
+			return fmt.Errorf("histogram %s%s: missing _count", k.name, k.labels)
+		}
+	}
+	return nil
+}
+
+// parseSample splits `name{labels} value [timestamp]` into parts.
+func parseSample(s string) (name, labels string, value float64, err error) {
+	rest := s
+	if i := strings.IndexByte(s, '{'); i >= 0 {
+		j := strings.LastIndexByte(s, '}')
+		if j < i {
+			return "", "", 0, fmt.Errorf("unbalanced braces in %q", s)
+		}
+		name, labels, rest = s[:i], s[i:j+1], strings.TrimSpace(s[j+1:])
+	} else {
+		var ok bool
+		name, rest, ok = strings.Cut(s, " ")
+		if !ok {
+			return "", "", 0, fmt.Errorf("sample %q has no value", s)
+		}
+	}
+	if !validMetricName(name) {
+		return "", "", 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	valStr, _, _ := strings.Cut(strings.TrimSpace(rest), " ")
+	value, err = parseLE(valStr)
+	if err != nil {
+		return "", "", 0, fmt.Errorf("bad value %q: %v", valStr, err)
+	}
+	return name, labels, value, nil
+}
+
+// sampleFamily maps a sample name to its family, peeling histogram
+// suffixes only when the bare name isn't itself a registered family.
+func sampleFamily(name string, fams map[string]*famInfo) (fam, suffix string) {
+	if f, ok := fams[name]; ok && f.typ != "histogram" {
+		return name, ""
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suf)
+		if base != name {
+			if f, ok := fams[base]; ok && f.typ == "histogram" {
+				return base, suf
+			}
+		}
+	}
+	return name, ""
+}
+
+type famInfo struct {
+	typ     string
+	hasHelp bool
+}
+
+// stripLE removes the le pair from a rendered label block, returning
+// the remaining block (sorted canonical) and the le value.
+func stripLE(labels string) (rest, le string) {
+	if labels == "" {
+		return "", ""
+	}
+	inner := strings.TrimSuffix(strings.TrimPrefix(labels, "{"), "}")
+	var kept []string
+	for _, pair := range splitLabelPairs(inner) {
+		k, v, _ := strings.Cut(pair, "=")
+		if k == "le" {
+			le = strings.Trim(v, `"`)
+			continue
+		}
+		kept = append(kept, pair)
+	}
+	sort.Strings(kept)
+	if len(kept) == 0 {
+		return "", le
+	}
+	return "{" + strings.Join(kept, ",") + "}", le
+}
+
+// splitLabelPairs splits k="v",k2="v2" on commas outside quotes.
+func splitLabelPairs(s string) []string {
+	var out []string
+	var cur strings.Builder
+	inQ := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '\\' && inQ && i+1 < len(s):
+			cur.WriteByte(c)
+			i++
+			cur.WriteByte(s[i])
+		case c == '"':
+			inQ = !inQ
+			cur.WriteByte(c)
+		case c == ',' && !inQ:
+			out = append(out, cur.String())
+			cur.Reset()
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	if cur.Len() > 0 {
+		out = append(out, cur.String())
+	}
+	return out
+}
+
+func parseLE(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(+1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}

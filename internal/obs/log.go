@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+type ctxKey int
+
+const requestIDKey ctxKey = 0
+
+// WithRequestID returns a context carrying the given request ID. The
+// slog handlers built by NewLogger stamp it onto every record logged
+// with that context, and the typed client forwards it as X-Request-Id
+// on outbound requests.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, requestIDKey, id)
+}
+
+// RequestID returns the request ID carried by ctx, or "".
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey).(string)
+	return id
+}
+
+// NewRequestID returns a fresh random request ID: 16 hex characters.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand never fails on supported platforms; keep the
+		// signature allocation-free rather than plumbing an error.
+		return "00000000deadbeef"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// sanitizeRequestID bounds and filters a client-supplied request ID so
+// log output stays parseable: up to 64 chars of [A-Za-z0-9._-]. An
+// unusable ID yields "" (the caller generates a fresh one).
+func sanitizeRequestID(id string) string {
+	if len(id) > 64 {
+		return ""
+	}
+	for _, c := range id {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return ""
+		}
+	}
+	return id
+}
+
+// ParseLevel maps a -log-level flag value to a slog level.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info", "":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("unknown log level %q (want debug, info, warn, or error)", s)
+}
+
+// NewLogger builds a leveled slog logger writing text or JSON to w,
+// wrapped so records logged with a request-scoped context carry a
+// request_id attribute automatically.
+func NewLogger(w io.Writer, level slog.Level, format string) (*slog.Logger, error) {
+	opts := &slog.HandlerOptions{Level: level}
+	var h slog.Handler
+	switch strings.ToLower(format) {
+	case "text", "":
+		h = slog.NewTextHandler(w, opts)
+	case "json":
+		h = slog.NewJSONHandler(w, opts)
+	default:
+		return nil, fmt.Errorf("unknown log format %q (want text or json)", format)
+	}
+	return slog.New(&ctxHandler{h}), nil
+}
+
+// ctxHandler decorates records with the context's request ID.
+type ctxHandler struct{ slog.Handler }
+
+func (h *ctxHandler) Handle(ctx context.Context, r slog.Record) error {
+	if id := RequestID(ctx); id != "" {
+		r.AddAttrs(slog.String("request_id", id))
+	}
+	return h.Handler.Handle(ctx, r)
+}
+
+func (h *ctxHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return &ctxHandler{h.Handler.WithAttrs(attrs)}
+}
+
+func (h *ctxHandler) WithGroup(name string) slog.Handler {
+	return &ctxHandler{h.Handler.WithGroup(name)}
+}

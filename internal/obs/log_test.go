@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestRequestIDContext(t *testing.T) {
+	if got := RequestID(context.Background()); got != "" {
+		t.Errorf("empty context request ID = %q", got)
+	}
+	ctx := WithRequestID(context.Background(), "abc123")
+	if got := RequestID(ctx); got != "abc123" {
+		t.Errorf("request ID = %q, want abc123", got)
+	}
+}
+
+func TestNewRequestIDShape(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 32; i++ {
+		id := NewRequestID()
+		if len(id) != 16 {
+			t.Fatalf("request ID %q has length %d, want 16", id, len(id))
+		}
+		if strings.Trim(id, "0123456789abcdef") != "" {
+			t.Fatalf("request ID %q is not lowercase hex", id)
+		}
+		seen[id] = true
+	}
+	if len(seen) < 2 {
+		t.Errorf("32 generated IDs yielded %d distinct values", len(seen))
+	}
+}
+
+func TestSanitizeRequestID(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"abc-DEF_1.2", "abc-DEF_1.2"},
+		{"", ""},
+		{"has space", ""},
+		{"semi;colon", ""},
+		{"newline\nid", ""},
+		{strings.Repeat("a", 65), ""},
+		{strings.Repeat("a", 64), strings.Repeat("a", 64)},
+	}
+	for _, tc := range cases {
+		if got := sanitizeRequestID(tc.in); got != tc.want {
+			t.Errorf("sanitizeRequestID(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]slog.Level{
+		"debug": slog.LevelDebug,
+		"info":  slog.LevelInfo,
+		"warn":  slog.LevelWarn,
+		"error": slog.LevelError,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseLevel("verbose"); err == nil {
+		t.Error("ParseLevel accepted an unknown level")
+	}
+}
+
+func TestNewLoggerFormats(t *testing.T) {
+	ctx := WithRequestID(context.Background(), "deadbeef00000000")
+
+	var text strings.Builder
+	lg, err := NewLogger(&text, slog.LevelInfo, "text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.InfoContext(ctx, "hello", "k", "v")
+	if !strings.Contains(text.String(), "request_id=deadbeef00000000") {
+		t.Errorf("text log missing request_id: %s", text.String())
+	}
+
+	var jsonOut strings.Builder
+	lg, err = NewLogger(&jsonOut, slog.LevelInfo, "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.InfoContext(ctx, "hello", "k", "v")
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(jsonOut.String()), &rec); err != nil {
+		t.Fatalf("json log is not valid JSON: %v\n%s", err, jsonOut.String())
+	}
+	if rec["request_id"] != "deadbeef00000000" || rec["msg"] != "hello" || rec["k"] != "v" {
+		t.Errorf("json log record = %v", rec)
+	}
+
+	if _, err := NewLogger(&text, slog.LevelInfo, "xml"); err == nil {
+		t.Error("NewLogger accepted an unknown format")
+	}
+}
+
+func TestLoggerLevelFilter(t *testing.T) {
+	var b strings.Builder
+	lg, err := NewLogger(&b, slog.LevelWarn, "text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Info("dropped")
+	lg.Warn("kept")
+	out := b.String()
+	if strings.Contains(out, "dropped") || !strings.Contains(out, "kept") {
+		t.Errorf("level filtering wrong: %s", out)
+	}
+}
+
+func TestCtxHandlerSurvivesWithAttrs(t *testing.T) {
+	ctx := WithRequestID(context.Background(), "feedface00000000")
+	var b strings.Builder
+	lg, err := NewLogger(&b, slog.LevelInfo, "text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.With("component", "test").WithGroup("g").InfoContext(ctx, "hi", "k", "v")
+	if !strings.Contains(b.String(), "request_id=feedface00000000") {
+		t.Errorf("request_id lost through With/WithGroup: %s", b.String())
+	}
+}

@@ -1,0 +1,532 @@
+// Package obs is the repo's observability layer: a dependency-free
+// metrics registry with Prometheus text exposition, structured logging
+// helpers on log/slog with request-scoped attributes, HTTP middleware
+// that gives every route a latency/size histogram and a request ID, and
+// a slow-query log. Every subsystem reports into a Registry; the server
+// merges its per-instance Registry with the process-wide Default at
+// scrape time.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ContentType is the Prometheus text exposition format content type.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// DefBuckets are the default latency buckets (seconds), spanning sub-ms
+// index probes through multi-second cold loads.
+var DefBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// SizeBuckets are the default size buckets (bytes) for payload
+// histograms: 256 B through 64 MiB in powers of four.
+var SizeBuckets = []float64{
+	256, 1024, 4096, 16384, 65536, 262144,
+	1 << 20, 4 << 20, 16 << 20, 64 << 20,
+}
+
+type metricType int
+
+const (
+	typeCounter metricType = iota
+	typeGauge
+	typeHistogram
+)
+
+func (t metricType) String() string {
+	switch t {
+	case typeCounter:
+		return "counter"
+	case typeGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// Registry holds metric families and renders them in Prometheus text
+// exposition format. Registration panics on invalid or duplicate names
+// (both are programming errors caught at startup); observation methods
+// are lock-free atomics safe for concurrent use.
+type Registry struct {
+	mu    sync.RWMutex
+	fams  []*family
+	byKey map[string]*family
+	hooks []func()
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byKey: make(map[string]*family)}
+}
+
+// Default is the process-wide registry hot paths (WAL, epoch publish,
+// query compile/execute, index folds, replication apply) report into.
+// Per-instance state (store gauges, HTTP histograms) belongs in a
+// per-server Registry instead, so tests running several servers in one
+// process don't collide.
+var Default = NewRegistry()
+
+// OnScrape registers fn to run at the start of every exposition write.
+// Used to sample point-in-time state (store stats, queue occupancy,
+// replication lag) into gauges just before rendering.
+func (r *Registry) OnScrape(fn func()) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.hooks = append(r.hooks, fn)
+}
+
+// family is one metric name: its metadata plus every labeled child.
+type family struct {
+	name    string
+	help    string
+	typ     metricType
+	labels  []string
+	buckets []float64 // histograms only; sorted, no +Inf
+
+	mu    sync.RWMutex
+	order []string // child keys in registration order
+	kids  map[string]any
+}
+
+func (r *Registry) register(name, help string, typ metricType, labels []string, buckets []float64) *family {
+	validateName(name, typ)
+	for _, l := range labels {
+		if !validLabel(l) {
+			panic(fmt.Sprintf("obs: invalid label name %q on metric %q", l, name))
+		}
+	}
+	if typ == typeHistogram {
+		if len(buckets) == 0 {
+			panic(fmt.Sprintf("obs: histogram %q needs at least one bucket", name))
+		}
+		if !sort.Float64sAreSorted(buckets) {
+			panic(fmt.Sprintf("obs: histogram %q buckets not sorted", name))
+		}
+		if math.IsInf(buckets[len(buckets)-1], +1) {
+			buckets = buckets[:len(buckets)-1] // +Inf is implicit
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byKey[name]; dup {
+		panic(fmt.Sprintf("obs: duplicate metric registration %q", name))
+	}
+	f := &family{
+		name:    name,
+		help:    help,
+		typ:     typ,
+		labels:  labels,
+		buckets: buckets,
+		kids:    make(map[string]any),
+	}
+	r.byKey[name] = f
+	r.fams = append(r.fams, f)
+	return f
+}
+
+func validateName(name string, typ metricType) {
+	if !validMetricName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	if typ == typeCounter && !strings.HasSuffix(name, "_total") {
+		panic(fmt.Sprintf("obs: counter %q must end in _total", name))
+	}
+	if typ == typeHistogram {
+		for _, suf := range []string{"_total", "_bucket", "_sum", "_count"} {
+			if strings.HasSuffix(name, suf) {
+				panic(fmt.Sprintf("obs: histogram %q must not end in %s", name, suf))
+			}
+		}
+	}
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func validLabel(s string) bool {
+	if s == "" || s == "le" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// child returns the metric for the given label values, creating it with
+// mk on first use. Label cardinality must match the family's label set.
+func (f *family) child(lvs []string, mk func() any) any {
+	if len(lvs) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %q expects %d label values, got %d", f.name, len(f.labels), len(lvs)))
+	}
+	key := strings.Join(lvs, "\xff")
+	f.mu.RLock()
+	m, ok := f.kids[key]
+	f.mu.RUnlock()
+	if ok {
+		return m
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if m, ok := f.kids[key]; ok {
+		return m
+	}
+	m = mk()
+	f.kids[key] = m
+	f.order = append(f.order, key)
+	return m
+}
+
+// value is a float64 held as atomic bits — the shared core of Counter
+// and Gauge.
+type value struct{ bits atomic.Uint64 }
+
+func (v *value) add(d float64) {
+	for {
+		old := v.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + d)
+		if v.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+func (v *value) set(x float64) { v.bits.Store(math.Float64bits(x)) }
+func (v *value) get() float64  { return math.Float64frombits(v.bits.Load()) }
+
+// Counter is a monotonically increasing value. Set exists so scrape
+// hooks can mirror counters maintained elsewhere (e.g. queue rejection
+// totals sampled from a Stats struct); it must never be used to move a
+// counter backwards.
+type Counter struct{ v value }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.add(1) }
+
+// Add adds d, which must be non-negative.
+func (c *Counter) Add(d float64) { c.v.add(d) }
+
+// Set overwrites the counter with an externally maintained monotonic
+// total.
+func (c *Counter) Set(x float64) { c.v.set(x) }
+
+// Value returns the current total.
+func (c *Counter) Value() float64 { return c.v.get() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct{ v value }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(x float64) { g.v.set(x) }
+
+// Add adjusts the gauge by d (may be negative).
+func (g *Gauge) Add(d float64) { g.v.add(d) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return g.v.get() }
+
+// Histogram is a fixed-bucket histogram. Observations are lock-free;
+// cumulative bucket counts are computed at exposition time.
+type Histogram struct {
+	upper  []float64
+	counts []atomic.Uint64 // one per bucket + final +Inf overflow
+	sum    value
+	total  atomic.Uint64
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	return &Histogram{upper: buckets, counts: make([]atomic.Uint64, len(buckets)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(x float64) {
+	i := sort.SearchFloat64s(h.upper, x)
+	h.counts[i].Add(1)
+	h.sum.add(x)
+	h.total.Add(1)
+}
+
+// ObserveSince records the elapsed seconds since t0.
+func (h *Histogram) ObserveSince(t0 time.Time) {
+	h.Observe(time.Since(t0).Seconds())
+}
+
+// Count returns the number of observations so far.
+func (h *Histogram) Count() uint64 { return h.total.Load() }
+
+// Counter registers (or returns) an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.register(name, help, typeCounter, nil, nil)
+	return f.child(nil, func() any { return &Counter{} }).(*Counter)
+}
+
+// Gauge registers an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.register(name, help, typeGauge, nil, nil)
+	return f.child(nil, func() any { return &Gauge{} }).(*Gauge)
+}
+
+// Histogram registers an unlabeled histogram with the given upper
+// bucket bounds (ascending; +Inf implicit).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	f := r.register(name, help, typeHistogram, nil, buckets)
+	return f.child(nil, func() any { return newHistogram(f.buckets) }).(*Histogram)
+}
+
+// CounterVec is a counter family with labels.
+type CounterVec struct{ f *family }
+
+// CounterVec registers a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{r.register(name, help, typeCounter, labels, nil)}
+}
+
+// With returns the counter for the given label values.
+func (v *CounterVec) With(lvs ...string) *Counter {
+	return v.f.child(lvs, func() any { return &Counter{} }).(*Counter)
+}
+
+// GaugeVec is a gauge family with labels.
+type GaugeVec struct{ f *family }
+
+// GaugeVec registers a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{r.register(name, help, typeGauge, labels, nil)}
+}
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(lvs ...string) *Gauge {
+	return v.f.child(lvs, func() any { return &Gauge{} }).(*Gauge)
+}
+
+// HistogramVec is a histogram family with labels.
+type HistogramVec struct{ f *family }
+
+// HistogramVec registers a labeled histogram family.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	return &HistogramVec{r.register(name, help, typeHistogram, labels, buckets)}
+}
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(lvs ...string) *Histogram {
+	return v.f.child(lvs, func() any { return newHistogram(v.f.buckets) }).(*Histogram)
+}
+
+// WritePrometheus runs the scrape hooks and renders every family in
+// Prometheus text exposition format.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.RLock()
+	hooks := r.hooks
+	fams := r.fams
+	r.mu.RUnlock()
+	for _, h := range hooks {
+		h()
+	}
+	var b strings.Builder
+	for _, f := range fams {
+		f.write(&b)
+	}
+	io.WriteString(w, b.String()) //nolint:errcheck
+}
+
+func (f *family) write(b *strings.Builder) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	if len(f.order) == 0 {
+		return
+	}
+	fmt.Fprintf(b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	fmt.Fprintf(b, "# TYPE %s %s\n", f.name, f.typ)
+	for _, key := range f.order {
+		var lvs []string
+		if len(f.labels) > 0 {
+			lvs = strings.Split(key, "\xff")
+		}
+		switch m := f.kids[key].(type) {
+		case *Counter:
+			writeSample(b, f.name, f.labels, lvs, "", "", m.Value())
+		case *Gauge:
+			writeSample(b, f.name, f.labels, lvs, "", "", m.Value())
+		case *Histogram:
+			var cum uint64
+			for i, up := range m.upper {
+				cum += m.counts[i].Load()
+				writeSample(b, f.name+"_bucket", f.labels, lvs, "le", fmtFloat(up), float64(cum))
+			}
+			cum += m.counts[len(m.upper)].Load()
+			writeSample(b, f.name+"_bucket", f.labels, lvs, "le", "+Inf", float64(cum))
+			writeSample(b, f.name+"_sum", f.labels, lvs, "", "", m.sum.get())
+			writeSample(b, f.name+"_count", f.labels, lvs, "", "", float64(m.total.Load()))
+		}
+	}
+}
+
+// writeSample renders one line: name{k="v",...} value. Label rendering
+// must stay byte-identical to the legacy hand-rolled exposition
+// ({k="v",k2="v2"}, no spaces) — tests assert exact substrings.
+func writeSample(b *strings.Builder, name string, labels, lvs []string, extraK, extraV string, val float64) {
+	b.WriteString(name)
+	if len(labels) > 0 || extraK != "" {
+		b.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(l)
+			b.WriteString(`="`)
+			b.WriteString(escapeLabel(lvs[i]))
+			b.WriteByte('"')
+		}
+		if extraK != "" {
+			if len(labels) > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(extraK)
+			b.WriteString(`="`)
+			b.WriteString(extraV)
+			b.WriteByte('"')
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(fmtFloat(val))
+	b.WriteByte('\n')
+}
+
+func fmtFloat(v float64) string {
+	if math.IsInf(v, +1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// WriteExposition sets the exposition content type and renders each
+// registry in order. Families must be disjoint across registries; the
+// server pairs its per-instance registry with Default.
+func WriteExposition(w http.ResponseWriter, regs ...*Registry) {
+	w.Header().Set("Content-Type", ContentType)
+	for _, r := range regs {
+		r.WritePrometheus(w)
+	}
+}
+
+// DumpJSON writes this registry as a /debug/vars-style JSON object;
+// see the package-level DumpJSON.
+func (r *Registry) DumpJSON(w io.Writer) { DumpJSON(w, r) }
+
+// DumpJSON writes one /debug/vars-style JSON object merging every
+// sample from regs: each sample name (with labels) mapped to its
+// current value; histograms contribute their _count and _sum. Scrape
+// hooks run first so gauges are fresh.
+func DumpJSON(w io.Writer, regs ...*Registry) {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	emit := func(name string, v float64) {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		fmt.Fprintf(&b, "%q: %s", name, fmtFloat(v))
+	}
+	for _, r := range regs {
+		r.dumpInto(emit)
+	}
+	b.WriteString("}\n")
+	io.WriteString(w, b.String()) //nolint:errcheck
+}
+
+// dumpInto feeds every current sample of r to emit.
+func (r *Registry) dumpInto(emit func(name string, v float64)) {
+	r.mu.RLock()
+	hooks := r.hooks
+	fams := r.fams
+	r.mu.RUnlock()
+	for _, h := range hooks {
+		h()
+	}
+	for _, f := range fams {
+		f.mu.RLock()
+		for _, key := range f.order {
+			var lvs []string
+			if len(f.labels) > 0 {
+				lvs = strings.Split(key, "\xff")
+			}
+			base := f.name
+			if len(f.labels) > 0 {
+				var lb strings.Builder
+				lb.WriteString(f.name)
+				lb.WriteByte('{')
+				for i, l := range f.labels {
+					if i > 0 {
+						lb.WriteByte(',')
+					}
+					fmt.Fprintf(&lb, "%s=%q", l, lvs[i])
+				}
+				lb.WriteByte('}')
+				base = lb.String()
+			}
+			switch m := f.kids[key].(type) {
+			case *Counter:
+				emit(base, m.Value())
+			case *Gauge:
+				emit(base, m.Value())
+			case *Histogram:
+				emit(base+"_count", float64(m.total.Load()))
+				emit(base+"_sum", m.sum.get())
+			}
+		}
+		f.mu.RUnlock()
+	}
+}

@@ -1,0 +1,218 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_ops_total", "ops")
+	c.Inc()
+	c.Add(2.5)
+	if got := c.Value(); got != 3.5 {
+		t.Errorf("counter = %v, want 3.5", got)
+	}
+	g := r.Gauge("test_depth", "depth")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Errorf("gauge = %v, want 5", got)
+	}
+	h := r.Histogram("test_latency_seconds", "latency", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+	h.ObserveSince(time.Now())
+	if got := h.Count(); got != 4 {
+		t.Errorf("histogram count = %d, want 4", got)
+	}
+}
+
+func TestVecsShareChildrenByLabelValues(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("test_builds_total", "builds", "kind", "mode")
+	v.With("weak", "lazy").Inc()
+	v.With("weak", "lazy").Inc()
+	v.With("strong", "maintained").Inc()
+	if got := v.With("weak", "lazy").Value(); got != 2 {
+		t.Errorf("child = %v, want 2", got)
+	}
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	// Label rendering must be byte-identical to the legacy hand-rolled
+	// format: no spaces inside the braces, single space before the value.
+	if !strings.Contains(out, `test_builds_total{kind="weak",mode="lazy"} 2`) {
+		t.Errorf("label rendering wrong:\n%s", out)
+	}
+}
+
+func TestExpositionFormatAndLint(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_adds_total", "adds").Add(3)
+	r.Gauge("test_epoch", "epoch").Set(42)
+	h := r.Histogram("test_dur_seconds", "dur", []float64{0.01, 0.1})
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(2)
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+
+	for _, want := range []string{
+		"# HELP test_adds_total adds",
+		"# TYPE test_adds_total counter",
+		"test_adds_total 3",
+		"# TYPE test_epoch gauge",
+		"test_epoch 42",
+		"# TYPE test_dur_seconds histogram",
+		`test_dur_seconds_bucket{le="0.01"} 1`,
+		`test_dur_seconds_bucket{le="0.1"} 2`,
+		`test_dur_seconds_bucket{le="+Inf"} 3`,
+		"test_dur_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Integers render without a decimal point (legacy %d compatibility).
+	if strings.Contains(out, "test_epoch 42.0") {
+		t.Errorf("gauge rendered with decimal point:\n%s", out)
+	}
+	if err := LintExposition(strings.NewReader(out)); err != nil {
+		t.Errorf("lint rejects our own exposition: %v", err)
+	}
+}
+
+func TestRegistrationPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func(r *Registry)
+	}{
+		{"dup name", func(r *Registry) {
+			r.Gauge("test_x", "x")
+			r.Gauge("test_x", "x")
+		}},
+		{"dup across types", func(r *Registry) {
+			r.Gauge("test_y_total", "y")
+			r.Counter("test_y_total", "y")
+		}},
+		{"counter without _total", func(r *Registry) {
+			r.Counter("test_ops", "ops")
+		}},
+		{"histogram reserved suffix", func(r *Registry) {
+			r.Histogram("test_dur_bucket", "dur", []float64{1})
+		}},
+		{"unsorted buckets", func(r *Registry) {
+			r.Histogram("test_dur_seconds", "dur", []float64{1, 0.5})
+		}},
+		{"invalid metric name", func(r *Registry) {
+			r.Gauge("test-bad", "bad")
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", tc.name)
+				}
+			}()
+			tc.fn(NewRegistry())
+		})
+	}
+}
+
+func TestOnScrapeHookRunsBeforeRender(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("test_sampled", "sampled")
+	r.OnScrape(func() { g.Set(99) })
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	if !strings.Contains(b.String(), "test_sampled 99") {
+		t.Errorf("scrape hook did not run:\n%s", b.String())
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeVec("test_esc", "esc", "q").With(`a"b\c` + "\nd").Set(1)
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	if !strings.Contains(b.String(), `test_esc{q="a\"b\\c\nd"} 1`) {
+		t.Errorf("label escaping wrong:\n%s", b.String())
+	}
+}
+
+func TestLintRejectsMalformedExposition(t *testing.T) {
+	cases := []struct{ name, text string }{
+		{"sample without HELP/TYPE", "test_x 1\n"},
+		{"duplicate sample", "# HELP test_x x\n# TYPE test_x gauge\ntest_x 1\ntest_x 2\n"},
+		{"counter without _total",
+			"# HELP test_ops ops\n# TYPE test_ops counter\ntest_ops 1\n"},
+		{"non-monotone histogram buckets",
+			"# HELP test_d d\n# TYPE test_d histogram\n" +
+				`test_d_bucket{le="0.1"} 5` + "\n" +
+				`test_d_bucket{le="1"} 3` + "\n" +
+				`test_d_bucket{le="+Inf"} 5` + "\n" +
+				"test_d_sum 1\ntest_d_count 5\n"},
+		{"histogram missing +Inf bucket",
+			"# HELP test_d d\n# TYPE test_d histogram\n" +
+				`test_d_bucket{le="0.1"} 5` + "\n" +
+				"test_d_sum 1\ntest_d_count 5\n"},
+		{"duplicate TYPE",
+			"# HELP test_x x\n# TYPE test_x gauge\n# TYPE test_x gauge\ntest_x 1\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := LintExposition(strings.NewReader(tc.text)); err == nil {
+				t.Errorf("lint accepted malformed input:\n%s", tc.text)
+			}
+		})
+	}
+}
+
+func TestDumpJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_ops_total", "ops").Add(4)
+	h := r.Histogram("test_d_seconds", "d", []float64{1})
+	h.Observe(0.5)
+	var b strings.Builder
+	r.DumpJSON(&b)
+	var m map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &m); err != nil {
+		t.Fatalf("DumpJSON is not valid JSON: %v\n%s", err, b.String())
+	}
+	if m["test_ops_total"] != 4.0 {
+		t.Errorf("test_ops_total = %v, want 4", m["test_ops_total"])
+	}
+	if m["test_d_seconds_count"] != 1.0 {
+		t.Errorf("test_d_seconds_count = %v, want 1", m["test_d_seconds_count"])
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewRegistry().Counter("bench_ops_total", "ops")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("bench_d_seconds", "d", DefBuckets)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.042)
+	}
+}
+
+func BenchmarkHistogramVecWith(b *testing.B) {
+	v := NewRegistry().HistogramVec("bench_http_seconds", "d", DefBuckets, "route", "method", "code")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v.With("/v1/query", "POST", "200").Observe(0.042)
+	}
+}

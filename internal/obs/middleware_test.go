@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func discardLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+func TestMiddlewareRequestIDRoundTrip(t *testing.T) {
+	var seen string
+	h := Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		seen = RequestID(r.Context())
+		w.WriteHeader(http.StatusOK)
+	}), nil, discardLogger())
+
+	// A supplied well-formed ID is accepted verbatim: installed in the
+	// handler's context and echoed back in the response header.
+	req := httptest.NewRequest("GET", "/v1/stats", nil)
+	req.Header.Set(HeaderRequestID, "client-id-42")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if seen != "client-id-42" {
+		t.Errorf("handler saw request ID %q, want client-id-42", seen)
+	}
+	if got := rec.Header().Get(HeaderRequestID); got != "client-id-42" {
+		t.Errorf("echoed request ID = %q, want client-id-42", got)
+	}
+
+	// No ID supplied: the middleware generates one.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/stats", nil))
+	gen := rec.Header().Get(HeaderRequestID)
+	if len(gen) != 16 || seen != gen {
+		t.Errorf("generated ID = %q (handler saw %q), want one 16-char ID in both", gen, seen)
+	}
+
+	// A malformed ID (header-injection shapes) is replaced, not echoed.
+	req = httptest.NewRequest("GET", "/v1/stats", nil)
+	req.Header.Set(HeaderRequestID, "bad id; with junk")
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if got := rec.Header().Get(HeaderRequestID); got == "bad id; with junk" || got == "" {
+		t.Errorf("malformed ID handling: echoed %q", got)
+	}
+}
+
+func TestMiddlewareObservesRouteHistogram(t *testing.T) {
+	r := NewRegistry()
+	m := NewHTTPMetrics(r)
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, "ok") //nolint:errcheck
+	})
+	h := Middleware(mux, m, discardLogger())
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/stats", nil))
+
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	if !strings.Contains(out, `rdfsum_http_request_duration_seconds_bucket{route="/v1/stats",method="GET",code="200",le="+Inf"} 1`) {
+		t.Errorf("duration histogram missing:\n%s", out)
+	}
+	if !strings.Contains(out, `rdfsum_http_response_bytes_count{route="/v1/stats"} 1`) {
+		t.Errorf("size histogram missing:\n%s", out)
+	}
+
+	// Unmatched paths collapse into one label value.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/no/such/path/ever", nil))
+	b.Reset()
+	r.WritePrometheus(&b)
+	if !strings.Contains(b.String(), `route="unmatched"`) {
+		t.Errorf("unmatched route label missing:\n%s", b.String())
+	}
+}
+
+func TestMiddlewareQuietPaths(t *testing.T) {
+	var b strings.Builder
+	logger, err := NewLogger(&b, slog.LevelInfo, "text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok := http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) { w.WriteHeader(200) })
+	h := Middleware(ok, nil, logger)
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/v1/healthz", nil))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/v1/metrics", nil))
+	if b.Len() != 0 {
+		t.Errorf("health/metrics scrapes logged at info: %s", b.String())
+	}
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/v1/stats", nil))
+	if !strings.Contains(b.String(), "/v1/stats") {
+		t.Errorf("regular request not logged at info: %s", b.String())
+	}
+}
+
+func TestSlowQueryLogThreshold(t *testing.T) {
+	var b strings.Builder
+	logger, err := NewLogger(&b, slog.LevelInfo, "text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sq := &SlowQueryLog{Threshold: 10 * time.Millisecond, Logger: logger}
+	ctx := context.Background()
+
+	sq.Record(ctx, "SELECT fast", 1*time.Millisecond, 3, 7, nil)
+	if b.Len() != 0 {
+		t.Errorf("fast query was recorded: %s", b.String())
+	}
+
+	sq.Record(ctx, "SELECT slow", 25*time.Millisecond, 3, 7, "the-plan")
+	out := b.String()
+	for _, want := range []string{"slow query", "SELECT slow", "rows=3", "epoch=7", "threshold_ms=10", "plan=the-plan"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("slow-query entry missing %q: %s", want, out)
+		}
+	}
+
+	var disabled *SlowQueryLog
+	if disabled.Enabled() {
+		t.Error("nil slow-query log reports enabled")
+	}
+	disabled.Record(ctx, "q", time.Hour, 0, 0, nil) // must not panic
+	if (&SlowQueryLog{Threshold: 0, Logger: logger}).Enabled() {
+		t.Error("zero threshold reports enabled")
+	}
+}
+
+// BenchmarkMiddlewareMicro isolates the middleware's absolute per-call
+// cost against a no-op handler. The served-workload overhead ratio
+// lives in cmd/rdfsumd's BenchmarkMetricsMiddleware, where the baseline
+// is a real query request.
+func BenchmarkMiddlewareMicro(b *testing.B) {
+	handler := http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, `{"ok":true}`) //nolint:errcheck
+	})
+	mux := http.NewServeMux()
+	mux.Handle("GET /v1/stats", handler)
+
+	b.Run("bare", func(b *testing.B) {
+		req := httptest.NewRequest("GET", "/v1/stats", nil)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			mux.ServeHTTP(httptest.NewRecorder(), req)
+		}
+	})
+	b.Run("instrumented", func(b *testing.B) {
+		h := Middleware(mux, NewHTTPMetrics(NewRegistry()), discardLogger())
+		req := httptest.NewRequest("GET", "/v1/stats", nil)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			h.ServeHTTP(httptest.NewRecorder(), req)
+		}
+	})
+}

@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"context"
+	"log/slog"
+	"time"
+)
+
+// maxLoggedQuery bounds the query text copied into a slow-query entry.
+const maxLoggedQuery = 4096
+
+// SlowQueryLog records queries whose evaluation exceeded a threshold as
+// one structured entry each: the query text, wall-clock duration,
+// result count, epoch, and the captured Explain plan. A nil log or a
+// non-positive threshold disables recording.
+type SlowQueryLog struct {
+	Threshold time.Duration
+	Logger    *slog.Logger
+}
+
+// Enabled reports whether queries should capture plans for s.
+func (s *SlowQueryLog) Enabled() bool {
+	return s != nil && s.Threshold > 0
+}
+
+// Record logs one slow-query entry when d reaches the threshold. plan
+// is the query's Explain value (rendered as a structured attribute);
+// pass nil when unavailable.
+func (s *SlowQueryLog) Record(ctx context.Context, query string, d time.Duration, rows int, epoch uint64, plan any) {
+	if !s.Enabled() || d < s.Threshold {
+		return
+	}
+	lg := s.Logger
+	if lg == nil {
+		lg = slog.Default()
+	}
+	if len(query) > maxLoggedQuery {
+		query = query[:maxLoggedQuery] + "…"
+	}
+	attrs := []slog.Attr{
+		slog.String("query", query),
+		slog.Duration("duration", d),
+		slog.Int64("threshold_ms", s.Threshold.Milliseconds()),
+		slog.Int("rows", rows),
+		slog.Uint64("epoch", epoch),
+	}
+	if plan != nil {
+		attrs = append(attrs, slog.Any("plan", plan))
+	}
+	lg.LogAttrs(ctx, slog.LevelWarn, "slow query", attrs...)
+}

@@ -1,6 +1,8 @@
 package query
 
 import (
+	"time"
+
 	"rdfsum/internal/dict"
 	"rdfsum/internal/rdf"
 	"rdfsum/internal/store"
@@ -73,6 +75,7 @@ func Ask(g *store.Graph, ix *store.Index, q *Query) (bool, error) {
 
 // Eval executes the plan against an index over the plan's graph.
 func (pl *Plan) Eval(ix *store.Index, opts *EvalOptions) (*Result, error) {
+	defer executeSeconds.ObserveSince(time.Now())
 	limit := 0
 	var pruner *Pruner
 	wantExplain := false
@@ -113,11 +116,15 @@ func (pl *Plan) Eval(ix *store.Index, opts *EvalOptions) (*Result, error) {
 	}
 	if ex != nil {
 		e.actual = make([]int64, len(pl.pats))
+		e.patNanos = make([]int64, len(pl.pats))
+		e.curPat = -1
 	}
 	e.run(len(pl.pats))
 	if ex != nil {
+		e.flushPat()
 		for pos, i := range pl.order {
 			ex.Steps[pos].Actual = e.actual[i]
+			ex.Steps[pos].Nanos = e.patNanos[i]
 		}
 	}
 	return res, nil
@@ -165,8 +172,34 @@ type executor struct {
 
 	actual []int64 // triples enumerated per pattern (nil unless explaining)
 
+	// Per-pattern wall-clock self time (nil unless explaining): the
+	// executor charges elapsed time to curPat and re-stamps on every
+	// switch, so recursion depth attributes each slice to exactly one
+	// pattern.
+	patNanos []int64
+	curPat   int
+	stamp    time.Time
+
 	ask   bool
 	found bool
+}
+
+// chargePat flushes the elapsed slice to the current pattern and makes
+// next the accounting target.
+func (e *executor) chargePat(next int) {
+	now := time.Now()
+	if e.curPat >= 0 {
+		e.patNanos[e.curPat] += now.Sub(e.stamp).Nanoseconds()
+	}
+	e.curPat, e.stamp = next, now
+}
+
+// flushPat closes the open accounting slice at the end of a run.
+func (e *executor) flushPat() {
+	if e.curPat >= 0 {
+		e.patNanos[e.curPat] += time.Since(e.stamp).Nanoseconds()
+		e.curPat = -1
+	}
 }
 
 // run backtracks over the patterns. At each step it picks the remaining
@@ -198,12 +231,20 @@ func (e *executor) run(remaining int) bool {
 	mark := len(e.trail)
 	keepGoing := true
 	s, pr, o := p.resolve(e.regs)
+	if e.patNanos != nil {
+		e.chargePat(best)
+	}
 	e.ix.ForEach(s, pr, o, func(t store.Triple) bool {
 		if e.actual != nil {
 			e.actual[best]++
 		}
 		if e.bind(p, t) {
 			keepGoing = e.run(remaining - 1)
+			if e.patNanos != nil {
+				// The recursive call switched accounting to a deeper
+				// pattern; take it back for the rest of this scan.
+				e.chargePat(best)
+			}
 		}
 		e.unwind(mark)
 		return keepGoing

@@ -1,0 +1,12 @@
+package query
+
+import "rdfsum/internal/obs"
+
+// Stage timings for the query path, process-wide on obs.Default so the
+// CLI and every server instance report into one distribution.
+var (
+	compileSeconds = obs.Default.Histogram("rdfsum_query_compile_seconds",
+		"Time to validate and compile one query into a plan.", obs.DefBuckets)
+	executeSeconds = obs.Default.Histogram("rdfsum_query_execute_seconds",
+		"Time executing one compiled plan (pruning gate included, compile excluded).", obs.DefBuckets)
+)

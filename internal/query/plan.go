@@ -3,6 +3,7 @@ package query
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"rdfsum/internal/dict"
 	"rdfsum/internal/store"
@@ -90,6 +91,7 @@ type Plan struct {
 // cartesian products). Without stats, the order falls back to
 // most-constants-first with the same connectivity chaining.
 func Compile(g *store.Graph, q *Query, stats PlanStats) (*Plan, error) {
+	defer compileSeconds.ObserveSince(time.Now())
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
@@ -258,6 +260,10 @@ type ExplainStep struct {
 	// Actual is the number of triples enumerated for this pattern during
 	// execution (0 when execution was pruned or never reached it).
 	Actual int64 `json:"actual"`
+	// Nanos is the wall-clock self time spent enumerating and binding
+	// this pattern, in nanoseconds (recursive work under deeper patterns
+	// is charged to those patterns, not this one).
+	Nanos int64 `json:"nanos"`
 }
 
 // newExplain renders the static half of the explanation; Actuals are
@@ -285,7 +291,8 @@ func (ex *Explain) String() string {
 		if st.Est >= 0 {
 			est = fmt.Sprint(st.Est)
 		}
-		fmt.Fprintf(&b, "  %d. %s  est=%s actual=%d\n", pos, st.Pattern, est, st.Actual)
+		fmt.Fprintf(&b, "  %d. %s  est=%s actual=%d time=%s\n",
+			pos, st.Pattern, est, st.Actual, time.Duration(st.Nanos))
 	}
 	return b.String()
 }

@@ -203,6 +203,39 @@ func TestExplainWithoutStats(t *testing.T) {
 	}
 }
 
+// TestExplainPerPatternTiming: an explained run attributes wall-clock
+// self time to each pattern, and the rendered report shows it.
+func TestExplainPerPatternTiming(t *testing.T) {
+	g := samples.Fig2()
+	q := query.MustParse(`PREFIX ex: <http://example.org/>
+		SELECT ?x ?t WHERE { ?x ex:title ?t . ?x ex:author ?a }`)
+	res, err := query.Eval(g, store.NewIndex(g), q, &query.EvalOptions{Explain: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, st := range res.Explain.Steps {
+		if st.Nanos < 0 {
+			t.Errorf("step %q: nanos = %d, want >= 0", st.Pattern, st.Nanos)
+		}
+		total += st.Nanos
+	}
+	if total <= 0 {
+		t.Errorf("total attributed time = %dns, want > 0", total)
+	}
+	if out := res.Explain.String(); !strings.Contains(out, "time=") {
+		t.Errorf("rendered explain lacks timings:\n%s", out)
+	}
+	// An unexplained run must not pay for (or report) the attribution.
+	res, err = query.Eval(g, store.NewIndex(g), q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Explain != nil {
+		t.Errorf("unexplained run produced an explain report")
+	}
+}
+
 // TestLimitTruncated: Limit cuts the row set and reports truncation; an
 // unlimited run of the same query is not truncated.
 func TestLimitTruncated(t *testing.T) {

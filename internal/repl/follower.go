@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"log/slog"
 	"sync"
 	"time"
 
@@ -11,6 +12,7 @@ import (
 	"rdfsum/internal/core"
 	"rdfsum/internal/httpapi"
 	"rdfsum/internal/live"
+	"rdfsum/internal/obs"
 	"rdfsum/internal/store"
 )
 
@@ -36,9 +38,17 @@ type FollowerOptions struct {
 	// errors (defaults 200ms and 5s).
 	RetryMin time.Duration
 	RetryMax time.Duration
+	// Logger receives replication progress and failures (nil =
+	// slog.Default()). Each bootstrap→tail session carries one request
+	// ID, sent to the leader on every request of the session, so leader
+	// and follower logs correlate.
+	Logger *slog.Logger
 }
 
 func (o *FollowerOptions) fill() {
+	if o.Logger == nil {
+		o.Logger = slog.Default()
+	}
 	if o.PollWait <= 0 {
 		o.PollWait = 10 * time.Second
 	}
@@ -178,14 +188,18 @@ func (f *Follower) run() {
 		offset  int64
 		version byte
 	)
+	// One request ID per bootstrap→tail session: every leader request of
+	// the session carries it, so one grep correlates both processes.
+	ctx := obs.WithRequestID(f.ctx, obs.NewRequestID())
 	for f.ctx.Err() == nil {
 		if needBootstrap {
-			m, err := f.bootstrap()
+			ctx = obs.WithRequestID(f.ctx, obs.NewRequestID())
+			m, err := f.bootstrap(ctx)
 			if err != nil {
 				if f.ctx.Err() != nil {
 					return
 				}
-				f.fail(err, StateRetrying)
+				f.fail(ctx, err, StateRetrying)
 				f.sleep(&backoff)
 				continue
 			}
@@ -198,8 +212,10 @@ func (f *Follower) run() {
 			needBootstrap = false
 			backoff = f.opts.RetryMin
 			f.setState(StateTailing)
+			f.opts.Logger.LogAttrs(ctx, slog.LevelInfo, "replication tailing",
+				slog.Uint64("generation", gen), slog.Int64("offset", offset))
 		}
-		progressed, err := f.tailOnce(gen, &offset, version)
+		progressed, err := f.tailOnce(ctx, gen, &offset, version)
 		switch {
 		case f.ctx.Err() != nil:
 			return
@@ -211,9 +227,11 @@ func (f *Follower) run() {
 		case client.IsCode(err, httpapi.CodeGone):
 			// The generation we were tailing was compacted away:
 			// re-bootstrap immediately from the leader's new snapshot.
+			f.opts.Logger.LogAttrs(ctx, slog.LevelInfo, "replication generation gone; re-bootstrapping",
+				slog.Uint64("generation", gen))
 			needBootstrap = true
 		default:
-			f.fail(err, StateRetrying)
+			f.fail(ctx, err, StateRetrying)
 			f.sleep(&backoff)
 		}
 	}
@@ -222,15 +240,16 @@ func (f *Follower) run() {
 // bootstrap fetches the manifest and snapshot and swaps in a fresh live
 // store replaying that base. Returns the manifest the new store is based
 // on; tailing starts at its wal_data_start.
-func (f *Follower) bootstrap() (*client.ReplManifest, error) {
+func (f *Follower) bootstrap(ctx context.Context) (*client.ReplManifest, error) {
 	f.setState(StateBootstrapping)
-	m, err := f.cl.ReplManifest(f.ctx)
+	t0 := time.Now()
+	m, err := f.cl.ReplManifest(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("manifest: %w", err)
 	}
 	g := store.NewGraph()
 	if m.HasSnapshot {
-		rc, err := f.cl.ReplSnapshot(f.ctx, m.Generation)
+		rc, err := f.cl.ReplSnapshot(ctx, m.Generation)
 		if err != nil {
 			return nil, fmt.Errorf("snapshot: %w", err)
 		}
@@ -258,6 +277,12 @@ func (f *Follower) bootstrap() (*client.ReplManifest, error) {
 	f.mu.Unlock()
 	old.Close() //nolint:errcheck // memory-only: Close never fails
 
+	f.opts.Logger.LogAttrs(ctx, slog.LevelInfo, "replication bootstrap complete",
+		slog.Uint64("generation", m.Generation),
+		slog.Uint64("leader_epoch", m.Epoch),
+		slog.Int64("wal_size", m.WALSize),
+		slog.Duration("duration", time.Since(t0)),
+	)
 	return m, nil
 }
 
@@ -266,8 +291,8 @@ func (f *Follower) bootstrap() (*client.ReplManifest, error) {
 // record is not an error if any records landed first — the next request
 // resumes from the last applied boundary. Reports whether it made
 // progress (applied records, or confirmed being caught up).
-func (f *Follower) tailOnce(gen uint64, offset *int64, version byte) (progressed bool, err error) {
-	rc, info, err := f.cl.ReplWAL(f.ctx, gen, *offset, f.opts.PollWait)
+func (f *Follower) tailOnce(ctx context.Context, gen uint64, offset *int64, version byte) (progressed bool, err error) {
+	rc, info, err := f.cl.ReplWAL(ctx, gen, *offset, f.opts.PollWait)
 	if err != nil {
 		return false, err
 	}
@@ -293,6 +318,7 @@ func (f *Follower) tailOnce(gen uint64, offset *int64, version byte) (progressed
 		f.mu.Lock()
 		lv := f.lv
 		f.mu.Unlock()
+		tApply := time.Now()
 		switch op {
 		case live.OpAdd:
 			err = lv.AddBatch(triples)
@@ -304,9 +330,17 @@ func (f *Follower) tailOnce(gen uint64, offset *int64, version byte) (progressed
 		if err != nil {
 			return applied > 0, fmt.Errorf("apply record at offset %d: %w", *offset, err)
 		}
+		replApplySeconds.ObserveSince(tApply)
 		*offset += n
 		applied++
 		f.noteApplied(*offset, applied == 1)
+	}
+	if applied > 0 {
+		f.opts.Logger.LogAttrs(ctx, slog.LevelDebug, "replication applied",
+			slog.Int64("records", applied),
+			slog.Int64("offset", *offset),
+			slog.Int64("lag_bytes", max(info.WALSize-*offset, 0)),
+		)
 	}
 	if *offset >= info.WALSize {
 		f.noteDrained(info)
@@ -349,7 +383,9 @@ func (f *Follower) setState(state string) {
 	f.mu.Unlock()
 }
 
-func (f *Follower) fail(err error, state string) {
+func (f *Follower) fail(ctx context.Context, err error, state string) {
+	f.opts.Logger.LogAttrs(ctx, slog.LevelWarn, "replication error",
+		slog.String("error", err.Error()))
 	f.mu.Lock()
 	f.st.State = state
 	f.st.LastError = err.Error()

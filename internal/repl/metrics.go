@@ -1,0 +1,8 @@
+package repl
+
+import "rdfsum/internal/obs"
+
+// replApplySeconds times applying one shipped WAL record to the
+// replica's live store during tailing.
+var replApplySeconds = obs.Default.Histogram("rdfsum_replication_apply_seconds",
+	"Time applying one WAL record to the follower's live store.", obs.DefBuckets)

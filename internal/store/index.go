@@ -2,6 +2,7 @@ package store
 
 import (
 	"sort"
+	"time"
 
 	"rdfsum/internal/dict"
 )
@@ -222,6 +223,7 @@ func (ix *Index) fold() {
 // foldTail merges runs[start:] into one run, placed at minLevel or the
 // level its merged size warrants, whichever is higher.
 func (ix *Index) foldTail(start, minLevel int) {
+	defer indexFoldSeconds.ObserveSince(time.Now())
 	merged := mergeRuns(ix.runs[start:], start == 0, minLevel)
 	if lf := levelFor(len(merged.spo), ix.fanout); lf > merged.level {
 		merged.level = lf
@@ -233,6 +235,7 @@ func (ix *Index) foldTail(start, minLevel int) {
 // tombstones dropped — the full fold a store compaction performs. The
 // receiver is untouched.
 func (ix *Index) Compacted() *Index {
+	defer indexFoldSeconds.ObserveSince(time.Now())
 	out := &Index{fanout: ix.fanout, live: ix.live}
 	out.runs = []*run{mergeRuns(ix.runs, true, levelFor(ix.live, ix.fanout))}
 	return out

@@ -1,0 +1,10 @@
+package store
+
+import "rdfsum/internal/obs"
+
+// indexFoldSeconds times tiered-index run merges: trailing folds on
+// Applied and the single-run merge a Compacted performs. Process-wide
+// (obs.Default) — folds are per-instance but the latency distribution
+// is what a scrape wants.
+var indexFoldSeconds = obs.Default.Histogram("rdfsum_index_fold_seconds",
+	"Time merging tiered-index runs (trailing folds and full compactions).", obs.DefBuckets)
