@@ -39,6 +39,7 @@ type Report struct {
 func main() {
 	in := flag.String("in", "", "benchmark text (default: stdin)")
 	out := flag.String("out", "", "output file (default: stdout)")
+	merge := flag.String("merge", "", "existing report to merge into: its benchmarks are kept unless re-measured here")
 	flag.Parse()
 
 	var r io.Reader = os.Stdin
@@ -54,6 +55,11 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *merge != "" {
+		if err := mergeReport(report, *merge); err != nil {
+			fatal(err)
+		}
+	}
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		fatal(err)
@@ -68,6 +74,46 @@ func main() {
 	if err := os.WriteFile(*out, data, 0o644); err != nil {
 		fatal(err)
 	}
+}
+
+// mergeReport folds an existing report into the freshly parsed one:
+// benchmarks re-measured in this run replace their old records, everything
+// else is carried over, and the combined set is re-sorted. A missing merge
+// file is not an error — first runs start from nothing.
+func mergeReport(report *Report, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	var old Report
+	if err := json.Unmarshal(data, &old); err != nil {
+		return fmt.Errorf("merge %s: %w", path, err)
+	}
+	fresh := map[string]bool{}
+	for _, b := range report.Benchmarks {
+		fresh[b.Pkg+"\x00"+b.Name] = true
+	}
+	for _, b := range old.Benchmarks {
+		if !fresh[b.Pkg+"\x00"+b.Name] {
+			report.Benchmarks = append(report.Benchmarks, b)
+		}
+	}
+	for k, v := range old.Env {
+		if _, ok := report.Env[k]; !ok {
+			report.Env[k] = v
+		}
+	}
+	sort.SliceStable(report.Benchmarks, func(i, j int) bool {
+		a, b := report.Benchmarks[i], report.Benchmarks[j]
+		if a.Pkg != b.Pkg {
+			return a.Pkg < b.Pkg
+		}
+		return a.Name < b.Name
+	})
+	return nil
 }
 
 func fatal(err error) {

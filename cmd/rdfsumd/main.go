@@ -78,6 +78,10 @@ func main() {
 		"summary kinds kept incrementally current during ingest: a comma list of kinds, \"all\", or \"none\"")
 	indexFanout := flag.Int("index-fanout", 0,
 		"tiered-index fold width: delta runs merge once this many share a level (0 = default 8)")
+	indexSpill := flag.Int64("index-spill-bytes", 0,
+		"spill folded index runs at least this many bytes to mapped files under <live>/spill (0 = all in memory)")
+	verifySnap := flag.Bool("verify-snapshot", false,
+		"eagerly CRC-check every snapshot section at open instead of lazily on first touch")
 	queueDepth := flag.Int("ingest-queue-depth", 0,
 		"max batches buffered in the ingest queue before 429 (0 = default 256)")
 	queueBytes := flag.Int64("ingest-queue-bytes", 0,
@@ -118,6 +122,8 @@ func main() {
 		noSync:      *noSync,
 		maintain:    maintained,
 		indexFanout: *indexFanout,
+		indexSpill:  *indexSpill,
+		verifySnap:  *verifySnap,
 		queueDepth:  *queueDepth,
 		queueBytes:  *queueBytes,
 		logger:      logger,

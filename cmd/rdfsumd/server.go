@@ -94,6 +94,8 @@ type serverConfig struct {
 	noSync      bool
 	maintain    []rdfsum.Kind
 	indexFanout int
+	indexSpill  int64 // index-run spill threshold in bytes (0 = memory only)
+	verifySnap  bool  // eager snapshot CRC verification at open
 	queueDepth  int   // ingest queue batch bound (0 = default)
 	queueBytes  int64 // ingest queue byte budget (0 = default)
 
@@ -155,7 +157,10 @@ func newServer(cfg serverConfig) (*server, error) {
 			return nil, fmt.Errorf("loading %s: %w", cfg.in, err)
 		}
 	}
-	opts := &rdfsum.LiveOptions{NoSync: cfg.noSync, Seed: seed, Maintain: cfg.maintain, IndexFanout: cfg.indexFanout}
+	opts := &rdfsum.LiveOptions{
+		NoSync: cfg.noSync, Seed: seed, Maintain: cfg.maintain,
+		IndexFanout: cfg.indexFanout, IndexSpillBytes: cfg.indexSpill, VerifySnapshot: cfg.verifySnap,
+	}
 	var lv *rdfsum.Live
 	if cfg.liveDir != "" {
 		var err error
@@ -485,11 +490,12 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	snap := lv.Snapshot()
 	st := lv.Stats()
 	g := snap.Graph
+	nd, nt, ns := g.ComponentSizes()
 	resp := map[string]any{
 		"triples":          g.NumEdges(),
-		"data_triples":     len(g.Data),
-		"type_triples":     len(g.Types),
-		"schema_triples":   len(g.Schema),
+		"data_triples":     nd,
+		"type_triples":     nt,
+		"schema_triples":   ns,
 		"data_nodes":       len(g.DataNodes()),
 		"class_nodes":      len(g.ClassNodes()),
 		"properties":       len(g.DistinctDataProperties()),

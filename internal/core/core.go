@@ -174,6 +174,7 @@ type Summary struct {
 
 // Summarize builds the summary of g of the requested kind.
 func Summarize(g *store.Graph, kind Kind, opts *Options) (*Summary, error) {
+	g.Ensure() // summarization walks every component
 	var o Options
 	if opts != nil {
 		o = *opts

@@ -222,11 +222,18 @@ func NewBuilderSet(g *store.Graph, kinds []Kind) (*BuilderSet, error) {
 			bs.classes = newClassSetTracker()
 		}
 	}
-	for i := range g.Types {
-		bs.feedType(int32(i))
-	}
-	for i := range g.Data {
-		bs.feedData(int32(i))
+	if len(bs.drivers) > 0 {
+		// Seeding walks both components, so a snapshot-backed graph must
+		// materialize first. With no maintained kinds there is nothing to
+		// seed (stats are only consumed through maintained summaries) and
+		// the graph can stay unmaterialized — the O(1) open path.
+		g.Ensure()
+		for i := range g.Types {
+			bs.feedType(int32(i))
+		}
+		for i := range g.Data {
+			bs.feedData(int32(i))
+		}
 	}
 	return bs, nil
 }
@@ -320,6 +327,7 @@ func (bs *BuilderSet) Delete(t rdf.Triple) int {
 // counted rebuild to its next snapshot, because quotient merges
 // (union-finds) are not invertible.
 func (bs *BuilderSet) DeleteBatch(triples []rdf.Triple) (int, []store.Triple) {
+	bs.g.Ensure() // the compaction scan below walks every component
 	d := bs.g.Dict()
 	v := bs.g.Vocab()
 	var delData, delTypes, delSchema map[store.Triple]bool

@@ -39,6 +39,7 @@ func (s *Summary) ComputeWeights() *Weights {
 	for _, rep := range s.NodeOf {
 		w.NodeCard[rep]++
 	}
+	s.Input.Ensure()
 	v := s.Input.Vocab()
 	for _, t := range s.Input.Data {
 		e := store.Triple{S: s.NodeOf[t.S], P: t.P, O: s.NodeOf[t.O]}

@@ -30,13 +30,23 @@ const None ID = 0
 // decode and look up terms while the single writer interns new ones.
 type Dict struct {
 	mu    *sync.RWMutex // nil until Share; guards terms and index when set
-	terms []rdf.Term    // terms[i] is the term with ID i+1
+	base  *Mapped       // optional read-only layer holding IDs 1..baseLen
+	terms []rdf.Term    // terms[i] is the term with ID baseLen+i+1
 	index map[rdf.Term]ID
 }
 
 // New returns an empty dictionary.
 func New() *Dict {
 	return &Dict{index: make(map[rdf.Term]ID)}
+}
+
+// WithBase returns a dictionary layered over a mapped read-only base:
+// IDs 1..base.Len() resolve through the base (zero-copy, decoded on
+// demand), and newly interned terms get IDs from base.Len()+1 up. Base
+// hits found via Encode are memoized into the in-memory index so each
+// binary search over the mapped pages is paid at most once per term.
+func WithBase(m *Mapped) *Dict {
+	return &Dict{base: m, index: make(map[rdf.Term]ID)}
 }
 
 // WithCapacity returns an empty dictionary pre-sized for n terms.
@@ -67,10 +77,24 @@ func (d *Dict) Encode(t rdf.Term) ID {
 	if id, ok := d.index[t]; ok {
 		return id
 	}
+	if d.base != nil {
+		if id, ok := d.base.Lookup(t); ok {
+			d.index[t] = id
+			return id
+		}
+	}
 	d.terms = append(d.terms, t)
-	id := ID(len(d.terms))
+	id := ID(d.baseLen() + len(d.terms))
 	d.index[t] = id
 	return id
+}
+
+// baseLen returns the number of IDs owned by the mapped base layer.
+func (d *Dict) baseLen() int {
+	if d.base == nil {
+		return 0
+	}
+	return d.base.Len()
 }
 
 // EncodeIRI interns an IRI given as a string.
@@ -82,8 +106,14 @@ func (d *Dict) Lookup(t rdf.Term) (ID, bool) {
 		d.mu.RLock()
 		defer d.mu.RUnlock()
 	}
-	id, ok := d.index[t]
-	return id, ok
+	if id, ok := d.index[t]; ok {
+		return id, true
+	}
+	if d.base != nil {
+		// No memoization here: Lookup holds only the read lock.
+		return d.base.Lookup(t)
+	}
+	return None, false
 }
 
 // LookupIRI returns the ID of an IRI without interning it.
@@ -96,10 +126,17 @@ func (d *Dict) Term(id ID) rdf.Term {
 		d.mu.RLock()
 		defer d.mu.RUnlock()
 	}
-	if id == None || int(id) > len(d.terms) {
-		panic(fmt.Sprintf("dict: unknown id %d (dictionary holds %d terms)", id, len(d.terms)))
+	bl := d.baseLen()
+	if int(id) <= bl {
+		if id == None {
+			panic("dict: unknown id 0")
+		}
+		return d.base.Term(id)
 	}
-	return d.terms[id-1]
+	if id == None || int(id) > bl+len(d.terms) {
+		panic(fmt.Sprintf("dict: unknown id %d (dictionary holds %d terms)", id, bl+len(d.terms)))
+	}
+	return d.terms[int(id)-bl-1]
 }
 
 // Len reports the number of interned terms.
@@ -108,7 +145,7 @@ func (d *Dict) Len() int {
 		d.mu.RLock()
 		defer d.mu.RUnlock()
 	}
-	return len(d.terms)
+	return d.baseLen() + len(d.terms)
 }
 
 // MaxID returns the highest assigned ID (equal to Len, since IDs are

@@ -1,0 +1,122 @@
+package live
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"rdfsum/internal/core"
+	"rdfsum/internal/rdf"
+	"rdfsum/internal/store"
+)
+
+// benchTriples builds n deterministic data triples plus a sprinkling of
+// type triples — enough distinct terms that the dictionary dominates the
+// snapshot, as in real datasets.
+func benchTriples(n int) []rdf.Triple {
+	out := make([]rdf.Triple, 0, n+n/16)
+	for i := 0; i < n; i++ {
+		s := rdf.NewIRI(fmt.Sprintf("http://bench.example.org/entity/%d", i/4))
+		p := rdf.NewIRI(fmt.Sprintf("http://bench.example.org/prop/%d", i%32))
+		o := rdf.NewIRI(fmt.Sprintf("http://bench.example.org/entity/%d", (i*7)%(n/2+1)))
+		out = append(out, rdf.NewTriple(s, p, o))
+		if i%16 == 0 {
+			out = append(out, rdf.NewTriple(s, rdf.NewIRI(rdf.RDFType),
+				rdf.NewIRI(fmt.Sprintf("http://bench.example.org/Class/%d", i%11))))
+		}
+	}
+	return out
+}
+
+// benchDirs caches seeded store directories across the benchmark's
+// scaling rounds: building a 10M-triple snapshot once is expensive
+// enough without rebuilding it for every b.N estimate.
+var benchDirs = map[string]string{}
+
+// benchStoreDir seeds a durable store with n triples and closes it,
+// leaving a compacted base snapshot and an empty WAL — the cold-open
+// shape. version selects the snapshot format of the base (2 is what the
+// store writes; 1 rewrites it in the legacy eager format).
+func benchStoreDir(b *testing.B, n, version int) string {
+	b.Helper()
+	key := fmt.Sprintf("%d-v%d", n, version)
+	if dir, ok := benchDirs[key]; ok {
+		return dir
+	}
+	dir, err := os.MkdirTemp("", "rdfsum-bench-")
+	if err != nil {
+		b.Fatal(err)
+	}
+	l, err := Open(dir, Options{Seed: store.FromTriples(benchTriples(n)), Maintain: []core.Kind{}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		b.Fatal(err)
+	}
+	if version == 1 {
+		// The graph (dictionary included) is served from the mapping, so
+		// write the legacy file beside it and swap only once done.
+		snap := dir + "/snapshot-1.rdfsum"
+		g, sf, err := store.OpenGraphFile(snap, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		f, err := os.Create(snap + ".tmp")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := store.WriteSnapshot(f, g); err != nil {
+			b.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			b.Fatal(err)
+		}
+		if sf != nil {
+			sf.Close()
+		}
+		if err := os.Rename(snap+".tmp", snap); err != nil {
+			b.Fatal(err)
+		}
+	}
+	benchDirs[key] = dir
+	return dir
+}
+
+// BenchmarkOpenLiveCold measures time-to-first-epoch for a durable store
+// whose base snapshot holds 100k/1M/10M triples, in both formats. The
+// acceptance shape: v1 grows linearly with the snapshot (full decode),
+// v2 stays flat (header + TOC + mmap, no triple or dictionary decode).
+// -short keeps only the smallest size.
+func BenchmarkOpenLiveCold(b *testing.B) {
+	sizes := []struct {
+		label string
+		n     int
+	}{{"100k", 100_000}, {"1M", 1_000_000}, {"10M", 10_000_000}}
+	if testing.Short() {
+		sizes = sizes[:1]
+	}
+	for _, sz := range sizes {
+		for _, version := range []int{1, 2} {
+			b.Run(fmt.Sprintf("v%d-%s", version, sz.label), func(b *testing.B) {
+				dir := benchStoreDir(b, sz.n, version)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					l, err := Open(dir, Options{Maintain: []core.Kind{}})
+					if err != nil {
+						b.Fatal(err)
+					}
+					// Publication is part of open; touch the epoch to keep
+					// the compiler honest.
+					if l.Snapshot().Epoch == 0 {
+						b.Fatal("no epoch published")
+					}
+					b.StopTimer()
+					l.Close()
+					b.StartTimer()
+				}
+			})
+		}
+	}
+}

@@ -83,6 +83,17 @@ type Options struct {
 	// level. 0 selects store.DefaultIndexFanout (8). Smaller values trade
 	// ingest throughput for fewer runs on the query path.
 	IndexFanout int
+	// IndexSpillBytes, when positive, lets tiered-index folds spill runs
+	// of at least this many (in-memory) bytes to on-disk column files
+	// under <dir>/spill, served via mmap — bounding resident memory under
+	// sustained ingest. Spill files are rebuildable state: the directory
+	// is wiped on Open and never fsynced. Requires a durable store;
+	// ignored for memory-only ones.
+	IndexSpillBytes int64
+	// VerifySnapshot forces eager verification of every v2 snapshot
+	// section checksum at Open (paranoia mode). The default verifies the
+	// header and TOC at open and each section lazily on first touch.
+	VerifySnapshot bool
 }
 
 // maintainOrDefault resolves the Maintain option: nil means weak-only.
@@ -133,6 +144,8 @@ type Live struct {
 	applied uint64 // triples added to the in-memory graph (monotonic)
 	deleted uint64 // triple copies removed (monotonic)
 	fanout  int    // tiered-index fold width (0 = store default)
+	spill   *store.SpillConfig
+	sf      *store.SnapshotFile // mapped v2 base snapshot (nil for v1/fresh)
 	closed  bool
 
 	maintained [core.NumKinds]bool
@@ -220,6 +233,18 @@ func Open(dir string, opts Options) (*Live, error) {
 		}
 	}()
 	l := &Live{dir: dir, sync: !opts.NoSync, lock: lock, fanout: opts.IndexFanout}
+	if opts.IndexSpillBytes > 0 {
+		// Spill files are rebuildable (snapshot + WAL recover everything),
+		// so leftovers from a previous process are just wiped.
+		spillDir := filepath.Join(dir, "spill")
+		if err := os.RemoveAll(spillDir); err != nil {
+			return nil, err
+		}
+		if err := os.MkdirAll(spillDir, 0o755); err != nil {
+			return nil, err
+		}
+		l.spill = &store.SpillConfig{Dir: spillDir, MinBytes: opts.IndexSpillBytes}
+	}
 
 	gen, err := readManifest(dir)
 	switch {
@@ -257,7 +282,10 @@ func Open(dir string, opts Options) (*Live, error) {
 		snapPath := l.snapshotPath(gen)
 		switch _, statErr := os.Stat(snapPath); {
 		case statErr == nil:
-			g, err = store.LoadFile(snapPath)
+			// v2 snapshots map the file and defer materialization — with no
+			// maintained kinds this makes Open O(1) in snapshot size. v1
+			// snapshots still load eagerly (sf stays nil).
+			g, l.sf, err = store.OpenGraphFile(snapPath, opts.VerifySnapshot)
 			if err != nil {
 				return nil, fmt.Errorf("live: generation %d snapshot: %w", gen, err)
 			}
@@ -440,7 +468,20 @@ func (l *Live) publishLocked() {
 	view := g.SnapshotView()
 	var ix *store.Index
 	if prev := l.cur.Load(); prev == nil {
-		ix = store.NewIndexFanout(view, l.fanout)
+		opts := store.IndexOptions{Fanout: l.fanout, Spill: l.spill}
+		if base := g.Base(); base != nil {
+			// Snapshot-backed graph, still unmaterialized: the index's base
+			// run is the snapshot's own column sections, served zero-copy
+			// from the mapping, and the component slices hold only the
+			// WAL-replayed tail. Nothing O(|G|) happens here.
+			tail := make([]store.Triple, 0, len(g.Data)+len(g.Types)+len(g.Schema))
+			tail = append(tail, g.Data...)
+			tail = append(tail, g.Types...)
+			tail = append(tail, g.Schema...)
+			ix = store.NewIndexFromBase(base.Runs(), tail, opts)
+		} else {
+			ix = store.NewIndexWithOptions(view, opts)
+		}
 	} else {
 		delta := make([]store.Triple, 0,
 			len(g.Data)-l.lastD+len(g.Types)-l.lastT+len(g.Schema)-l.lastS)
@@ -722,7 +763,7 @@ func (l *Live) writeSnapshotFile(gen uint64, g *store.Graph) error {
 	if err != nil {
 		return err
 	}
-	if err := store.WriteSnapshot(f, g); err != nil {
+	if err := store.WriteSnapshotV2(f, g); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return err

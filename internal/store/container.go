@@ -1,0 +1,302 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"sync/atomic"
+)
+
+// Snapshot format v2: a page-aligned, sectioned container designed to be
+// mmap'd and served in place (see docs/storage-format.md for the full
+// byte-level reference).
+//
+//	file :=
+//	  magic "RDFSUM"                       6 bytes
+//	  u8  version (2)
+//	  u8  kind: 1 = snapshot, 2 = index run (spill file)
+//	  u32 pageSize (4096)
+//	  u32 sectionCount
+//	  u64 nTerms
+//	  u64 nData | nTypes | nSchema         (kind run: nData = triple count)
+//	  u64 tocOff
+//	  u32 tocCRC                           CRC-32 (IEEE) of the TOC bytes
+//	  u32 headerCRC                        CRC-32 of bytes [0, 60)
+//	  … page-aligned sections …
+//	  TOC at tocOff: sectionCount × { u8 id, u64 off, u64 len, u32 crc }
+//
+// Each section is independently CRC'd, so the open path verifies only
+// the 64-byte header and the TOC; section checksums are verified lazily,
+// on the first access that touches them (or eagerly with verify=true —
+// the -verify-snapshot paranoia mode).
+const (
+	snapshotVersion2 = 2
+	v2PageSize       = 4096
+	v2HeaderSize     = 64
+	v2TocEntrySize   = 21
+)
+
+// Container kinds.
+const (
+	fileKindSnapshot = 1
+	fileKindRun      = 2
+)
+
+// Section identifiers.
+const (
+	secDictPages  = 1 // front-coded term blocks
+	secDictDir    = 2 // block offset directory into secDictPages
+	secDictSorted = 3 // term-sorted ID permutation (term → ID lookups)
+	secCompData   = 4 // data component, insertion order, uvarint triples
+	secCompTypes  = 5 // type component
+	secCompSchema = 6 // schema component
+	secColSPO     = 7 // sorted all-triples column, SPO order
+	secColPOS     = 8
+	secColOSP     = 9
+	secVocab      = 10 // five uvarint IDs of the interpreted vocabulary
+)
+
+func sectionName(id byte) string {
+	switch id {
+	case secDictPages:
+		return "dict-pages"
+	case secDictDir:
+		return "dict-dir"
+	case secDictSorted:
+		return "dict-sorted"
+	case secCompData:
+		return "comp-data"
+	case secCompTypes:
+		return "comp-types"
+	case secCompSchema:
+		return "comp-schema"
+	case secColSPO:
+		return "col-spo"
+	case secColPOS:
+		return "col-pos"
+	case secColOSP:
+		return "col-osp"
+	case secVocab:
+		return "vocab"
+	default:
+		return fmt.Sprintf("unknown-%d", id)
+	}
+}
+
+// section is one parsed TOC entry plus its raw bytes and lazy-verify
+// state.
+type section struct {
+	id       byte
+	off, n   uint64
+	crc      uint32
+	raw      []byte
+	verified atomic.Bool
+}
+
+// corruption carries a detected-corruption error across a panic: lazy
+// CRC verification can fail deep inside zero-copy accessors that have no
+// error return (a design shared with mmap I/O itself, where a bad page
+// is a SIGBUS). The live layers treat it as fatal.
+type corruption struct{ err error }
+
+func (c corruption) Error() string { return c.err.Error() }
+func (c corruption) Unwrap() error { return c.err }
+
+func corruptionPanic(err error) error { return corruption{err: err} }
+
+// verifyLazy checks the section checksum on first touch. Subsequent calls
+// are a single atomic load. Panics with a corruption error on mismatch.
+func (s *section) verifyLazy() {
+	if s.verified.Load() {
+		return
+	}
+	if err := s.verify(); err != nil {
+		panic(corruptionPanic(err))
+	}
+}
+
+// verify checks the section checksum, records success, and returns a
+// sentinel-wrapped error on mismatch.
+func (s *section) verify() error {
+	if s.verified.Load() {
+		return nil
+	}
+	if got := crc32.ChecksumIEEE(s.raw); got != s.crc {
+		return fmt.Errorf("%w: section %s (computed %08x, TOC carries %08x)",
+			ErrSnapshotChecksum, sectionName(s.id), got, s.crc)
+	}
+	s.verified.Store(true)
+	snapshotSectionsVerified.Inc()
+	return nil
+}
+
+// container is a parsed v2 file (snapshot or run).
+type container struct {
+	data     []byte
+	kind     byte
+	nTerms   uint64
+	nData    uint64
+	nTypes   uint64
+	nSchema  uint64
+	secs     map[byte]*section
+	secOrder []*section // file order, for inspect
+}
+
+// section returns the named section or an ErrSnapshotCorrupt error when
+// the file lacks it.
+func (c *container) section(id byte) (*section, error) {
+	s, ok := c.secs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: missing section %s", ErrSnapshotCorrupt, sectionName(id))
+	}
+	return s, nil
+}
+
+// parseContainer validates the header and TOC of a v2 file held in data
+// (mmap'd or heap) and indexes its sections. With verify set, every
+// section checksum is checked now; otherwise sections verify lazily on
+// first touch.
+func parseContainer(data []byte, verify bool) (*container, error) {
+	if len(data) < v2HeaderSize {
+		return nil, fmt.Errorf("snapshot v2 header: %w", ErrSnapshotTruncated)
+	}
+	if string(data[:len(snapshotMagic)]) != snapshotMagic {
+		return nil, ErrSnapshotMagic
+	}
+	if data[6] != snapshotVersion2 {
+		return nil, fmt.Errorf("%w %d (this build reads 1 and 2)", ErrSnapshotVersion, data[6])
+	}
+	if got := crc32.ChecksumIEEE(data[:60]); got != binary.LittleEndian.Uint32(data[60:64]) {
+		return nil, fmt.Errorf("%w: header (computed %08x, file carries %08x)",
+			ErrSnapshotChecksum, got, binary.LittleEndian.Uint32(data[60:64]))
+	}
+	c := &container{
+		data:    data,
+		kind:    data[7],
+		nTerms:  binary.LittleEndian.Uint64(data[16:24]),
+		nData:   binary.LittleEndian.Uint64(data[24:32]),
+		nTypes:  binary.LittleEndian.Uint64(data[32:40]),
+		nSchema: binary.LittleEndian.Uint64(data[40:48]),
+		secs:    make(map[byte]*section),
+	}
+	if c.kind != fileKindSnapshot && c.kind != fileKindRun {
+		return nil, fmt.Errorf("%w: unknown file kind %d", ErrSnapshotCorrupt, c.kind)
+	}
+	if ps := binary.LittleEndian.Uint32(data[8:12]); ps != v2PageSize {
+		return nil, fmt.Errorf("%w: page size %d (this build writes %d)", ErrSnapshotCorrupt, ps, v2PageSize)
+	}
+	count := binary.LittleEndian.Uint32(data[12:16])
+	tocOff := binary.LittleEndian.Uint64(data[48:56])
+	tocLen := uint64(count) * v2TocEntrySize
+	if tocOff+tocLen > uint64(len(data)) || count > 64 {
+		return nil, fmt.Errorf("snapshot v2 TOC at %d (+%d) beyond file end %d: %w",
+			tocOff, tocLen, len(data), ErrSnapshotTruncated)
+	}
+	toc := data[tocOff : tocOff+tocLen]
+	if got := crc32.ChecksumIEEE(toc); got != binary.LittleEndian.Uint32(data[56:60]) {
+		return nil, fmt.Errorf("%w: TOC (computed %08x, header carries %08x)",
+			ErrSnapshotChecksum, got, binary.LittleEndian.Uint32(data[56:60]))
+	}
+	for i := uint32(0); i < count; i++ {
+		e := toc[i*v2TocEntrySize:]
+		s := &section{
+			id:  e[0],
+			off: binary.LittleEndian.Uint64(e[1:9]),
+			n:   binary.LittleEndian.Uint64(e[9:17]),
+			crc: binary.LittleEndian.Uint32(e[17:21]),
+		}
+		if s.off+s.n > uint64(len(data)) {
+			return nil, fmt.Errorf("section %s at %d (+%d) beyond file end %d: %w",
+				sectionName(s.id), s.off, s.n, len(data), ErrSnapshotTruncated)
+		}
+		s.raw = data[s.off : s.off+s.n]
+		if _, dup := c.secs[s.id]; dup {
+			return nil, fmt.Errorf("%w: duplicate section %s", ErrSnapshotCorrupt, sectionName(s.id))
+		}
+		c.secs[s.id] = s
+		c.secOrder = append(c.secOrder, s)
+		if verify {
+			if err := s.verify(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return c, nil
+}
+
+// writeContainer streams a v2 container: header, page-aligned sections
+// in the given order, then the TOC. Section payloads must already be
+// fully built (the writer computes all offsets up front, so the output
+// needs no seeking and can go straight to a pipe or socket).
+func writeContainer(w io.Writer, kind byte, counts [4]uint64, ids []byte, payloads [][]byte) error {
+	align := func(off uint64) uint64 {
+		return (off + v2PageSize - 1) &^ uint64(v2PageSize-1)
+	}
+	// Lay out: header page, then each section at the next page boundary.
+	offs := make([]uint64, len(payloads))
+	off := uint64(v2HeaderSize)
+	for i, p := range payloads {
+		off = align(off)
+		offs[i] = off
+		off += uint64(len(p))
+	}
+	tocOff := align(off)
+
+	toc := make([]byte, 0, len(payloads)*v2TocEntrySize)
+	var e [v2TocEntrySize]byte
+	for i, p := range payloads {
+		e[0] = ids[i]
+		binary.LittleEndian.PutUint64(e[1:9], offs[i])
+		binary.LittleEndian.PutUint64(e[9:17], uint64(len(p)))
+		binary.LittleEndian.PutUint32(e[17:21], crc32.ChecksumIEEE(p))
+		toc = append(toc, e[:]...)
+	}
+
+	hdr := make([]byte, v2HeaderSize)
+	copy(hdr, snapshotMagic)
+	hdr[6] = snapshotVersion2
+	hdr[7] = kind
+	binary.LittleEndian.PutUint32(hdr[8:12], v2PageSize)
+	binary.LittleEndian.PutUint32(hdr[12:16], uint32(len(payloads)))
+	binary.LittleEndian.PutUint64(hdr[16:24], counts[0])
+	binary.LittleEndian.PutUint64(hdr[24:32], counts[1])
+	binary.LittleEndian.PutUint64(hdr[32:40], counts[2])
+	binary.LittleEndian.PutUint64(hdr[40:48], counts[3])
+	binary.LittleEndian.PutUint64(hdr[48:56], tocOff)
+	binary.LittleEndian.PutUint32(hdr[56:60], crc32.ChecksumIEEE(toc))
+	binary.LittleEndian.PutUint32(hdr[60:64], crc32.ChecksumIEEE(hdr[:60]))
+
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	pos := uint64(v2HeaderSize)
+	pad := make([]byte, v2PageSize)
+	writePad := func(to uint64) error {
+		for pos < to {
+			n := to - pos
+			if n > uint64(len(pad)) {
+				n = uint64(len(pad))
+			}
+			if _, err := w.Write(pad[:n]); err != nil {
+				return err
+			}
+			pos += n
+		}
+		return nil
+	}
+	for i, p := range payloads {
+		if err := writePad(offs[i]); err != nil {
+			return err
+		}
+		if _, err := w.Write(p); err != nil {
+			return err
+		}
+		pos += uint64(len(p))
+	}
+	if err := writePad(tocOff); err != nil {
+		return err
+	}
+	_, err := w.Write(toc)
+	return err
+}

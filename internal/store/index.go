@@ -27,6 +27,12 @@ import (
 // inserted triple. Compacted folds everything into a single run and drops
 // all tombstones.
 //
+// A run stores its triples behind the Col abstraction (run.go), so the
+// same search and merge machinery serves in-memory slices, the column
+// sections of an mmap'd v2 snapshot (NewIndexFromBase — nothing is
+// materialized at open), and folded runs spilled to on-disk column files
+// (SpillConfig) that bound resident memory under sustained ingest.
+//
 // An Index and its runs are immutable: Applied/Merged/Compacted return new
 // Index values sharing unchanged runs, so snapshots held by old epochs
 // stay valid (and keep their exact contents) across later ingest, deletes
@@ -36,6 +42,7 @@ type Index struct {
 	fanout int    // trailing same-level runs folded at this width
 	live   int    // triples visible to readers (with multiplicity)
 	tombs  int    // total tombstones across runs (0 ⇒ fast paths)
+	spill  *SpillConfig
 }
 
 // DefaultIndexFanout is the tier width used when no explicit fanout is
@@ -47,49 +54,22 @@ const DefaultIndexFanout = 8
 // (or of a fold of several epochs) in all three orders, plus the tombstones
 // that suppress equal triples in strictly older runs.
 type run struct {
-	spo []Triple // sorted by (S, P, O)
-	pos []Triple // sorted by (P, O, S)
-	osp []Triple // sorted by (O, S, P)
+	cols RunCols
 
 	dels   []Triple            // sorted SPO, deduplicated
 	delSet map[Triple]struct{} // same content, for O(1) suppression checks
 
-	level int // fold generation; `fanout` trailing equal levels merge
+	level int    // fold generation; `fanout` trailing equal levels merge
+	file  string // on-disk spill file serving cols, "" when in memory
 }
 
-// The three maintained sort orders.
-func lessSPO(a, b Triple) bool { return a.Less(b) }
+func (r *run) length() int { return r.cols.length() }
 
-func lessPOS(a, b Triple) bool {
-	if a.P != b.P {
-		return a.P < b.P
-	}
-	if a.O != b.O {
-		return a.O < b.O
-	}
-	return a.S < b.S
-}
-
-func lessOSP(a, b Triple) bool {
-	if a.O != b.O {
-		return a.O < b.O
-	}
-	if a.S != b.S {
-		return a.S < b.S
-	}
-	return a.P < b.P
-}
-
-// newRun sorts adds into the three orders and attaches the tombstone set.
-// adds and dels are adopted (not copied); dels must already be sorted and
-// deduplicated.
-func newRun(adds, dels []Triple, level int) *run {
-	r := &run{spo: adds, dels: dels, level: level}
-	sort.Slice(r.spo, func(i, j int) bool { return lessSPO(r.spo[i], r.spo[j]) })
-	r.pos = append([]Triple(nil), r.spo...)
-	sort.Slice(r.pos, func(i, j int) bool { return lessPOS(r.pos[i], r.pos[j]) })
-	r.osp = append([]Triple(nil), r.spo...)
-	sort.Slice(r.osp, func(i, j int) bool { return lessOSP(r.osp[i], r.osp[j]) })
+// newMemRun sorts adds into the three orders and attaches the tombstone
+// set. adds and dels are adopted (not copied); dels must already be
+// sorted and deduplicated.
+func newMemRun(adds, dels []Triple, level int) *run {
+	r := &run{cols: newMemCols(adds), dels: dels, level: level}
 	if len(dels) > 0 {
 		r.delSet = make(map[Triple]struct{}, len(dels))
 		for _, t := range dels {
@@ -108,12 +88,45 @@ func NewIndex(g *Graph) *Index { return NewIndexFanout(g, 0) }
 // for readers to merge, more write amplification); larger ones favor
 // ingest throughput.
 func NewIndexFanout(g *Graph, fanout int) *Index {
-	if fanout <= 1 {
-		fanout = DefaultIndexFanout
+	return NewIndexWithOptions(g, IndexOptions{Fanout: fanout})
+}
+
+// IndexOptions configures index construction.
+type IndexOptions struct {
+	// Fanout is the tier width; 0 or 1 selects DefaultIndexFanout.
+	Fanout int
+	// Spill, when non-nil, lets folded runs move to on-disk column files.
+	Spill *SpillConfig
+}
+
+func (o IndexOptions) fanout() int {
+	if o.Fanout <= 1 {
+		return DefaultIndexFanout
 	}
+	return o.Fanout
+}
+
+// NewIndexWithOptions builds a single-run index over the graph's current
+// triples with explicit options.
+func NewIndexWithOptions(g *Graph, opts IndexOptions) *Index {
 	all := g.All()
-	ix := &Index{fanout: fanout, live: len(all)}
-	ix.runs = []*run{newRun(all, nil, levelFor(len(all), fanout))}
+	ix := &Index{fanout: opts.fanout(), live: len(all), spill: opts.Spill}
+	ix.runs = []*run{ix.maybeSpill(newMemRun(all, nil, levelFor(len(all), ix.fanout)))}
+	return ix
+}
+
+// NewIndexFromBase builds an index whose base run is an already-encoded
+// column run — typically SnapshotFile.Runs(), served zero-copy from the
+// mapped file — plus an optional in-memory tail of post-snapshot triples
+// (adopted). Nothing from the base is materialized: this is the O(1)
+// open path.
+func NewIndexFromBase(base RunCols, tail []Triple, opts IndexOptions) *Index {
+	ix := &Index{fanout: opts.fanout(), live: base.length() + len(tail), spill: opts.Spill}
+	ix.runs = []*run{{cols: base, level: levelFor(base.length(), ix.fanout)}}
+	if len(tail) > 0 {
+		ix.runs = append(ix.runs, newMemRun(tail, nil, levelFor(len(tail), ix.fanout)))
+		ix.fold()
+	}
 	return ix
 }
 
@@ -158,22 +171,23 @@ func (ix *Index) Applied(adds, dels []Triple) *Index {
 				kept = append(kept, t)
 			}
 		}
-		sort.Slice(kept, func(i, j int) bool { return lessSPO(kept[i], kept[j]) })
+		sort.Slice(kept, func(i, j int) bool { return OrderSPO.less(kept[i], kept[j]) })
 	}
 	if len(adds) == 0 && len(kept) == 0 {
 		// Nothing changes; share the run list wholesale.
-		return &Index{runs: ix.runs, fanout: ix.fanout, live: ix.live, tombs: ix.tombs}
+		return &Index{runs: ix.runs, fanout: ix.fanout, live: ix.live, tombs: ix.tombs, spill: ix.spill}
 	}
 	out := &Index{
 		runs:   append(append(make([]*run, 0, len(ix.runs)+1), ix.runs...), nil),
 		fanout: ix.fanout,
 		live:   ix.live + len(adds) - killed,
+		spill:  ix.spill,
 	}
-	// Size-based level placement, like NewIndexFanout's base run: a bulk
-	// batch lands at the level its size warrants, so it is not swept into
-	// the next small-delta fold (which would re-merge it O(size) almost
+	// Size-based level placement, like the base run's: a bulk batch lands
+	// at the level its size warrants, so it is not swept into the next
+	// small-delta fold (which would re-merge it O(size) almost
 	// immediately).
-	out.runs[len(out.runs)-1] = newRun(append([]Triple(nil), adds...), kept, levelFor(len(adds), ix.fanout))
+	out.runs[len(out.runs)-1] = newMemRun(append([]Triple(nil), adds...), kept, levelFor(len(adds), ix.fanout))
 	out.fold()
 	out.tombs = 0
 	for _, r := range out.runs {
@@ -221,12 +235,20 @@ func (ix *Index) fold() {
 }
 
 // foldTail merges runs[start:] into one run, placed at minLevel or the
-// level its merged size warrants, whichever is higher.
+// level its merged size warrants, whichever is higher. The merged run
+// spills to disk when configured; source runs' spill files, now
+// superseded, are unlinked (epochs still holding them keep reading the
+// mapping — on unix an unlinked mapped file stays valid).
 func (ix *Index) foldTail(start, minLevel int) {
 	defer indexFoldSeconds.ObserveSince(time.Now())
-	merged := mergeRuns(ix.runs[start:], start == 0, minLevel)
-	if lf := levelFor(len(merged.spo), ix.fanout); lf > merged.level {
+	window := ix.runs[start:]
+	merged := mergeRuns(window, start == 0, minLevel)
+	if lf := levelFor(merged.length(), ix.fanout); lf > merged.level {
 		merged.level = lf
+	}
+	merged = ix.maybeSpill(merged)
+	for _, r := range window {
+		r.unlinkSpill()
 	}
 	ix.runs = append(ix.runs[:start:start], merged)
 }
@@ -236,8 +258,11 @@ func (ix *Index) foldTail(start, minLevel int) {
 // receiver is untouched.
 func (ix *Index) Compacted() *Index {
 	defer indexFoldSeconds.ObserveSince(time.Now())
-	out := &Index{fanout: ix.fanout, live: ix.live}
-	out.runs = []*run{mergeRuns(ix.runs, true, levelFor(ix.live, ix.fanout))}
+	out := &Index{fanout: ix.fanout, live: ix.live, spill: ix.spill}
+	out.runs = []*run{out.maybeSpill(mergeRuns(ix.runs, true, levelFor(ix.live, ix.fanout)))}
+	for _, r := range ix.runs {
+		r.unlinkSpill()
+	}
 	return out
 }
 
@@ -248,27 +273,27 @@ func (ix *Index) Compacted() *Index {
 // nothing left to suppress. Runs newer than the window keep suppressing
 // the merged run's triples at read time exactly as before.
 func mergeRuns(window []*run, oldest bool, level int) *run {
-	pos := make([]int, len(window))
+	cursors := make([]Cursor, len(window))
 	total := 0
-	for _, r := range window {
-		total += len(r.spo)
+	for i, r := range window {
+		total += r.length()
+		cursors[i] = r.cols.col(OrderSPO).Cursor(0, r.length())
 	}
 	adds := make([]Triple, 0, total)
 	for {
 		best := -1
-		for i, r := range window {
-			if pos[i] >= len(r.spo) {
+		for i := range cursors {
+			if !cursors[i].Valid() {
 				continue
 			}
-			if best < 0 || lessSPO(r.spo[pos[i]], window[best].spo[pos[best]]) {
+			if best < 0 || OrderSPO.less(cursors[i].Peek(), cursors[best].Peek()) {
 				best = i
 			}
 		}
 		if best < 0 {
 			break
 		}
-		t := window[best].spo[pos[best]]
-		pos[best]++
+		t := cursors[best].Next()
 		alive := true
 		for j := best + 1; j < len(window); j++ {
 			if _, dead := window[j].delSet[t]; dead {
@@ -293,21 +318,10 @@ func mergeRuns(window []*run, oldest bool, level int) *run {
 			for t := range set {
 				dels = append(dels, t)
 			}
-			sort.Slice(dels, func(i, j int) bool { return lessSPO(dels[i], dels[j]) })
+			sort.Slice(dels, func(i, j int) bool { return OrderSPO.less(dels[i], dels[j]) })
 		}
 	}
-	out := &run{spo: adds, dels: dels, level: level}
-	out.pos = append([]Triple(nil), adds...)
-	sort.Slice(out.pos, func(i, j int) bool { return lessPOS(out.pos[i], out.pos[j]) })
-	out.osp = append([]Triple(nil), adds...)
-	sort.Slice(out.osp, func(i, j int) bool { return lessOSP(out.osp[i], out.osp[j]) })
-	if len(dels) > 0 {
-		out.delSet = make(map[Triple]struct{}, len(dels))
-		for _, t := range dels {
-			out.delSet[t] = struct{}{}
-		}
-	}
-	return out
+	return newMemRun(adds, dels, level)
 }
 
 // Len reports the number of triples visible to readers.
@@ -316,6 +330,18 @@ func (ix *Index) Len() int { return ix.live }
 // Runs reports the current number of runs — the read amplification a
 // pattern scan pays. 1 after a batch load or a compaction.
 func (ix *Index) Runs() int { return len(ix.runs) }
+
+// SpilledRuns reports how many runs are currently served from on-disk
+// spill files (the snapshot base run, if any, is not counted).
+func (ix *Index) SpilledRuns() int {
+	n := 0
+	for _, r := range ix.runs {
+		if r.file != "" {
+			n++
+		}
+	}
+	return n
+}
 
 // Tombstones reports the total tombstones retained across runs (0 after a
 // compaction).
@@ -343,9 +369,10 @@ func (ix *Index) suppressed(t Triple, ri int) bool {
 // early when fn returns false.
 func (ix *Index) ForEach(s, p, o dict.ID, fn func(Triple) bool) {
 	if len(ix.runs) == 1 && ix.tombs == 0 {
-		arr, lo, hi := ix.runs[0].rangeFor(s, p, o)
-		for _, t := range arr[lo:hi] {
-			if !fn(t) {
+		col, lo, hi := ix.runs[0].rangeFor(s, p, o)
+		c := col.Cursor(lo, hi)
+		for c.Valid() {
+			if !fn(c.Next()) {
 				return
 			}
 		}
@@ -357,37 +384,33 @@ func (ix *Index) ForEach(s, p, o dict.ID, fn func(Triple) bool) {
 // merge is the k-way tombstone-suppressing iterator across runs.
 func (ix *Index) merge(s, p, o dict.ID, fn func(Triple) bool) {
 	type cursor struct {
-		ri      int
-		arr     []Triple
-		pos, hi int
+		ri int
+		c  Cursor
 	}
-	less := lessForPattern(s, p, o)
+	ord, _, _ := patternPlan(s, p, o)
 	cursors := make([]cursor, 0, len(ix.runs))
 	for ri, r := range ix.runs {
-		arr, lo, hi := r.rangeFor(s, p, o)
+		col, lo, hi := r.rangeFor(s, p, o)
 		if lo < hi {
-			cursors = append(cursors, cursor{ri: ri, arr: arr, pos: lo, hi: hi})
+			cursors = append(cursors, cursor{ri: ri, c: col.Cursor(lo, hi)})
 		}
 	}
 	for {
 		best := -1
 		for ci := range cursors {
-			c := &cursors[ci]
-			if c.pos >= c.hi {
+			if !cursors[ci].c.Valid() {
 				continue
 			}
 			// Strict less keeps the earliest (oldest-run) cursor on ties.
-			if best < 0 || less(c.arr[c.pos], cursors[best].arr[cursors[best].pos]) {
+			if best < 0 || ord.less(cursors[ci].c.Peek(), cursors[best].c.Peek()) {
 				best = ci
 			}
 		}
 		if best < 0 {
 			return
 		}
-		c := &cursors[best]
-		t := c.arr[c.pos]
-		c.pos++
-		if ix.tombs > 0 && ix.suppressed(t, c.ri) {
+		t := cursors[best].c.Next()
+		if ix.tombs > 0 && ix.suppressed(t, cursors[best].ri) {
 			continue
 		}
 		if !fn(t) {
@@ -439,79 +462,41 @@ func (ix *Index) Contains(t Triple) bool {
 	return found
 }
 
-// lessForPattern returns the comparator of the sort order rangeFor selects
-// for the bound positions — the order the k-way merge must preserve.
-func lessForPattern(s, p, o dict.ID) func(a, b Triple) bool {
+// patternPlan selects the access path for the bound positions: the sort
+// order whose prefix covers them, the prefix bound, and the number of
+// key components bound (0 = full scan). The k-way merge preserves the
+// returned order.
+func patternPlan(s, p, o dict.ID) (Order, Triple, int) {
 	switch {
-	case s != dict.None: // (s,p,o), (s,p), (s) on SPO; (s,o) on OSP
-		if p == dict.None && o != dict.None {
-			return lessOSP
-		}
-		return lessSPO
-	case p != dict.None: // (p), (p,o) on POS
-		return lessPOS
-	case o != dict.None: // (o) on OSP
-		return lessOSP
+	case s != dict.None && p != dict.None && o != dict.None:
+		return OrderSPO, Triple{S: s, P: p, O: o}, 3
+	case s != dict.None && p != dict.None:
+		return OrderSPO, Triple{S: s, P: p}, 2
+	case s != dict.None && o != dict.None:
+		return OrderOSP, Triple{S: s, O: o}, 2
+	case p != dict.None && o != dict.None:
+		return OrderPOS, Triple{P: p, O: o}, 2
+	case s != dict.None:
+		return OrderSPO, Triple{S: s}, 1
+	case p != dict.None:
+		return OrderPOS, Triple{P: p}, 1
+	case o != dict.None:
+		return OrderOSP, Triple{O: o}, 1
 	default:
-		return lessSPO
+		return OrderSPO, Triple{}, 0
 	}
 }
 
-// rangeFor selects the best order for the bound positions and returns the
-// run's array and half-open range of candidate triples. Every case is an
-// exact prefix range: all triples in it match the pattern.
-func (r *run) rangeFor(s, p, o dict.ID) ([]Triple, int, int) {
-	switch {
-	case s != dict.None && p != dict.None && o != dict.None:
-		lo := sort.Search(len(r.spo), func(i int) bool { return !r.spo[i].Less(Triple{s, p, o}) })
-		hi := lo
-		for hi < len(r.spo) && r.spo[hi] == (Triple{s, p, o}) {
-			hi++
-		}
-		return r.spo, lo, hi
-	case s != dict.None && p != dict.None:
-		lo := sort.Search(len(r.spo), func(i int) bool {
-			t := r.spo[i]
-			return t.S > s || (t.S == s && t.P >= p)
-		})
-		hi := sort.Search(len(r.spo), func(i int) bool {
-			t := r.spo[i]
-			return t.S > s || (t.S == s && t.P > p)
-		})
-		return r.spo, lo, hi
-	case s != dict.None && o != dict.None:
-		lo := sort.Search(len(r.osp), func(i int) bool {
-			t := r.osp[i]
-			return t.O > o || (t.O == o && t.S >= s)
-		})
-		hi := sort.Search(len(r.osp), func(i int) bool {
-			t := r.osp[i]
-			return t.O > o || (t.O == o && t.S > s)
-		})
-		return r.osp, lo, hi
-	case p != dict.None && o != dict.None:
-		lo := sort.Search(len(r.pos), func(i int) bool {
-			t := r.pos[i]
-			return t.P > p || (t.P == p && t.O >= o)
-		})
-		hi := sort.Search(len(r.pos), func(i int) bool {
-			t := r.pos[i]
-			return t.P > p || (t.P == p && t.O > o)
-		})
-		return r.pos, lo, hi
-	case s != dict.None:
-		lo := sort.Search(len(r.spo), func(i int) bool { return r.spo[i].S >= s })
-		hi := sort.Search(len(r.spo), func(i int) bool { return r.spo[i].S > s })
-		return r.spo, lo, hi
-	case p != dict.None:
-		lo := sort.Search(len(r.pos), func(i int) bool { return r.pos[i].P >= p })
-		hi := sort.Search(len(r.pos), func(i int) bool { return r.pos[i].P > p })
-		return r.pos, lo, hi
-	case o != dict.None:
-		lo := sort.Search(len(r.osp), func(i int) bool { return r.osp[i].O >= o })
-		hi := sort.Search(len(r.osp), func(i int) bool { return r.osp[i].O > o })
-		return r.osp, lo, hi
-	default:
-		return r.spo, 0, len(r.spo)
+// rangeFor selects the best order for the bound positions and returns
+// that column and the half-open range of candidate triples. Every case
+// is an exact prefix range: all triples in it match the pattern.
+func (r *run) rangeFor(s, p, o dict.ID) (Col, int, int) {
+	ord, bound, n := patternPlan(s, p, o)
+	col := r.cols.col(ord)
+	if n == 0 {
+		return col, 0, col.Len()
 	}
+	lo := col.Search(func(t Triple) bool { return ord.cmpPrefix(t, bound, n) >= 0 })
+	hi := col.Search(func(t Triple) bool { return ord.cmpPrefix(t, bound, n) > 0 })
+	return col, lo, hi
 }

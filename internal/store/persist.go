@@ -61,8 +61,11 @@ func truncatedOr(err error) error {
 	return err
 }
 
-// WriteSnapshot serializes the graph (dictionary included) to w.
+// WriteSnapshot serializes the graph (dictionary included) to w in the
+// legacy v1 format. New snapshots are written by WriteSnapshotV2; this
+// stays for format round-trip tests and downgrade tooling.
 func WriteSnapshot(w io.Writer, g *Graph) error {
+	g.Ensure()
 	crc := crc32.NewIEEE()
 	bw := bufio.NewWriter(io.MultiWriter(w, crc))
 
@@ -130,21 +133,48 @@ func (c *crcReader) Read(p []byte) (int, error) {
 	return n, err
 }
 
-// ReadSnapshot reconstructs a graph from a snapshot produced by
-// WriteSnapshot, verifying the trailing checksum.
+// ReadSnapshot reconstructs a graph from a snapshot stream of either
+// format version, verifying every checksum eagerly (this is the
+// streamed path — replication bootstrap and piped tooling — where the
+// bytes are transient and a lazy view has nothing durable to map).
+// Errors wrap the ErrSnapshot* sentinels.
 func ReadSnapshot(r io.Reader) (*Graph, error) {
-	br := &crcReader{src: bufio.NewReader(r), crc: crc32.NewIEEE()}
+	br := bufio.NewReader(r)
+	hdr, err := br.Peek(len(snapshotMagic) + 1)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot header: %w", truncatedOr(err))
+	}
+	if string(hdr[:len(snapshotMagic)]) != snapshotMagic {
+		return nil, ErrSnapshotMagic
+	}
+	switch hdr[len(snapshotMagic)] {
+	case snapshotVersion:
+		return readSnapshotV1(br)
+	case snapshotVersion2:
+		data, err := io.ReadAll(br)
+		if err != nil {
+			return nil, truncatedOr(err)
+		}
+		c, err := parseContainer(data, true)
+		if err != nil {
+			return nil, err
+		}
+		return graphFromContainer(c)
+	default:
+		return nil, fmt.Errorf("%w %d (this build reads 1 and 2)",
+			ErrSnapshotVersion, hdr[len(snapshotMagic)])
+	}
+}
+
+// readSnapshotV1 parses the legacy eager format. The magic and version
+// bytes are still unconsumed in r (only peeked) so the running checksum
+// covers them.
+func readSnapshotV1(r *bufio.Reader) (*Graph, error) {
+	br := &crcReader{src: r, crc: crc32.NewIEEE()}
 
 	magic := make([]byte, len(snapshotMagic)+1)
 	if _, err := io.ReadFull(br, magic); err != nil {
 		return nil, fmt.Errorf("snapshot header: %w", truncatedOr(err))
-	}
-	if string(magic[:len(snapshotMagic)]) != snapshotMagic {
-		return nil, ErrSnapshotMagic
-	}
-	if magic[len(snapshotMagic)] != snapshotVersion {
-		return nil, fmt.Errorf("%w %d (this build reads %d)",
-			ErrSnapshotVersion, magic[len(snapshotMagic)], snapshotVersion)
 	}
 
 	nTerms, err := binary.ReadUvarint(br)
@@ -224,13 +254,14 @@ func ReadSnapshot(r io.Reader) (*Graph, error) {
 	return g, nil
 }
 
-// SaveFile writes a snapshot to path, replacing any existing file.
+// SaveFile writes a snapshot to path in the current (v2) format,
+// replacing any existing file.
 func SaveFile(path string, g *Graph) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if err := WriteSnapshot(f, g); err != nil {
+	if err := WriteSnapshotV2(f, g); err != nil {
 		f.Close()
 		return err
 	}

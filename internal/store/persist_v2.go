@@ -1,0 +1,437 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"rdfsum/internal/dict"
+	"rdfsum/internal/rdf"
+)
+
+// Snapshot format v2 content, inside the container of container.go:
+//
+//   - secDictPages/DictDir/DictSorted: the front-coded dictionary
+//     (internal/dict, EncodeFrontCoded), terms in ID order so summaries
+//     stay bit-identical to v1.
+//   - secCompData/Types/Schema: the three graph components in INSERTION
+//     order (summary node numbering depends on it), three uvarint IDs
+//     per triple, back to back; counts live in the header.
+//   - secColSPO/POS/OSP: the full triple multiset (all components,
+//     duplicates preserved) sorted three ways as varint-delta columns
+//     (colenc.go) — the zero-copy base run of the tiered index.
+
+// WriteSnapshotV2 serializes the graph to w in snapshot format v2.
+func WriteSnapshotV2(w io.Writer, g *Graph) error {
+	g.Ensure()
+	d := g.Dict()
+	terms := make([]rdf.Term, d.Len())
+	for i := range terms {
+		terms[i] = d.Term(dict.ID(i + 1))
+	}
+	pages, dir, sorted := dict.EncodeFrontCoded(terms)
+
+	// The column run holds the full triple multiset (all three
+	// components, duplicates preserved) sorted three ways. g.All()
+	// returns a fresh slice, so newMemCols may adopt it.
+	mc := newMemCols(g.All())
+
+	counts := [4]uint64{uint64(len(terms)), uint64(len(g.Data)), uint64(len(g.Types)), uint64(len(g.Schema))}
+	ids := []byte{secDictPages, secDictDir, secDictSorted, secCompData, secCompTypes, secCompSchema, secColSPO, secColPOS, secColOSP, secVocab}
+	payloads := [][]byte{pages, dir, sorted,
+		encodeComp(g.Data), encodeComp(g.Types), encodeComp(g.Schema),
+		encodeCol(OrderSPO, mc.spo), encodeCol(OrderPOS, mc.pos), encodeCol(OrderOSP, mc.osp),
+		encodeVocabSec(g.Vocab())}
+	return writeContainer(w, fileKindSnapshot, counts, ids, payloads)
+}
+
+// encodeVocabSec serializes the five interpreted-vocabulary IDs. The
+// vocabulary is interned into every dictionary at graph construction,
+// so resolving these at open time through the mapped dictionary would
+// force its full CRC — this ~10-byte section keeps cold open O(1).
+func encodeVocabSec(v Vocab) []byte {
+	out := make([]byte, 0, 5*binary.MaxVarintLen64)
+	var tmp [binary.MaxVarintLen64]byte
+	for _, id := range [5]dict.ID{v.Type, v.SubClass, v.SubProp, v.Domain, v.Range} {
+		n := binary.PutUvarint(tmp[:], uint64(id))
+		out = append(out, tmp[:n]...)
+	}
+	return out
+}
+
+// decodeVocabSec parses the vocabulary section.
+func decodeVocabSec(raw []byte, maxID uint64) (Vocab, error) {
+	var ids [5]dict.ID
+	pos := 0
+	for i := range ids {
+		v, w := binary.Uvarint(raw[pos:])
+		if w <= 0 {
+			return Vocab{}, fmt.Errorf("vocab id %d: %w", i, ErrSnapshotTruncated)
+		}
+		if v == 0 || v > maxID {
+			return Vocab{}, fmt.Errorf("%w: vocab references unknown term id %d", ErrSnapshotCorrupt, v)
+		}
+		ids[i] = dict.ID(v)
+		pos += w
+	}
+	return Vocab{Type: ids[0], SubClass: ids[1], SubProp: ids[2], Domain: ids[3], Range: ids[4]}, nil
+}
+
+// Vocab returns the snapshot's interpreted-vocabulary IDs, when the file
+// carries the vocab section (all current writers do).
+func (sf *SnapshotFile) Vocab() (Vocab, bool) {
+	sec, ok := sf.c.secs[secVocab]
+	if !ok {
+		return Vocab{}, false
+	}
+	sec.verifyLazy()
+	v, err := decodeVocabSec(sec.raw, sf.c.nTerms)
+	if err != nil {
+		panic(corruptionPanic(err))
+	}
+	return v, true
+}
+
+// encodeComp serializes triples as back-to-back uvarint ID triples; the
+// count lives in the container header.
+func encodeComp(ts []Triple) []byte {
+	out := make([]byte, 0, len(ts)*3)
+	var tmp [binary.MaxVarintLen64]byte
+	for _, t := range ts {
+		n := binary.PutUvarint(tmp[:], uint64(t.S))
+		out = append(out, tmp[:n]...)
+		n = binary.PutUvarint(tmp[:], uint64(t.P))
+		out = append(out, tmp[:n]...)
+		n = binary.PutUvarint(tmp[:], uint64(t.O))
+		out = append(out, tmp[:n]...)
+	}
+	return out
+}
+
+// decodeComp parses an insertion-order component section.
+func decodeComp(raw []byte, n int, maxID uint64) ([]Triple, error) {
+	out := make([]Triple, 0, n)
+	pos := 0
+	for i := 0; i < n; i++ {
+		var ids [3]uint64
+		for j := range ids {
+			v, w := binary.Uvarint(raw[pos:])
+			if w <= 0 {
+				return nil, fmt.Errorf("component triple %d: %w", i, ErrSnapshotTruncated)
+			}
+			if v == 0 || v > maxID {
+				return nil, fmt.Errorf("%w: triple references unknown term id %d", ErrSnapshotCorrupt, v)
+			}
+			ids[j] = v
+			pos += w
+		}
+		out = append(out, Triple{dict.ID(ids[0]), dict.ID(ids[1]), dict.ID(ids[2])})
+	}
+	return out, nil
+}
+
+// SnapshotFile is an open v2 snapshot: the mmap'd (or, under the nommap
+// build tag, eagerly read) container plus lazily constructed views over
+// it. Opening one is O(header + TOC); nothing else is read until
+// touched. Safe for concurrent readers. Close unmaps — only after every
+// Graph and Index serving from it is gone.
+type SnapshotFile struct {
+	c       *container
+	path    string
+	closeFn func() error
+	md      *dict.Mapped
+	runs    RunCols
+
+	matOnce          sync.Once
+	matD, matT, matS []Triple
+}
+
+// OpenSnapshotFile maps path and validates its header and TOC. With
+// verify set, every section CRC is checked now; otherwise sections
+// verify lazily on first touch.
+func OpenSnapshotFile(path string, verify bool) (*SnapshotFile, error) {
+	data, closeFn, err := mapFile(path)
+	if err != nil {
+		return nil, err
+	}
+	sf, err := newSnapshotFile(data, verify)
+	if err != nil {
+		closeFn() //nolint:errcheck // already failing
+		return nil, err
+	}
+	sf.path = path
+	sf.closeFn = closeFn
+	return sf, nil
+}
+
+func newSnapshotFile(data []byte, verify bool) (*SnapshotFile, error) {
+	c, err := parseContainer(data, verify)
+	if err != nil {
+		return nil, err
+	}
+	if c.kind != fileKindSnapshot {
+		return nil, fmt.Errorf("%w: file is an index run, not a snapshot", ErrSnapshotCorrupt)
+	}
+	sf := &SnapshotFile{c: c}
+	pages, err := c.section(secDictPages)
+	if err != nil {
+		return nil, err
+	}
+	dirSec, err := c.section(secDictDir)
+	if err != nil {
+		return nil, err
+	}
+	sortedSec, err := c.section(secDictSorted)
+	if err != nil {
+		return nil, err
+	}
+	sf.md, err = dict.NewMapped(pages.raw, dirSec.raw, sortedSec.raw, int(c.nTerms))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrSnapshotCorrupt, err)
+	}
+	sf.md.Touch = func() {
+		pages.verifyLazy()
+		dirSec.verifyLazy()
+		sortedSec.verifyLazy()
+	}
+	sf.runs, err = openContainerCols(c, int(c.nData+c.nTypes+c.nSchema))
+	if err != nil {
+		return nil, err
+	}
+	return sf, nil
+}
+
+// openContainerCols builds the three mapped column views of a container
+// (snapshot or spill run).
+func openContainerCols(c *container, wantLen int) (RunCols, error) {
+	m := &mappedCols{n: wantLen}
+	for o, id := range [NumOrders]byte{OrderSPO: secColSPO, OrderPOS: secColPOS, OrderOSP: secColOSP} {
+		sec, err := c.section(id)
+		if err != nil {
+			return nil, err
+		}
+		m.cols[o], err = openCol(Order(o), sec, wantLen)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// Path returns the file the snapshot was opened from.
+func (sf *SnapshotFile) Path() string { return sf.path }
+
+// Counts returns the term and per-component triple counts from the
+// header — no section is touched.
+func (sf *SnapshotFile) Counts() (nTerms, nData, nTypes, nSchema int) {
+	return int(sf.c.nTerms), int(sf.c.nData), int(sf.c.nTypes), int(sf.c.nSchema)
+}
+
+// MappedDict returns the zero-copy dictionary view.
+func (sf *SnapshotFile) MappedDict() *dict.Mapped { return sf.md }
+
+// Runs returns the snapshot's column run — the base level of a tiered
+// index, served without materialization.
+func (sf *SnapshotFile) Runs() RunCols { return sf.runs }
+
+// Components decodes (once) and returns the three insertion-order
+// components. Structural errors after the CRC passed indicate a writer
+// bug or memory corruption and panic with a corruption error.
+func (sf *SnapshotFile) Components() (data, types, schema []Triple) {
+	sf.matOnce.Do(func() {
+		decode := func(id byte, n int) []Triple {
+			sec, err := sf.c.section(id)
+			if err != nil {
+				panic(corruptionPanic(err))
+			}
+			sec.verifyLazy()
+			ts, err := decodeComp(sec.raw, n, sf.c.nTerms)
+			if err != nil {
+				panic(corruptionPanic(err))
+			}
+			return ts
+		}
+		sf.matD = decode(secCompData, int(sf.c.nData))
+		sf.matT = decode(secCompTypes, int(sf.c.nTypes))
+		sf.matS = decode(secCompSchema, int(sf.c.nSchema))
+	})
+	return sf.matD, sf.matT, sf.matS
+}
+
+// Close releases the mapping. The caller must ensure no Graph, Index or
+// Dict view over this file is still in use.
+func (sf *SnapshotFile) Close() error {
+	if sf.closeFn == nil {
+		return nil
+	}
+	return sf.closeFn()
+}
+
+// OpenGraphFile opens a snapshot file of either format version.
+//
+// A v1 file is read eagerly (the only way its format allows) and returns
+// a nil SnapshotFile. A v2 file is mapped: the returned graph carries
+// the snapshot as an unmaterialized base — component slices and the
+// in-memory dictionary layer start empty and promote lazily via Ensure —
+// and the SnapshotFile handle exposes the zero-copy column runs for
+// index construction. With verify set, v2 section CRCs are all checked
+// now instead of lazily.
+func OpenGraphFile(path string, verify bool) (*Graph, *SnapshotFile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var hdr [len(snapshotMagic) + 1]byte
+	_, rerr := io.ReadFull(f, hdr[:])
+	f.Close() //nolint:errcheck // read-only
+	if rerr != nil {
+		return nil, nil, fmt.Errorf("snapshot header: %w", truncatedOr(rerr))
+	}
+	if string(hdr[:len(snapshotMagic)]) != snapshotMagic {
+		return nil, nil, ErrSnapshotMagic
+	}
+	switch hdr[len(snapshotMagic)] {
+	case snapshotVersion:
+		g, err := LoadFile(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		snapshotOpensV1.Inc()
+		return g, nil, nil
+	case snapshotVersion2:
+		sf, err := OpenSnapshotFile(path, verify)
+		if err != nil {
+			return nil, nil, err
+		}
+		snapshotOpensV2.Inc()
+		return NewGraphFromSnapshot(sf), sf, nil
+	default:
+		return nil, nil, fmt.Errorf("%w %d (this build reads 1 and 2)", ErrSnapshotVersion, hdr[len(snapshotMagic)])
+	}
+}
+
+// graphFromContainer materializes an eager graph from a fully verified
+// v2 container — the streamed-bootstrap path, where the bytes came off a
+// socket and a lazy base would pin the whole buffer anyway.
+func graphFromContainer(c *container) (*Graph, error) {
+	pages, dirSec, sortedSec := c.secs[secDictPages], c.secs[secDictDir], c.secs[secDictSorted]
+	if pages == nil || dirSec == nil || sortedSec == nil {
+		return nil, fmt.Errorf("%w: missing dictionary sections", ErrSnapshotCorrupt)
+	}
+	md, err := dict.NewMapped(pages.raw, dirSec.raw, sortedSec.raw, int(c.nTerms))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrSnapshotCorrupt, err)
+	}
+	d := dict.WithCapacity(int(c.nTerms))
+	for i := 1; i <= md.Len(); i++ {
+		d.Encode(md.Term(dict.ID(i)))
+	}
+	if d.Len() != md.Len() {
+		return nil, fmt.Errorf("%w: dictionary holds duplicate terms", ErrSnapshotCorrupt)
+	}
+	g := NewGraphWithDict(d)
+	decode := func(id byte, n int) ([]Triple, error) {
+		sec, err := c.section(id)
+		if err != nil {
+			return nil, err
+		}
+		return decodeComp(sec.raw, n, c.nTerms)
+	}
+	if g.Data, err = decode(secCompData, int(c.nData)); err != nil {
+		return nil, err
+	}
+	if g.Types, err = decode(secCompTypes, int(c.nTypes)); err != nil {
+		return nil, err
+	}
+	if g.Schema, err = decode(secCompSchema, int(c.nSchema)); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// SectionInfo describes one TOC entry, for inspection tooling.
+type SectionInfo struct {
+	Name string
+	Off  uint64
+	Len  uint64
+	CRC  uint32
+}
+
+// SnapshotInfo is the parsed header/TOC of a snapshot file, as shown by
+// `rdfsum inspect`.
+type SnapshotInfo struct {
+	Version  int
+	Kind     string
+	FileSize int64
+	PageSize int
+	NTerms   uint64
+	NData    uint64
+	NTypes   uint64
+	NSchema  uint64
+	Sections []SectionInfo
+	Mmap     bool // whether this build serves snapshots from mapped pages
+}
+
+// InspectSnapshot parses path's header and TOC (v2) or decodes the file
+// (v1, whose format forces a full read) and reports its layout.
+func InspectSnapshot(path string) (*SnapshotInfo, error) {
+	st, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	info := &SnapshotInfo{FileSize: st.Size(), Mmap: usingMmap}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	var hdr [len(snapshotMagic) + 1]byte
+	_, rerr := io.ReadFull(f, hdr[:])
+	f.Close() //nolint:errcheck // read-only
+	if rerr != nil {
+		return nil, fmt.Errorf("snapshot header: %w", truncatedOr(rerr))
+	}
+	if string(hdr[:len(snapshotMagic)]) != snapshotMagic {
+		return nil, ErrSnapshotMagic
+	}
+	switch hdr[len(snapshotMagic)] {
+	case snapshotVersion:
+		g, err := LoadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		info.Version = 1
+		info.Kind = "snapshot"
+		info.NTerms = uint64(g.Dict().Len())
+		info.NData = uint64(len(g.Data))
+		info.NTypes = uint64(len(g.Types))
+		info.NSchema = uint64(len(g.Schema))
+		return info, nil
+	case snapshotVersion2:
+		data, closeFn, err := mapFile(path)
+		if err != nil {
+			return nil, err
+		}
+		defer closeFn() //nolint:errcheck // read-only mapping
+		c, err := parseContainer(data, false)
+		if err != nil {
+			return nil, err
+		}
+		info.Version = 2
+		info.Kind = "snapshot"
+		if c.kind == fileKindRun {
+			info.Kind = "run"
+		}
+		info.PageSize = v2PageSize
+		info.NTerms, info.NData, info.NTypes, info.NSchema = c.nTerms, c.nData, c.nTypes, c.nSchema
+		for _, s := range c.secOrder {
+			info.Sections = append(info.Sections, SectionInfo{
+				Name: sectionName(s.id), Off: s.off, Len: s.n, CRC: s.crc,
+			})
+		}
+		return info, nil
+	default:
+		return nil, fmt.Errorf("%w %d (this build reads 1 and 2)", ErrSnapshotVersion, hdr[len(snapshotMagic)])
+	}
+}

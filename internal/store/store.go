@@ -11,6 +11,7 @@ package store
 
 import (
 	"sort"
+	"sync"
 
 	"rdfsum/internal/dict"
 	"rdfsum/internal/rdf"
@@ -66,6 +67,92 @@ type Graph struct {
 	Data   []Triple
 	Types  []Triple
 	Schema []Triple
+
+	// base, when non-nil, is an open v2 snapshot whose triples logically
+	// precede the component slices but have not been materialized into
+	// them. A graph opened from a v2 snapshot starts this way: the
+	// slices hold only triples added after the snapshot (the tail), and
+	// counting queries answer from the snapshot header. Ensure promotes
+	// the base into the slices on first whole-graph access.
+	baseMu              sync.Mutex
+	base                *SnapshotFile
+	tailD, tailT, tailS int // promotion offsets: where the tail begins in each slice
+}
+
+// NewGraphFromSnapshot returns a graph backed by an open v2 snapshot
+// without materializing it: the dictionary is layered over the mapped
+// pages and the component slices start empty. O(1) in snapshot size.
+func NewGraphFromSnapshot(sf *SnapshotFile) *Graph {
+	if v, ok := sf.Vocab(); ok {
+		// The ~10-byte vocab section resolves the interpreted vocabulary
+		// without touching (and therefore CRC-verifying) the dictionary
+		// sections — the difference between O(1) and O(dict) cold opens.
+		return &Graph{dict: dict.WithBase(sf.MappedDict()), vocab: v, base: sf}
+	}
+	// The written graph had the vocabulary interned, so EncodeVocab
+	// resolves through the mapped base without assigning new IDs.
+	g := NewGraphWithDict(dict.WithBase(sf.MappedDict()))
+	g.base = sf
+	return g
+}
+
+// Ensure materializes the snapshot base, if any, into the component
+// slices. Idempotent and safe for concurrent use; every whole-graph
+// operation calls it first. Decoding failures after the section CRC
+// passed indicate memory corruption or a writer bug and panic.
+func (g *Graph) Ensure() { g.EnsureCounts() }
+
+// EnsureCounts is Ensure reporting how many triples the promotion
+// prepended to each component (all zero when already promoted or not
+// snapshot-backed). The live subsystem uses the deltas to shift its
+// publish bookmarks.
+func (g *Graph) EnsureCounts() (dD, dT, dS int) {
+	g.baseMu.Lock()
+	defer g.baseMu.Unlock()
+	if g.base == nil {
+		return 0, 0, 0
+	}
+	bd, bt, bs := g.base.Components()
+	g.Data = concatTriples(bd, g.Data)
+	g.Types = concatTriples(bt, g.Types)
+	g.Schema = concatTriples(bs, g.Schema)
+	g.tailD, g.tailT, g.tailS = len(bd), len(bt), len(bs)
+	g.base = nil
+	return len(bd), len(bt), len(bs)
+}
+
+func concatTriples(base, tail []Triple) []Triple {
+	out := make([]Triple, 0, len(base)+len(tail))
+	out = append(out, base...)
+	return append(out, tail...)
+}
+
+// ComponentSizes returns the logical length of each component, counting
+// an unpromoted base from its header without materializing anything.
+func (g *Graph) ComponentSizes() (data, types, schema int) {
+	g.baseMu.Lock()
+	defer g.baseMu.Unlock()
+	if g.base != nil {
+		_, nd, nt, ns := g.base.Counts()
+		return nd + len(g.Data), nt + len(g.Types), ns + len(g.Schema)
+	}
+	return len(g.Data), len(g.Types), len(g.Schema)
+}
+
+// TailStart returns, per component, the index where post-snapshot
+// triples begin: the promotion offsets for a promoted graph, zero
+// otherwise (an unpromoted graph holds only tail triples).
+func (g *Graph) TailStart() (d, t, s int) {
+	g.baseMu.Lock()
+	defer g.baseMu.Unlock()
+	return g.tailD, g.tailT, g.tailS
+}
+
+// Base returns the unpromoted snapshot backing this graph, or nil.
+func (g *Graph) Base() *SnapshotFile {
+	g.baseMu.Lock()
+	defer g.baseMu.Unlock()
+	return g.base
 }
 
 // NewGraph returns an empty graph with a fresh dictionary.
@@ -143,6 +230,7 @@ func (g *Graph) AddEncoded(s, p, o dict.ID) {
 // has its workers write translated triples directly into disjoint
 // sub-ranges of the returned regions.
 func (g *Graph) Extend(data, types, schema int) (d, t, s []Triple) {
+	g.Ensure()
 	g.Data = append(g.Data, make([]Triple, data)...)
 	g.Types = append(g.Types, make([]Triple, types)...)
 	g.Schema = append(g.Schema, make([]Triple, schema)...)
@@ -156,20 +244,31 @@ func (g *Graph) Extend(data, types, schema int) (d, t, s []Triple) {
 // observe them — the copy-on-write trick behind the live subsystem's epoch
 // snapshots. The view must not be mutated.
 func (g *Graph) SnapshotView() *Graph {
+	g.baseMu.Lock()
+	defer g.baseMu.Unlock()
 	return &Graph{
 		dict:   g.dict,
 		vocab:  g.vocab,
 		Data:   g.Data[:len(g.Data):len(g.Data)],
 		Types:  g.Types[:len(g.Types):len(g.Types)],
 		Schema: g.Schema[:len(g.Schema):len(g.Schema)],
+		// The view shares the unpromoted base; its own Ensure promotes
+		// into the view's slices without disturbing this graph.
+		base:  g.base,
+		tailD: g.tailD, tailT: g.tailT, tailS: g.tailS,
 	}
 }
 
-// NumEdges is the total number of triples, |G|e.
-func (g *Graph) NumEdges() int { return len(g.Data) + len(g.Types) + len(g.Schema) }
+// NumEdges is the total number of triples, |G|e. Snapshot-backed graphs
+// answer from the header without materializing.
+func (g *Graph) NumEdges() int {
+	d, t, s := g.ComponentSizes()
+	return d + t + s
+}
 
 // SortDedup sorts each component and drops duplicate triples in place.
 func (g *Graph) SortDedup() {
+	g.Ensure()
 	g.Data = sortDedup(g.Data)
 	g.Types = sortDedup(g.Types)
 	g.Schema = sortDedup(g.Schema)
@@ -189,6 +288,7 @@ func sortDedup(ts []Triple) []Triple {
 // CloneStructure returns a graph sharing g's dictionary with copied triple
 // slices, so the copy can be mutated (e.g. saturated) independently.
 func (g *Graph) CloneStructure() *Graph {
+	g.Ensure()
 	h := &Graph{dict: g.dict, vocab: g.vocab}
 	h.Data = append([]Triple(nil), g.Data...)
 	h.Types = append([]Triple(nil), g.Types...)
@@ -199,6 +299,7 @@ func (g *Graph) CloneStructure() *Graph {
 // All returns the concatenation of the three components. The returned
 // slice is freshly allocated.
 func (g *Graph) All() []Triple {
+	g.Ensure()
 	out := make([]Triple, 0, g.NumEdges())
 	out = append(out, g.Data...)
 	out = append(out, g.Types...)
@@ -239,6 +340,7 @@ func (g *Graph) CanonicalStrings() []string {
 // DistinctDataProperties returns the distinct properties of D_G, sorted.
 // Its length is |D_G|⁰p, the bound in Proposition 4.
 func (g *Graph) DistinctDataProperties() []dict.ID {
+	g.Ensure()
 	seen := make(map[dict.ID]bool)
 	for _, t := range g.Data {
 		seen[t.P] = true
@@ -249,6 +351,7 @@ func (g *Graph) DistinctDataProperties() []dict.ID {
 // DataNodes returns the set of data nodes per §2.1: every subject or
 // object of D_G plus every subject of T_G.
 func (g *Graph) DataNodes() map[dict.ID]bool {
+	g.Ensure()
 	nodes := make(map[dict.ID]bool)
 	for _, t := range g.Data {
 		nodes[t.S] = true
@@ -263,6 +366,7 @@ func (g *Graph) DataNodes() map[dict.ID]bool {
 // ClassNodes returns the set of class nodes per §2.1: every URI in the
 // object position of a T_G triple.
 func (g *Graph) ClassNodes() map[dict.ID]bool {
+	g.Ensure()
 	nodes := make(map[dict.ID]bool)
 	for _, t := range g.Types {
 		nodes[t.O] = true
@@ -274,6 +378,7 @@ func (g *Graph) ClassNodes() map[dict.ID]bool {
 // subject or object position of ≺sp triples, or the subject position of
 // ←↩d / ↪→r triples.
 func (g *Graph) PropertyNodes() map[dict.ID]bool {
+	g.Ensure()
 	nodes := make(map[dict.ID]bool)
 	for _, t := range g.Schema {
 		switch t.P {
@@ -289,6 +394,7 @@ func (g *Graph) PropertyNodes() map[dict.ID]bool {
 
 // TypedNodes returns the set of subjects of T_G (the typed resources TR_G).
 func (g *Graph) TypedNodes() map[dict.ID]bool {
+	g.Ensure()
 	nodes := make(map[dict.ID]bool, len(g.Types))
 	for _, t := range g.Types {
 		nodes[t.S] = true

@@ -103,7 +103,7 @@ func checkAgainstOracle(t *testing.T, ix *Index, surviving []Triple) bool {
 		t.Logf("Len = %d, want %d", ix.Len(), len(surviving))
 		return false
 	}
-	if got, want := scanAll(ix), sortedBy(surviving, lessSPO); !reflect.DeepEqual(got, want) {
+	if got, want := scanAll(ix), sortedBy(surviving, OrderSPO.less); !reflect.DeepEqual(got, want) {
 		t.Logf("full scan = %v, want %v", got, want)
 		return false
 	}
@@ -117,12 +117,13 @@ func checkAgainstOracle(t *testing.T, ix *Index, surviving []Triple) bool {
 					return false
 				}
 				got := scanPattern(ix, s, p, o)
-				if !reflect.DeepEqual(sortedBy(got, lessSPO), sortedBy(want, lessSPO)) {
+				if !reflect.DeepEqual(sortedBy(got, OrderSPO.less), sortedBy(want, OrderSPO.less)) {
 					t.Logf("ForEach(%d,%d,%d) = %v, want %v", s, p, o, got, want)
 					return false
 				}
 				// The yielded sequence must follow the serving order.
-				less := lessForPattern(s, p, o)
+				servingOrd, _, _ := patternPlan(s, p, o)
+				less := servingOrd.less
 				for i := 1; i < len(got); i++ {
 					if less(got[i], got[i-1]) {
 						t.Logf("ForEach(%d,%d,%d) out of order at %d: %v", s, p, o, i, got)
@@ -218,7 +219,7 @@ func TestTieredIndexMatchesFromScratch(t *testing.T) {
 		}
 	}
 	fresh := &Index{fanout: DefaultIndexFanout, live: len(oracle)}
-	fresh.runs = []*run{newRun(append([]Triple(nil), oracle...), nil, 0)}
+	fresh.runs = []*run{newMemRun(append([]Triple(nil), oracle...), nil, 0)}
 	if !sameIterationOrder(ix, fresh) {
 		t.Fatal("tiered index diverges from a from-scratch index over the survivors")
 	}

@@ -344,8 +344,22 @@ func WriteTurtle(w io.Writer, triples []Triple) error {
 // checksummed binary format.
 func SaveSnapshot(path string, g *Graph) error { return store.SaveFile(path, g) }
 
-// LoadSnapshot reads a graph saved with SaveSnapshot.
+// LoadSnapshot reads a graph saved with SaveSnapshot (either format
+// version).
 func LoadSnapshot(path string) (*Graph, error) { return store.LoadFile(path) }
+
+// SnapshotInfo is the parsed layout of a snapshot file: header counts
+// plus, for the v2 container format, the table of contents with each
+// section's offset, length and CRC.
+type SnapshotInfo = store.SnapshotInfo
+
+// SnapshotSectionInfo is one v2 section in a SnapshotInfo.
+type SnapshotSectionInfo = store.SectionInfo
+
+// InspectSnapshot reports a snapshot file's layout without loading its
+// triples: v2 files are answered from the header and TOC alone; v1 files
+// must be decoded in full (their format has no TOC).
+func InspectSnapshot(path string) (*SnapshotInfo, error) { return store.InspectSnapshot(path) }
 
 // Saturate returns G∞, the closure of g under the RDFS entailment rules
 // for subclass, subproperty, domain and range constraints. The semantics
@@ -564,6 +578,17 @@ type LiveOptions struct {
 	// next level. 0 selects the default (8). Smaller values trade ingest
 	// throughput for fewer runs on the query path.
 	IndexFanout int
+	// IndexSpillBytes, when positive, lets the tiered index spill folded
+	// runs whose columnar encoding reaches this many bytes to on-disk
+	// run files under <dir>/spill, served zero-copy through the same
+	// mapped format as v2 snapshots. 0 keeps every run in memory.
+	// Ignored by memory-only stores.
+	IndexSpillBytes int64
+	// VerifySnapshot forces eager CRC verification of every section of a
+	// v2 snapshot at open, restoring v1's open-time integrity check at
+	// the cost of reading the whole file. By default sections are
+	// verified lazily on first touch.
+	VerifySnapshot bool
 }
 
 // OpenLive opens (or initializes) a durable live store in dir: the
@@ -579,10 +604,12 @@ func internalLiveOptions(opts *LiveOptions) live.Options {
 		return live.Options{}
 	}
 	return live.Options{
-		NoSync:      opts.NoSync,
-		Seed:        opts.Seed,
-		Maintain:    opts.Maintain,
-		IndexFanout: opts.IndexFanout,
+		NoSync:          opts.NoSync,
+		Seed:            opts.Seed,
+		Maintain:        opts.Maintain,
+		IndexFanout:     opts.IndexFanout,
+		IndexSpillBytes: opts.IndexSpillBytes,
+		VerifySnapshot:  opts.VerifySnapshot,
 	}
 }
 
