@@ -11,7 +11,7 @@ FUZZTIME ?= 30s
 COVER_PKGS = ./internal/store ./internal/live ./internal/core
 COVER_MIN  = 70
 
-.PHONY: all build test race vet lint fmt fmt-check obs-check bench bench-smoke bench-json snapshot-bench test-nommap stress fuzz cover cover-check check clean
+.PHONY: all build test race vet lint fmt fmt-check obs-check est-check bench bench-smoke bench-json snapshot-bench test-nommap stress fuzz cover cover-check check clean
 
 all: build
 
@@ -51,6 +51,16 @@ obs-check:
 	$(GO) test -count=1 \
 		-run 'TestMetricsExposition|TestLegacyMetricSeries|TestEveryV1Route|TestServerRequestID|TestLint|TestExpositionFormat|TestMiddleware' \
 		./internal/obs/ ./cmd/rdfsumd/
+
+# Cardinality-estimation gate (mirrored as a CI step): the planner
+# non-regression proof on the committed BSBM/LUBM mixes, the median
+# q-error threshold over the mixes and the golden corpora, and the
+# single-pattern exactness property — fails when estimation accuracy or
+# the chosen join orders regress.
+est-check:
+	$(GO) test -count=1 \
+		-run 'TestPlannerOrderNonRegression|TestEstimationAccuracyMixes|TestEstimatorQErrorGolden|TestEstimatorExactSinglePattern' \
+		./internal/query/
 
 # Full benchmark sweep (the 1M-triple load benchmark takes a while).
 bench:
@@ -153,7 +163,7 @@ cover-check:
 		fi; \
 	done; rm -f .cover.tmp; exit $$fail
 
-check: build vet fmt-check race obs-check bench-smoke cover-check
+check: build vet fmt-check race obs-check est-check bench-smoke cover-check
 
 clean:
 	$(GO) clean ./...

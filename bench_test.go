@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"testing"
 
@@ -616,6 +617,71 @@ func BenchmarkQueryCompile(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
+	}
+}
+
+// BenchmarkCardinalityEstimation: the summary-based whole-query estimator
+// over the committed mixes — ns/op is the planning-time cost of estimating
+// the mix, and the custom metrics report its accuracy as q-error
+// (max(est/actual, actual/est), floored at one row) against the true
+// number of embeddings, measured once per mix outside the timed loop.
+func BenchmarkCardinalityEstimation(b *testing.B) {
+	mixes := []struct {
+		name  string
+		graph *rdfsum.Graph
+		kind  rdfsum.Kind
+		mix   []string
+	}{
+		{"bsbm", bsbmGraph(b, 1000), rdfsum.Weak, bsbmQueryMix},
+		{"lubm", rdfsum.GenerateLUBM(4), rdfsum.TypedWeak, lubmQueryMix},
+	}
+	for _, m := range mixes {
+		b.Run(m.name, func(b *testing.B) {
+			s, err := rdfsum.Summarize(m.graph, m.kind)
+			if err != nil {
+				b.Fatal(err)
+			}
+			w := s.ComputeWeights()
+			ix := rdfsum.NewIndex(m.graph)
+			qs := parseMix(b, m.mix)
+
+			// Accuracy: q-error of the whole-query estimate vs. the exact
+			// embedding count (all body variables projected).
+			qerrs := make([]float64, 0, len(qs))
+			for _, q := range qs {
+				full := &rdfsum.Query{Patterns: q.Patterns}
+				res, err := rdfsum.EvalQueryWithOptions(m.graph, ix, full,
+					&rdfsum.QueryOptions{Stats: w, Explain: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				est, act := float64(res.Explain.QueryEst), float64(len(res.Rows))
+				if est < 1 {
+					est = 1
+				}
+				if act < 1 {
+					act = 1
+				}
+				qe := est / act
+				if qe < 1 {
+					qe = 1 / qe
+				}
+				qerrs = append(qerrs, qe)
+			}
+			sort.Float64s(qerrs)
+
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, q := range qs {
+					if _, err := rdfsum.CompileQuery(m.graph, q, w); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			// After the timed loop: ResetTimer clears custom metrics.
+			b.ReportMetric(qerrs[len(qerrs)/2], "qerr-median")
+			b.ReportMetric(qerrs[len(qerrs)-1], "qerr-max")
+		})
 	}
 }
 

@@ -135,12 +135,7 @@ type errorEnvelope struct {
 // envelope when present and falling back to the raw body text otherwise.
 func decodeError(resp *http.Response) error {
 	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
-	retryAfter := time.Duration(0)
-	if s := resp.Header.Get("Retry-After"); s != "" {
-		if secs, err := strconv.Atoi(s); err == nil && secs >= 0 {
-			retryAfter = time.Duration(secs) * time.Second
-		}
-	}
+	retryAfter := parseRetryAfter(resp.Header.Get("Retry-After"), time.Now())
 	reqID := resp.Header.Get(obs.HeaderRequestID)
 	var env errorEnvelope
 	if err := json.Unmarshal(body, &env); err == nil && env.Error.Code != "" {
@@ -153,6 +148,30 @@ func decodeError(resp *http.Response) error {
 		RetryAfter: retryAfter,
 		RequestID:  reqID,
 	}
+}
+
+// parseRetryAfter decodes both RFC 9110 Retry-After forms: delta-seconds
+// ("120") and an HTTP-date ("Fri, 08 Aug 2026 12:00:00 GMT"), the latter
+// converted to a non-negative delay relative to now. Unparseable or past
+// values yield zero — the previous code handled only the integer form, so
+// an HTTP-date hint from an overloaded leader was silently dropped and
+// retries fired immediately.
+func parseRetryAfter(s string, now time.Time) time.Duration {
+	if s == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(s); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if at, err := http.ParseTime(s); err == nil {
+		if d := at.Sub(now); d > 0 {
+			return d
+		}
+	}
+	return 0
 }
 
 // do issues one request against path (under /v1) and decodes the JSON

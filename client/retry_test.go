@@ -1,0 +1,74 @@
+package client
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestParseRetryAfter covers both RFC 9110 forms: delta-seconds and
+// HTTP-date, the latter relative to the supplied clock.
+func TestParseRetryAfter(t *testing.T) {
+	now := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	cases := []struct {
+		in   string
+		want time.Duration
+	}{
+		{"", 0},
+		{"0", 0},
+		{"30", 30 * time.Second},
+		{"-5", 0},
+		{"garbage", 0},
+		{now.Add(90 * time.Second).Format(http.TimeFormat), 90 * time.Second},
+		{now.Add(-time.Minute).Format(http.TimeFormat), 0}, // past date: retry now
+		// RFC 850 and asctime dates are valid per RFC 9110 too.
+		{now.Add(2 * time.Minute).Format(time.RFC850), 2 * time.Minute},
+	}
+	for _, c := range cases {
+		if got := parseRetryAfter(c.in, now); got != c.want {
+			t.Errorf("parseRetryAfter(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+// TestDecodeErrorRetryAfterDate: an enveloped 429 carrying an HTTP-date
+// Retry-After surfaces a positive RetryAfter on the typed error — the
+// date form used to decode as zero, making Retryable callers hammer an
+// overloaded leader.
+func TestDecodeErrorRetryAfterDate(t *testing.T) {
+	for _, form := range []string{"seconds", "date"} {
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if form == "seconds" {
+				w.Header().Set("Retry-After", "45")
+			} else {
+				w.Header().Set("Retry-After", time.Now().Add(45*time.Second).UTC().Format(http.TimeFormat))
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusTooManyRequests)
+			w.Write([]byte(`{"error":{"code":"ingest_backpressure","message":"queue full"}}`))
+		}))
+		resp, err := http.Get(srv.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		apiErr := decodeError(resp)
+		resp.Body.Close()
+		srv.Close()
+		e, ok := apiErr.(*Error)
+		if !ok {
+			t.Fatalf("%s: decodeError = %T, want *Error", form, apiErr)
+		}
+		if e.Code != "ingest_backpressure" || !e.Retryable() {
+			t.Errorf("%s: error = %+v, want retryable ingest_backpressure", form, e)
+		}
+		// Allow clock skew between header stamping and decoding.
+		if e.RetryAfter < 40*time.Second || e.RetryAfter > 46*time.Second {
+			t.Errorf("%s: RetryAfter = %v, want ≈45s", form, e.RetryAfter)
+		}
+		if !strings.Contains(e.Error(), "queue full") {
+			t.Errorf("%s: message lost: %v", form, e)
+		}
+	}
+}

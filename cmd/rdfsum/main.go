@@ -343,6 +343,15 @@ func cmdQuery(args []string) error {
 		opts.Pruner = rdfsum.NewQueryPruner(s)
 		opts.Stats = s.ComputeWeights()
 	}
+	if *explain && opts.Stats == nil {
+		// -explain without pruning: still build planner statistics so the
+		// report carries real estimates, not "?".
+		s, err := rdfsum.Summarize(g, rdfsum.Weak)
+		if err != nil {
+			return err
+		}
+		opts.Stats = s.ComputeWeights()
+	}
 	if *saturateFirst {
 		g = rdfsum.Saturate(g)
 	}

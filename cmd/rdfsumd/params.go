@@ -3,6 +3,7 @@ package main
 import (
 	"net/http"
 	"strconv"
+	"strings"
 
 	"rdfsum"
 	"rdfsum/internal/httpapi"
@@ -45,7 +46,25 @@ func kindParam(r *http.Request, name, def string) (rdfsum.Kind, error) {
 	return kind, nil
 }
 
-// boolParam reports whether an optional flag-style parameter is "true".
-func boolParam(r *http.Request, name string) bool {
-	return r.URL.Query().Get(name) == "true"
+// boolParam parses an optional flag-style parameter. An absent parameter
+// is false; a present one accepts every strconv.ParseBool spelling
+// (1/t/true, 0/f/false in any case Go accepts) plus yes/no/on/off
+// case-insensitively. Anything else is rejected with a 400
+// invalid_argument envelope instead of being silently ignored.
+func boolParam(r *http.Request, name string) (bool, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return false, nil
+	}
+	if v, err := strconv.ParseBool(raw); err == nil {
+		return v, nil
+	}
+	switch strings.ToLower(raw) {
+	case "yes", "y", "on":
+		return true, nil
+	case "no", "n", "off":
+		return false, nil
+	}
+	return false, httpapi.Errorf(http.StatusBadRequest, httpapi.CodeInvalidArgument,
+		"invalid %s %q (want a boolean: true/false, 1/0, yes/no, on/off)", name, raw)
 }

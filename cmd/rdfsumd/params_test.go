@@ -1,0 +1,66 @@
+package main
+
+import (
+	"net/http"
+	"testing"
+)
+
+// TestBoolParamContract: every flag-style query parameter accepts the
+// documented boolean spellings (strconv.ParseBool forms plus yes/no/on/off
+// in any case), treats absence as false, and rejects anything else with a
+// 400 invalid_argument envelope — previously ?explain=1 was silently
+// ignored while ?limit=abc was a 400.
+func TestBoolParamContract(t *testing.T) {
+	ts := testServer(t)
+	truthy := []string{"true", "TRUE", "True", "1", "t", "T", "yes", "YES", "y", "on", "On"}
+	falsy := []string{"false", "FALSE", "0", "f", "F", "no", "No", "n", "off", "OFF"}
+	invalid := []string{"bogus", "2", "maybe", "truee", "yes%20"}
+
+	// ?explain: truthy spellings must include the report, falsy must not.
+	for _, v := range truthy {
+		code, body := postQuery(t, ts.URL+"/v1/query?explain="+v, priceQuery)
+		if code != http.StatusOK {
+			t.Errorf("explain=%s status = %d, want 200", v, code)
+			continue
+		}
+		if _, ok := body["explain"]; !ok {
+			t.Errorf("explain=%s: response has no explain report", v)
+		}
+	}
+	for _, v := range falsy {
+		code, body := postQuery(t, ts.URL+"/v1/query?explain="+v, priceQuery)
+		if code != http.StatusOK {
+			t.Errorf("explain=%s status = %d, want 200", v, code)
+			continue
+		}
+		if _, ok := body["explain"]; ok {
+			t.Errorf("explain=%s: response includes an unrequested explain report", v)
+		}
+	}
+
+	// Every flag-style param rejects non-boolean values the same way.
+	for _, name := range []string{"explain", "saturate"} {
+		for _, v := range invalid {
+			code, body := postQuery(t, ts.URL+"/v1/query?"+name+"="+v, priceQuery)
+			if code != http.StatusBadRequest {
+				t.Errorf("%s=%s status = %d, want 400", name, v, code)
+				continue
+			}
+			env, ok := body["error"].(map[string]any)
+			if !ok || env["code"] != "invalid_argument" {
+				t.Errorf("%s=%s error envelope = %v, want code invalid_argument", name, v, body)
+			}
+		}
+		// Absent flag: false, no error.
+		if code, _ := postQuery(t, ts.URL+"/v1/query", priceQuery); code != http.StatusOK {
+			t.Errorf("absent %s status = %d, want 200", name, code)
+		}
+	}
+
+	// ?saturate accepts the same spellings end to end.
+	for _, v := range []string{"TRUE", "yes", "on", "1"} {
+		if code, _ := postQuery(t, ts.URL+"/v1/query?saturate="+v, priceQuery); code != http.StatusOK {
+			t.Errorf("saturate=%s status = %d, want 200", v, code)
+		}
+	}
+}

@@ -838,7 +838,11 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	t0 := time.Now()
-	wantExplain := boolParam(r, "explain")
+	wantExplain, err := boolParam(r, "explain")
+	if err != nil {
+		httpapi.WriteError(w, err)
+		return
+	}
 	opts := &rdfsum.QueryOptions{
 		Limit: limit,
 		// With the slow-query log armed, every query captures its plan so
@@ -850,18 +854,19 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// mid-request, and mixing instances would pair snapshots and caches
 	// whose epoch counters are unrelated.
 	lv, inst := s.state()
-	// Guarded assignment: a nil *Weights stored directly into the
-	// interface field would be a non-nil PlanStats and panic the planner.
-	// Planner statistics are heuristics, so a stale epoch is fine here.
-	if w := s.planStats(lv, inst); w != nil {
-		opts.Stats = w
-	}
+	// Planner statistics are heuristics, so a stale epoch is fine here
+	// (and a nil *Weights simply falls back to the stats-free order).
+	opts.Stats = s.planStats(lv, inst)
 	// Pin the evaluated graph before fetching the pruning gate, so the
 	// soundness condition below can be checked against it.
 	snap := lv.Snapshot()
 	g, ix := snap.Graph, snap.Index
 	evalEpoch := snap.Epoch
-	saturated := boolParam(r, "saturate")
+	saturated, err := boolParam(r, "saturate")
+	if err != nil {
+		httpapi.WriteError(w, err)
+		return
+	}
 	if saturated {
 		g, ix, evalEpoch = s.saturatedIndex(snap, inst)
 	}

@@ -1,0 +1,289 @@
+package query
+
+import (
+	"math"
+	"sort"
+
+	"rdfsum/internal/core"
+	"rdfsum/internal/dict"
+	"rdfsum/internal/store"
+)
+
+// Summary-based conjunctive-query cardinality estimation, after
+// Stefanoni/Motik/Kostylev ("Estimating the Cardinality of Conjunctive
+// Queries over RDF Data Using Graph Summarisation"): the query's basic
+// graph pattern is matched against the summary graph, and each embedding
+// of patterns into summary edges contributes the product of the edges'
+// multiplicities, scaled down for every constraint the embedding must
+// satisfy beyond "some triple maps onto this edge":
+//
+//   - a constant subject/object divides by the edge's distinct-subject /
+//     distinct-object count (the expected per-endpoint fan-out, given the
+//     constant participates in the edge at all);
+//   - a repeated variable divides by the extent size of the summary node
+//     it is bound to (under the possible-worlds uniformity assumption, two
+//     independent edges incident to an extent of N nodes meet at a shared
+//     node with probability 1/N).
+//
+// The estimate of a pattern set is the sum over all consistent embeddings.
+// On a single pattern with a bound property and free endpoints this
+// collapses to the exact triple count (Σ Count over the property's summary
+// edges); joins and bound endpoints make it an estimate.
+
+// estBudget caps the candidate-edge visits a single estimate may spend
+// before giving up (estimateSet then reports "unknown"). Summaries are
+// small, so real queries stay far below this; the cap guards adversarial
+// variable-property queries against huge typed summaries.
+const estBudget = 1 << 17
+
+// estimator holds the per-plan estimation state: candidate summary edges
+// per pattern (pre-filtered by the pattern's constants) and the constant
+// selectivity already folded into each candidate's contribution.
+type estimator struct {
+	w       *core.Weights
+	nslots  int
+	pats    []planPat
+	cand    [][]core.EdgeStat
+	contrib [][]float64
+}
+
+// newEstimator builds the estimation state for a compiled pattern list, or
+// returns nil when stats carries no per-edge statistics (hand-assembled
+// Weights), in which case the planner falls back to the coarse
+// per-property counts.
+func newEstimator(g *store.Graph, pats []planPat, nslots int, stats *core.Weights) *estimator {
+	if stats == nil || !stats.HasEdgeStats() {
+		return nil
+	}
+	e := &estimator{w: stats, nslots: nslots, pats: pats}
+	e.cand = make([][]core.EdgeStat, len(pats))
+	e.contrib = make([][]float64, len(pats))
+	typeID := g.Vocab().Type
+	for i, p := range pats {
+		e.buildCandidates(i, p, typeID)
+	}
+	return e
+}
+
+// buildCandidates selects the summary edges pattern p can map onto and
+// precomputes each one's contribution with the bound-endpoint scaling
+// folded in.
+func (e *estimator) buildCandidates(i int, p planPat, typeID dict.ID) {
+	var edges []core.EdgeStat
+	switch {
+	case p.vp >= 0:
+		// Variable property: any edge of any component qualifies (the
+		// triple index enumerates data, τ and schema triples alike).
+		edges = make([]core.EdgeStat, 0,
+			len(e.w.DataEdges(dict.None))+len(e.w.TypeEdges(dict.None))+len(e.w.SchemaEdges(dict.None)))
+		edges = append(edges, e.w.DataEdges(dict.None)...)
+		edges = append(edges, e.w.TypeEdges(dict.None)...)
+		edges = append(edges, e.w.SchemaEdges(dict.None)...)
+	case p.p == typeID:
+		if p.vo < 0 {
+			edges = e.w.TypeEdges(p.o)
+		} else {
+			edges = e.w.TypeEdges(dict.None)
+		}
+	default:
+		d, s := e.w.DataEdges(p.p), e.w.SchemaEdges(p.p)
+		if len(s) == 0 {
+			edges = d
+		} else {
+			edges = append(append(make([]core.EdgeStat, 0, len(d)+len(s)), d...), s...)
+		}
+	}
+	sRep, oRep := dict.None, dict.None
+	if p.vs < 0 {
+		sRep = e.w.Rep(p.s)
+	}
+	if p.vo < 0 {
+		oRep = e.w.Rep(p.o)
+	}
+	for _, ed := range edges {
+		if sRep != dict.None && ed.Edge.S != sRep {
+			continue
+		}
+		if oRep != dict.None && ed.Edge.O != oRep {
+			continue
+		}
+		c := float64(ed.Count)
+		if sRep != dict.None && ed.DistinctS > 1 {
+			c /= float64(ed.DistinctS)
+		}
+		if oRep != dict.None && ed.DistinctO > 1 {
+			c /= float64(ed.DistinctO)
+		}
+		e.cand[i] = append(e.cand[i], ed)
+		e.contrib[i] = append(e.contrib[i], c)
+	}
+}
+
+// estimateSet returns the expected number of embeddings of the selected
+// patterns (by index into the plan's pattern list) into the graph, or -1
+// when the enumeration budget was exhausted.
+func (e *estimator) estimateSet(sel []int) float64 {
+	if len(sel) == 0 {
+		return 1
+	}
+	// Visit patterns with few candidates first: dead branches prune early
+	// and the budget stretches further on the same query.
+	ord := append(make([]int, 0, len(sel)), sel...)
+	sort.Slice(ord, func(a, b int) bool {
+		if la, lb := len(e.cand[ord[a]]), len(e.cand[ord[b]]); la != lb {
+			return la < lb
+		}
+		return ord[a] < ord[b]
+	})
+	asg := make([]dict.ID, e.nslots)
+	for i := range asg {
+		asg[i] = dict.None
+	}
+	var trail []int
+	budget := estBudget
+	exceeded := false
+	var rec func(k int, r float64) float64
+	rec = func(k int, r float64) float64 {
+		if k == len(ord) {
+			return r
+		}
+		p := e.pats[ord[k]]
+		total := 0.0
+		for ci, ed := range e.cand[ord[k]] {
+			budget--
+			if budget < 0 {
+				exceeded = true
+				return total
+			}
+			f := r * e.contrib[ord[k]][ci]
+			mark := len(trail)
+			ok := true
+			if p.vs >= 0 {
+				f, ok = e.take(&trail, asg, p.vs, ed.Edge.S, f)
+			}
+			if ok && p.vp >= 0 {
+				f, ok = e.take(&trail, asg, p.vp, ed.Edge.P, f)
+			}
+			if ok && p.vo >= 0 {
+				f, ok = e.take(&trail, asg, p.vo, ed.Edge.O, f)
+			}
+			if ok {
+				total += rec(k+1, f)
+			}
+			for _, s := range trail[mark:] {
+				asg[s] = dict.None
+			}
+			trail = trail[:mark]
+			if exceeded {
+				return total
+			}
+		}
+		return total
+	}
+	got := rec(0, 1)
+	if exceeded {
+		return -1
+	}
+	return got
+}
+
+// take extends the variable assignment with slot → node. A slot already
+// bound must agree on the summary node and divides the contribution by
+// the node's extent (the chance two independent edges meet at one of its
+// members); a fresh binding is free.
+func (e *estimator) take(trail *[]int, asg []dict.ID, slot int, node dict.ID, f float64) (float64, bool) {
+	if cur := asg[slot]; cur != dict.None {
+		if cur != node {
+			return 0, false
+		}
+		if n := e.w.ExtentSize(node); n > 1 {
+			f /= float64(n)
+		}
+		return f, true
+	}
+	asg[slot] = node
+	*trail = append(*trail, slot)
+	return f, true
+}
+
+// estRound converts a raw estimate to the int64 Explain form: -1 stays
+// "unknown", fractional positives round up (an estimate of 0.2 rows still
+// predicts "about one row, maybe none", not an exact zero).
+func estRound(v float64) int64 {
+	if v < 0 {
+		return estUnknown
+	}
+	if v >= math.MaxInt64 {
+		return math.MaxInt64
+	}
+	return int64(math.Ceil(v))
+}
+
+// joinOrder picks the static join order by estimated joined cardinality:
+// at each step, among the patterns connected to the prefix (all of them
+// for the first pick, or when none connects), the one minimizing the
+// estimated cardinality of the prefix joined with it. Ties fall back to
+// the per-pattern estimate, then most-constants, then original position —
+// the same ranking staticOrder uses.
+func joinOrder(pats []planPat, est []int64, e *estimator) []int {
+	n := len(pats)
+	order := make([]int, 0, n)
+	used := make([]bool, n)
+	bound := make(map[int]bool)
+
+	connected := func(p planPat) bool {
+		return (p.vs >= 0 && bound[p.vs]) ||
+			(p.vp >= 0 && bound[p.vp]) ||
+			(p.vo >= 0 && bound[p.vo])
+	}
+	betterThan := func(i int, iConn bool, iJoin float64, j int, jConn bool, jJoin float64) bool {
+		if iConn != jConn {
+			return iConn
+		}
+		if iJoin != jJoin {
+			// A known joined estimate beats an exhausted-budget one.
+			if jJoin < 0 {
+				return true
+			}
+			if iJoin < 0 {
+				return false
+			}
+			return iJoin < jJoin
+		}
+		if ei, ej := est[i], est[j]; ei != ej {
+			if ej == estUnknown {
+				return true
+			}
+			if ei == estUnknown {
+				return false
+			}
+			return ei < ej
+		}
+		if ci, cj := pats[i].constants(), pats[j].constants(); ci != cj {
+			return ci > cj
+		}
+		return i < j
+	}
+
+	for len(order) < n {
+		best, bestConn, bestJoin := -1, false, 0.0
+		for i := range pats {
+			if used[i] {
+				continue
+			}
+			conn := len(order) == 0 || connected(pats[i])
+			join := e.estimateSet(append(order, i))
+			if best == -1 || betterThan(i, conn, join, best, bestConn, bestJoin) {
+				best, bestConn, bestJoin = i, conn, join
+			}
+		}
+		used[best] = true
+		order = append(order, best)
+		for _, s := range []int{pats[best].vs, pats[best].vp, pats[best].vo} {
+			if s >= 0 {
+				bound[s] = true
+			}
+		}
+	}
+	return order
+}

@@ -309,15 +309,22 @@ func (e *executor) emit() bool {
 
 // tupleSet is a hash set of fixed-width dict.ID tuples, stored in one flat
 // backing slice — the allocation-free replacement for string dedup keys.
+//
+// Offsets are native ints: the previous int32 offsets silently truncated
+// once flat grew past 2^31 IDs, corrupting dedup on huge result sets.
+// origin is a synthetic base added to every stored offset (zero in real
+// use); tests set it near 2^31 to exercise the offset arithmetic across
+// the old overflow boundary without allocating gigabytes.
 type tupleSet struct {
-	width int
-	flat  []dict.ID
-	idx   map[uint64][]int32 // FNV-1a hash -> tuple start offsets in flat
-	any   bool               // width-0 case: one empty tuple at most
+	width  int
+	flat   []dict.ID
+	idx    map[uint64][]int // FNV-1a hash -> origin + tuple start offset in flat
+	origin int
+	any    bool // width-0 case: one empty tuple at most
 }
 
 func newTupleSet(width int) *tupleSet {
-	return &tupleSet{width: width, idx: make(map[uint64][]int32)}
+	return &tupleSet{width: width, idx: make(map[uint64][]int)}
 }
 
 // add inserts the tuple, reporting true when it was not already present.
@@ -345,7 +352,7 @@ func (ts *tupleSet) add(row []dict.ID) bool {
 	for _, start := range ts.idx[h] {
 		match := true
 		for i, id := range row {
-			if ts.flat[int(start)+i] != id {
+			if ts.flat[start-ts.origin+i] != id {
 				match = false
 				break
 			}
@@ -354,7 +361,7 @@ func (ts *tupleSet) add(row []dict.ID) bool {
 			return false
 		}
 	}
-	start := int32(len(ts.flat))
+	start := ts.origin + len(ts.flat)
 	ts.flat = append(ts.flat, row...)
 	ts.idx[h] = append(ts.idx[h], start)
 	return true

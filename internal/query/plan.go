@@ -5,21 +5,20 @@ import (
 	"strings"
 	"time"
 
+	"rdfsum/internal/core"
 	"rdfsum/internal/dict"
 	"rdfsum/internal/store"
 )
 
-// PlanStats supplies summary-level cardinality statistics to the planner —
-// in practice a *core.Weights, the quotient-map cardinalities of a summary
-// of the queried graph (the paper's "support for query optimization" use
-// case). Estimates drive the static join order; they need not be exact for
-// the graph actually queried (e.g. its saturation), only proportionate.
-type PlanStats interface {
-	// PropertyCount estimates the number of data triples with property p.
-	PropertyCount(p dict.ID) int
-	// ClassCount estimates the number of τ triples with class c.
-	ClassCount(c dict.ID) int
-}
+// PlanStats supplies summary-level cardinality statistics to the planner:
+// the quotient-map cardinalities of a summary of the queried graph (the
+// paper's "support for query optimization" use case), produced by
+// (*core.Summary).ComputeWeights. With the per-edge statistics present the
+// planner estimates whole conjunctive queries over the summary (see
+// estimate.go); estimates drive the static join order, so they need not be
+// exact for the graph actually queried (e.g. its saturation), only
+// proportionate.
+type PlanStats = *core.Weights
 
 // planPat is a triple pattern compiled to integer form: constants are
 // dictionary IDs (dict.None marks a variable position) and variables are
@@ -79,17 +78,19 @@ type Plan struct {
 	est   []int64   // static cardinality estimate per pattern (estUnknown = none)
 	order []int     // static join order: pattern indices, most selective first
 
+	queryEst  int64 // whole-query cardinality estimate (estUnknown = none)
 	usedStats bool
 	empty     bool // a constant is absent from the dictionary: zero answers
 }
 
 // Compile validates q and compiles it against g's dictionary into a Plan.
-// When stats is non-nil (summary Weights), the static join order is chosen
-// by estimated cardinality: per-property triple counts for bound-property
-// patterns and per-class τ counts for type patterns; patterns are chained
-// greedily so each one shares a variable with those before it (avoiding
-// cartesian products). Without stats, the order falls back to
-// most-constants-first with the same connectivity chaining.
+// When stats is non-nil (summary Weights), per-pattern and whole-query
+// cardinalities are estimated by matching the BGP against the summary
+// graph (see estimate.go), and the static join order greedily minimizes
+// the estimated cardinality of each joined prefix, preferring patterns
+// that share a variable with those before them (avoiding cartesian
+// products). Without stats, the order falls back to most-constants-first
+// with the same connectivity chaining.
 func Compile(g *store.Graph, q *Query, stats PlanStats) (*Plan, error) {
 	defer compileSeconds.ObserveSince(time.Now())
 	if err := q.Validate(); err != nil {
@@ -136,14 +137,40 @@ func Compile(g *store.Graph, q *Query, stats PlanStats) (*Plan, error) {
 		pl.headSlots[i] = slot(v) // Validate guarantees v occurs in the body
 	}
 
-	pl.est = estimate(g, pl.pats, stats)
-	pl.order = staticOrder(pl.pats, pl.est)
+	pl.queryEst = estUnknown
+	switch {
+	case pl.empty:
+		// A constant is absent from the dictionary: exactly zero answers,
+		// and no join order matters.
+		pl.est = make([]int64, len(pl.pats))
+		pl.queryEst = 0
+		pl.order = staticOrder(pl.pats, pl.est)
+	default:
+		e := newEstimator(g, pl.pats, pl.nslots, stats)
+		if e == nil {
+			// No per-edge statistics: the legacy per-property counts.
+			pl.est = estimate(g, pl.pats, stats)
+			pl.order = staticOrder(pl.pats, pl.est)
+			break
+		}
+		pl.est = make([]int64, len(pl.pats))
+		for i := range pl.pats {
+			pl.est[i] = estRound(e.estimateSet([]int{i}))
+		}
+		all := make([]int, len(pl.pats))
+		for i := range all {
+			all[i] = i
+		}
+		pl.queryEst = estRound(e.estimateSet(all))
+		pl.order = joinOrder(pl.pats, pl.est, e)
+	}
 	return pl, nil
 }
 
 // estimate derives a static cardinality estimate for each pattern from the
-// summary statistics: ClassCount for τ patterns with a bound class,
-// PropertyCount for any other bound property, estUnknown otherwise.
+// coarse summary statistics — the fallback when stats carries no per-edge
+// counts: ClassCount for τ patterns with a bound class, PropertyCount for
+// any other bound property, estUnknown otherwise.
 func estimate(g *store.Graph, pats []planPat, stats PlanStats) []int64 {
 	est := make([]int64, len(pats))
 	if stats == nil {
@@ -245,6 +272,9 @@ type Explain struct {
 	Pruned bool `json:"pruned"`
 	// PrunedBy names the summary kind that pruned the query.
 	PrunedBy string `json:"pruned_by,omitempty"`
+	// QueryEst is the whole-query cardinality estimate from matching the
+	// BGP against the summary graph (-1 when unknown, e.g. stats-free).
+	QueryEst int64 `json:"query_est"`
 	// Steps lists the patterns in the chosen static join order.
 	Steps []ExplainStep `json:"steps"`
 }
@@ -269,7 +299,7 @@ type ExplainStep struct {
 // newExplain renders the static half of the explanation; Actuals are
 // filled in by the executor.
 func (pl *Plan) newExplain() *Explain {
-	ex := &Explain{UsedStats: pl.usedStats, Steps: make([]ExplainStep, len(pl.order))}
+	ex := &Explain{UsedStats: pl.usedStats, QueryEst: pl.queryEst, Steps: make([]ExplainStep, len(pl.order))}
 	for pos, i := range pl.order {
 		ex.Steps[pos] = ExplainStep{
 			Pattern: pl.query.Patterns[i].String(),
@@ -286,6 +316,9 @@ func (ex *Explain) String() string {
 		return fmt.Sprintf("pruned by %s summary: provably empty\n", ex.PrunedBy)
 	}
 	var b strings.Builder
+	if ex.QueryEst >= 0 {
+		fmt.Fprintf(&b, "  query est=%d\n", ex.QueryEst)
+	}
 	for pos, st := range ex.Steps {
 		est := "?"
 		if st.Est >= 0 {

@@ -1,0 +1,57 @@
+// Regression coverage for the tupleSet offset arithmetic: offsets were
+// int32 and silently wrapped once the flat backing passed 2^31 IDs,
+// corrupting result dedup on huge result sets. The origin field lets the
+// test place the offsets right at the old boundary without allocating
+// gigabytes.
+package query
+
+import (
+	"math"
+	"testing"
+
+	"rdfsum/internal/dict"
+)
+
+func TestTupleSetOffsetsPastInt32(t *testing.T) {
+	ts := newTupleSet(2)
+	// The first tuple lands exactly at the last int32-representable
+	// offset; every subsequent one would have wrapped negative.
+	ts.origin = math.MaxInt32 - 1
+	tuples := [][]dict.ID{{1, 2}, {3, 4}, {5, 6}, {7, 8}}
+	for i, row := range tuples {
+		if !ts.add(row) {
+			t.Fatalf("tuple %d rejected on first insert", i)
+		}
+	}
+	if got := ts.origin + len(ts.flat); got <= math.MaxInt32 {
+		t.Fatalf("test did not cross the int32 boundary: last offset %d", got)
+	}
+	for i, row := range tuples {
+		if ts.add(row) {
+			t.Errorf("tuple %d accepted twice: dedup broken past the int32 boundary", i)
+		}
+	}
+	if !ts.add([]dict.ID{9, 10}) {
+		t.Error("fresh tuple rejected after boundary crossing")
+	}
+}
+
+func TestTupleSetDedup(t *testing.T) {
+	ts := newTupleSet(3)
+	added := 0
+	for i := 0; i < 1000; i++ {
+		row := []dict.ID{dict.ID(i % 10), dict.ID(i % 7), dict.ID(i % 5)}
+		if ts.add(row) {
+			added++
+		}
+	}
+	// lcm(10,7,5) = 70 distinct rows repeat across the 1000 inserts.
+	if added != 70 {
+		t.Errorf("added %d distinct tuples, want 70", added)
+	}
+	// Width 0: exactly one empty tuple.
+	e := newTupleSet(0)
+	if !e.add(nil) || e.add(nil) {
+		t.Error("width-0 set must accept exactly one tuple")
+	}
+}

@@ -75,14 +75,18 @@ type (
 	// program with a weight-chosen static join order, reusable across
 	// evaluations and safe for concurrent use.
 	QueryPlan = query.Plan
-	// QueryExplain reports the chosen join order with estimated vs.
-	// actual per-pattern cardinalities.
+	// QueryExplain reports the chosen join order with the whole-query
+	// cardinality estimate and estimated vs. actual per-pattern
+	// cardinalities.
 	QueryExplain = query.Explain
 	// QueryPruner gates evaluation behind a saturated summary used as an
 	// emptiness oracle (Prop. 1).
 	QueryPruner = query.Pruner
-	// PlanStats feeds summary cardinalities to the query planner;
-	// *Weights implements it.
+	// PlanStats feeds summary statistics to the query planner: a
+	// summary's *Weights (see (*Summary).ComputeWeights), whose per-edge
+	// multiplicities let the planner estimate whole conjunctive queries
+	// against the summary graph and order joins by estimated joined
+	// cardinality.
 	PlanStats = query.PlanStats
 	// Builder maintains one summary kind incrementally under triple
 	// insertions (the unified quotient engine; see NewBuilder).
@@ -423,9 +427,9 @@ type QueryOptions struct {
 	// Limit caps the number of rows (0 = unlimited); Result.Truncated
 	// reports whether more distinct answers existed.
 	Limit int
-	// Stats feeds summary cardinalities to the planner's join ordering;
-	// pass (*Summary).ComputeWeights(). Nil falls back to the stats-free
-	// heuristic.
+	// Stats feeds summary statistics to the planner's cardinality
+	// estimator and join ordering; pass (*Summary).ComputeWeights().
+	// Nil falls back to the stats-free heuristic.
 	Stats PlanStats
 	// Pruner short-circuits provably-empty RBGP queries against a
 	// saturated summary (see NewQueryPruner). Nil disables pruning.
